@@ -1,0 +1,80 @@
+//! Figure 1 — block-frequency CDFs (top row) and day-over-day working-set
+//! overlap (bottom row) for the seven workloads.
+
+use craid_bench::{gen_trace, header_row, pct, print_header, row, workloads};
+use craid_trace::stats;
+
+fn main() {
+    print_header(
+        "Figure 1",
+        "block-frequency CDF and daily working-set overlap per workload",
+    );
+
+    println!("-- Top row: fraction of blocks accessed at most f times --");
+    println!(
+        "{}",
+        header_row(&["trace", "f<=1", "f<=5", "f<=10", "f<=50", "f<=100"])
+    );
+    for id in workloads() {
+        let trace = gen_trace(id);
+        let cdf = stats::frequency_cdf(&trace, None);
+        println!(
+            "{}",
+            row(&[
+                id.name().to_string(),
+                pct(cdf.fraction_at(1)),
+                pct(cdf.fraction_at(5)),
+                pct(cdf.fraction_at(10)),
+                pct(cdf.fraction_at(50)),
+                pct(cdf.fraction_at(100)),
+            ])
+        );
+        assert!(
+            cdf.fraction_at(50) > 0.7,
+            "{id}: most blocks should be accessed 50 times or less"
+        );
+    }
+
+    println!();
+    println!("-- Bottom row: blocks shared between consecutive days (mean over the week) --");
+    println!(
+        "{}",
+        header_row(&["trace", "all blocks", "top-20% blocks"])
+    );
+    let mut gaps = Vec::new();
+    for id in workloads() {
+        let trace = gen_trace(id);
+        let o = stats::overlap_series(&trace, 7);
+        println!(
+            "{}",
+            row(&[
+                id.name().to_string(),
+                pct(o.mean_all()),
+                pct(o.mean_top20()),
+            ])
+        );
+        // Observation 2: the hot blocks are at least as stable day-over-day
+        // as the working set as a whole.
+        assert!(
+            o.mean_top20() + 0.05 >= o.mean_all(),
+            "{id}: the top-20% blocks should not be less stable than the whole working set"
+        );
+        assert!(o.mean_top20() > 0.25, "{id}: hot blocks should persist across days");
+        gaps.push((id, o.mean_top20() - o.mean_all()));
+    }
+    // deasna is the paper's outlier: a diverse overall working set whose hot
+    // core is nonetheless heavily reused — the largest top-20%-vs-all gap.
+    let (max_gap_id, _) = gaps
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("seven workloads were analysed");
+    assert_eq!(
+        max_gap_id.name(),
+        "deasna",
+        "deasna should show the largest gap between hot-block and whole-set stability"
+    );
+    println!("\nObservation 2 holds: consecutive days share a large fraction of their working");
+    println!("sets, and the top-20% blocks are even more stable — with deasna as the paper's");
+    println!("outlier (diverse working set, heavily reused hot core).");
+}

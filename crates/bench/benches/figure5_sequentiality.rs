@@ -1,0 +1,68 @@
+//! Figure 5 — sequential-access distribution (CDF) for cello99 and webusers.
+//!
+//! The paper's explanation for CRAID's read performance: co-locating the hot
+//! set in a small partition makes device-level access patterns about as
+//! sequential as an ideal RAID-5 and clearly more sequential than RAID-5+.
+
+use craid::StrategyKind;
+use craid_bench::{gen_trace, header_row, parallel_map, pct, print_header, row};
+use craid_trace::WorkloadId;
+
+const STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Raid5,
+    StrategyKind::Raid5Plus,
+    StrategyKind::Craid5,
+    StrategyKind::Craid5Plus,
+];
+
+fn main() {
+    print_header(
+        "Figure 5",
+        "sequential access distribution per strategy (cello99, webusers)",
+    );
+    for id in [WorkloadId::Cello99, WorkloadId::Webusers] {
+        let trace = gen_trace(id);
+        let reports = parallel_map(STRATEGIES.to_vec(), |&s| {
+            craid_bench::run_strategy(s, &trace, 0.2)
+        });
+        println!("\n[{}]", id);
+        println!(
+            "{}",
+            header_row(&["strategy", "overall seq", "p25 /s", "median /s", "p75 /s"])
+        );
+        for (strategy, report) in STRATEGIES.iter().zip(&reports) {
+            let cdf = &report.sequentiality_cdf;
+            let at = |frac: f64| -> f64 {
+                cdf.iter()
+                    .find(|(_, p)| *p >= frac)
+                    .map(|(v, _)| *v)
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "{}",
+                row(&[
+                    strategy.name().to_string(),
+                    pct(report.sequential_fraction),
+                    format!("{:.1}%", at(0.25)),
+                    format!("{:.1}%", at(0.5)),
+                    format!("{:.1}%", at(0.75)),
+                ])
+            );
+        }
+        let raid5 = reports[0].sequential_fraction;
+        let raid5p = reports[1].sequential_fraction;
+        let craid5 = reports[2].sequential_fraction;
+        let craid5p = reports[3].sequential_fraction;
+        assert!(
+            craid5 > raid5p && craid5p > raid5p,
+            "{id}: CRAID sequentiality ({craid5:.3}/{craid5p:.3}) must beat RAID-5+ ({raid5p:.3})"
+        );
+        println!(
+            "  -> CRAID-5 sequentiality is {:.1}x RAID-5+'s (ideal RAID-5 at {:.1}%)",
+            craid5 / raid5p.max(1e-6),
+            raid5 * 100.0
+        );
+    }
+    println!("\nAs in the paper: the cache partition restores the sequentiality an aggregated");
+    println!("RAID-5+ loses, bringing it close to the ideal RAID-5.");
+}

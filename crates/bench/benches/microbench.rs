@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the hot data structures on CRAID's control
+//! path: mapping-cache lookups, replacement-policy accesses and RAID-5 I/O
+//! planning. These are the operations a real controller would execute per
+//! block, so their cost bounds the throughput of the design.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use craid::MappingCache;
+use craid_cache::{AccessMeta, PolicyKind};
+use craid_diskmodel::{BlockRange, IoKind};
+use craid_raid::{IoPlanner, Layout, Raid5Layout};
+
+fn bench_mapping_cache(c: &mut Criterion) {
+    let mut map = MappingCache::new();
+    for b in 0..100_000u64 {
+        map.insert(b * 7, b, b % 3 == 0);
+    }
+    c.bench_function("mapping_cache_lookup_100k", |b| {
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 7_777) % 700_000;
+            black_box(map.lookup(probe))
+        })
+    });
+}
+
+fn bench_policy_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_access");
+    for kind in PolicyKind::paper_set() {
+        let mut policy = kind.build(8_192);
+        let meta = AccessMeta::read(8);
+        let mut block = 0u64;
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                block = (block * 1_103_515_245 + 12_345) % 65_536;
+                black_box(policy.access(block, meta))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_io_planner(c: &mut Criterion) {
+    let planner = IoPlanner::new(Raid5Layout::new(50, 10, 8, 8 * 1024).unwrap());
+    c.bench_function("raid5_plan_8_block_write", |b| {
+        let mut start = 0u64;
+        b.iter(|| {
+            start = (start + 4_321) % (planner.layout().data_capacity() - 8);
+            black_box(planner.plan(IoKind::Write, BlockRange::new(start, 8)))
+        })
+    });
+    c.bench_function("raid5_plan_64_block_read", |b| {
+        let mut start = 0u64;
+        b.iter(|| {
+            start = (start + 9_973) % (planner.layout().data_capacity() - 64);
+            black_box(planner.plan(IoKind::Read, BlockRange::new(start, 64)))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mapping_cache, bench_policy_access, bench_io_planner
+);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! # craid-bench
+//!
+//! The experiment harness reproducing every table and figure of the CRAID
+//! paper's evaluation (§5). Each `cargo bench` target regenerates one
+//! artifact and prints the same rows or series the paper reports; this
+//! library holds the shared plumbing: workload preparation, strategy sweeps,
+//! parallel execution and table formatting.
+//!
+//! The harness runs scaled-down versions of the paper's workloads (the scale
+//! is reported in every header). Absolute numbers therefore differ from the
+//! paper's testbed, but the comparative shape — which strategy wins, by
+//! roughly what factor, and where the crossovers are — is what each bench
+//! asserts and prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use craid::{ArrayConfig, Simulation, SimulationReport, StrategyKind};
+use craid_trace::{SyntheticWorkload, Trace, WorkloadId};
+
+/// Number of client requests each scaled workload is generated with.
+/// Chosen so the full Figure 4/6 sweeps finish in seconds while still giving
+/// stable means.
+pub const TARGET_REQUESTS: u64 = 8_000;
+
+/// Deterministic seed used for every generated workload.
+pub const SEED: u64 = 20_140_217; // FAST '14 opening day
+
+/// Cache-partition sizes swept by the response-time experiments, expressed
+/// as a fraction of the workload footprint. The paper sweeps "% per disk";
+/// with scaled footprints the equivalent knob is the footprint fraction
+/// (each step doubles the partition, like the paper's x-axes).
+pub const PC_SWEEP: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+
+/// The four strategies that depend on the cache-partition size.
+pub const CRAID_STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Craid5,
+    StrategyKind::Craid5Plus,
+    StrategyKind::Craid5Ssd,
+    StrategyKind::Craid5PlusSsd,
+];
+
+/// All seven paper workloads.
+pub fn workloads() -> Vec<WorkloadId> {
+    WorkloadId::ALL.to_vec()
+}
+
+/// Generates the scaled synthetic trace for a workload.
+pub fn gen_trace(id: WorkloadId) -> Trace {
+    SyntheticWorkload::paper_scaled_to(id, TARGET_REQUESTS).generate(SEED)
+}
+
+/// Generates a smaller trace (for the heavier sweeps).
+pub fn gen_trace_with(id: WorkloadId, target_requests: u64, seed: u64) -> Trace {
+    SyntheticWorkload::paper_scaled_to(id, target_requests).generate(seed)
+}
+
+/// Builds the paper-shaped array configuration for a strategy, with the
+/// cache partition sized to `pc_fraction` of the trace footprint.
+pub fn config_for(strategy: StrategyKind, trace: &Trace, pc_fraction: f64) -> ArrayConfig {
+    let pc_blocks = ((trace.footprint_blocks() as f64 * pc_fraction) as u64).max(64);
+    ArrayConfig::paper(strategy, trace.footprint_blocks(), pc_blocks)
+}
+
+/// Runs one simulation of `strategy` over `trace`.
+pub fn run_strategy(strategy: StrategyKind, trace: &Trace, pc_fraction: f64) -> SimulationReport {
+    Simulation::new(config_for(strategy, trace, pc_fraction)).run(trace)
+}
+
+/// Runs a set of jobs in parallel across threads and returns the results in
+/// input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = items.len().div_ceil(threads).max(1);
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results.into_iter().map(|r| r.expect("every slot was filled")).collect()
+}
+
+/// Prints a section header shared by every bench target.
+pub fn print_header(artifact: &str, description: &str) {
+    println!();
+    println!("================================================================================");
+    println!("{artifact}: {description}");
+    println!(
+        "(synthetic workloads scaled to ~{TARGET_REQUESTS} requests each, seed {SEED}; shapes, not absolute numbers, are the comparison target)"
+    );
+    println!("================================================================================");
+}
+
+/// Formats a fixed-width row from string cells.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Formats a fixed-width header row.
+pub fn header_row(cells: &[&str]) -> String {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>())
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio as a percentage with 2 decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_generation_is_fast_and_deterministic() {
+        let a = gen_trace(WorkloadId::Wdev);
+        let b = gen_trace(WorkloadId::Wdev);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() as u64 >= 4_000);
+    }
+
+    #[test]
+    fn config_for_scales_pc_with_fraction() {
+        let trace = gen_trace(WorkloadId::Webusers);
+        let small = config_for(StrategyKind::Craid5, &trace, 0.05);
+        let large = config_for(StrategyKind::Craid5, &trace, 0.4);
+        assert!(large.pc_capacity_blocks > small.pc_capacity_blocks);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items.clone(), |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_strategy_produces_a_report() {
+        let trace = gen_trace_with(WorkloadId::Wdev, 2_000, 1);
+        let report = run_strategy(StrategyKind::Craid5, &trace, 0.2);
+        assert!(report.requests > 0);
+        assert!(report.craid.is_some());
+    }
+}

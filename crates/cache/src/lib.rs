@@ -1,0 +1,50 @@
+//! # craid-cache
+//!
+//! Replacement policies for CRAID's cache partition.
+//!
+//! The paper's I/O monitor (§4.1) supports five "simple, controller-friendly"
+//! policies and selects the victim block whenever the cache partition (PC) is
+//! full:
+//!
+//! * [`LruPolicy`] — Least Recently Used.
+//! * [`LfudaPolicy`] — Least Frequently Used with Dynamic Aging, key
+//!   `K_i = C_i·F_i + L`.
+//! * [`GdsfPolicy`] — Greedy-Dual-Size with Frequency, key
+//!   `K_i = C_i·F_i / S_i + L` (the request size term is what makes it lose
+//!   badly in the paper's Table 2/3).
+//! * [`ArcPolicy`] — Adaptive Replacement Cache, self-tuning between recency
+//!   and frequency using ghost lists.
+//! * [`WlruPolicy`] — Weighted LRU: scan at most `⌈k·w⌉` entries from the LRU
+//!   end for a *clean* victim before falling back to plain LRU. Preferred by
+//!   the paper (with `w = 0.5`) because clean evictions avoid the 4-I/O
+//!   parity write-back.
+//!
+//! All policies implement [`ReplacementPolicy`] and are exercised identically
+//! by the Table 2 / Table 3 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use craid_cache::{AccessMeta, AccessOutcome, PolicyKind, ReplacementPolicy};
+//!
+//! let mut policy = PolicyKind::Arc.build(2);
+//! let meta = AccessMeta::read(1);
+//! assert!(matches!(policy.access(10, meta), AccessOutcome::Inserted));
+//! assert!(matches!(policy.access(10, meta), AccessOutcome::Hit));
+//! assert!(matches!(policy.access(11, meta), AccessOutcome::Inserted));
+//! // The cache is full now; a third distinct block evicts someone.
+//! assert!(matches!(policy.access(12, meta), AccessOutcome::InsertedWithEviction(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arc;
+pub mod keyed;
+pub mod lru;
+pub mod policy;
+
+pub use arc::ArcPolicy;
+pub use keyed::{GdsfPolicy, LfudaPolicy};
+pub use lru::{LruPolicy, WlruPolicy};
+pub use policy::{AccessMeta, AccessOutcome, Evicted, PolicyKind, ReplacementPolicy};

@@ -1,0 +1,452 @@
+//! LRU and Weighted-LRU policies, plus the recency list shared with ARC.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::policy::{AccessMeta, AccessOutcome, Evicted, ReplacementPolicy};
+
+/// An ordered recency list: O(log n) touch/insert/evict with strict LRU
+/// ordering. Shared by [`LruPolicy`], [`WlruPolicy`] and the ARC lists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LruList {
+    /// block -> recency stamp
+    stamps: HashMap<u64, u64>,
+    /// recency stamp -> block (ascending = least recently used first)
+    order: BTreeMap<u64, u64>,
+    next_stamp: u64,
+}
+
+impl LruList {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    pub(crate) fn contains(&self, block: u64) -> bool {
+        self.stamps.contains_key(&block)
+    }
+
+    /// Inserts `block` as the most recently used entry (or refreshes it).
+    pub(crate) fn touch(&mut self, block: u64) {
+        if let Some(old) = self.stamps.remove(&block) {
+            self.order.remove(&old);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.stamps.insert(block, stamp);
+        self.order.insert(stamp, block);
+    }
+
+    /// Removes and returns the least recently used block.
+    pub(crate) fn pop_lru(&mut self) -> Option<u64> {
+        let (&stamp, &block) = self.order.iter().next()?;
+        self.order.remove(&stamp);
+        self.stamps.remove(&block);
+        Some(block)
+    }
+
+    /// Removes a specific block; returns true if it was present.
+    pub(crate) fn remove(&mut self, block: u64) -> bool {
+        if let Some(stamp) = self.stamps.remove(&block) {
+            self.order.remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks in least-recently-used-first order.
+    pub(crate) fn iter_lru_first(&self) -> impl Iterator<Item = u64> + '_ {
+        self.order.values().copied()
+    }
+
+    pub(crate) fn clear(&mut self) -> Vec<u64> {
+        let blocks: Vec<u64> = self.order.values().copied().collect();
+        self.order.clear();
+        self.stamps.clear();
+        blocks
+    }
+}
+
+/// Plain Least Recently Used replacement.
+#[derive(Debug, Clone)]
+pub struct LruPolicy {
+    capacity: usize,
+    list: LruList,
+    dirty: HashMap<u64, bool>,
+}
+
+impl LruPolicy {
+    /// Creates an LRU policy holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruPolicy {
+            capacity,
+            list: LruList::new(),
+            dirty: HashMap::new(),
+        }
+    }
+
+    fn evict_one(&mut self) -> Option<Evicted> {
+        let victim = self.list.pop_lru()?;
+        let dirty = self.dirty.remove(&victim).unwrap_or(false);
+        Some(Evicted { block: victim, dirty })
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.list.contains(block)
+    }
+
+    fn access(&mut self, block: u64, meta: AccessMeta) -> AccessOutcome {
+        if self.list.contains(block) {
+            self.list.touch(block);
+            if meta.is_write {
+                self.dirty.insert(block, true);
+            }
+            return AccessOutcome::Hit;
+        }
+        let evicted = if self.list.len() >= self.capacity {
+            self.evict_one()
+        } else {
+            None
+        };
+        self.list.touch(block);
+        self.dirty.insert(block, meta.is_write);
+        match evicted {
+            Some(e) => AccessOutcome::InsertedWithEviction(e),
+            None => AccessOutcome::Inserted,
+        }
+    }
+
+    fn mark_clean(&mut self, block: u64) {
+        if let Some(d) = self.dirty.get_mut(&block) {
+            *d = false;
+        }
+    }
+
+    fn is_dirty(&self, block: u64) -> bool {
+        self.dirty.get(&block).copied().unwrap_or(false)
+    }
+
+    fn remove(&mut self, block: u64) -> Option<Evicted> {
+        if self.list.remove(block) {
+            let dirty = self.dirty.remove(&block).unwrap_or(false);
+            Some(Evicted { block, dirty })
+        } else {
+            None
+        }
+    }
+
+    fn clear(&mut self) -> Vec<Evicted> {
+        let blocks = self.list.clear();
+        blocks
+            .into_iter()
+            .map(|block| Evicted {
+                block,
+                dirty: self.dirty.remove(&block).unwrap_or(false),
+            })
+            .collect()
+    }
+
+    fn resize(&mut self, capacity: usize) -> Vec<Evicted> {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.capacity = capacity;
+        let mut out = Vec::new();
+        while self.list.len() > self.capacity {
+            if let Some(e) = self.evict_one() {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    fn resident_blocks(&self) -> Vec<u64> {
+        self.list.iter_lru_first().collect()
+    }
+}
+
+/// Weighted LRU (the paper's WLRUw, §4.1): prefer evicting a *clean* block,
+/// scanning at most `⌈k·w⌉` candidates from the LRU end; fall back to the
+/// plain LRU victim if every scanned candidate is dirty.
+///
+/// With `w = 0` it degenerates to plain LRU; with `w = 1` the whole cache may
+/// be scanned (the `O(k)` traversal the parameter exists to avoid).
+#[derive(Debug, Clone)]
+pub struct WlruPolicy {
+    inner: LruPolicy,
+    w: f64,
+}
+
+impl WlruPolicy {
+    /// Creates a WLRU policy with scan fraction `w ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `w` is outside `[0, 1]`.
+    pub fn new(capacity: usize, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w), "WLRU weight must be in [0,1], got {w}");
+        WlruPolicy {
+            inner: LruPolicy::new(capacity),
+            w,
+        }
+    }
+
+    /// The scan fraction.
+    pub fn weight(&self) -> f64 {
+        self.w
+    }
+
+    fn pick_victim(&self) -> Option<u64> {
+        let scan_limit = ((self.inner.capacity as f64) * self.w).ceil() as usize;
+        let mut fallback = None;
+        for (i, block) in self.inner.list.iter_lru_first().enumerate() {
+            if fallback.is_none() {
+                fallback = Some(block);
+            }
+            if i >= scan_limit {
+                break;
+            }
+            if !self.inner.is_dirty(block) {
+                return Some(block);
+            }
+        }
+        fallback
+    }
+}
+
+impl ReplacementPolicy for WlruPolicy {
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.inner.contains(block)
+    }
+
+    fn access(&mut self, block: u64, meta: AccessMeta) -> AccessOutcome {
+        if self.inner.contains(block) {
+            return self.inner.access(block, meta);
+        }
+        let evicted = if self.inner.len() >= self.inner.capacity() {
+            let victim = self.pick_victim().expect("cache is full, a victim must exist");
+            self.inner.remove(victim)
+        } else {
+            None
+        };
+        // Insert through the inner policy (cannot evict again: room was made).
+        let inserted = self.inner.access(block, meta);
+        debug_assert!(!inserted.is_replacement(), "room was already made for the insert");
+        match evicted {
+            Some(e) => AccessOutcome::InsertedWithEviction(e),
+            None => AccessOutcome::Inserted,
+        }
+    }
+
+    fn mark_clean(&mut self, block: u64) {
+        self.inner.mark_clean(block);
+    }
+
+    fn is_dirty(&self, block: u64) -> bool {
+        self.inner.is_dirty(block)
+    }
+
+    fn remove(&mut self, block: u64) -> Option<Evicted> {
+        self.inner.remove(block)
+    }
+
+    fn clear(&mut self) -> Vec<Evicted> {
+        self.inner.clear()
+    }
+
+    fn resize(&mut self, capacity: usize) -> Vec<Evicted> {
+        self.inner.resize(capacity)
+    }
+
+    fn resident_blocks(&self) -> Vec<u64> {
+        self.inner.resident_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: AccessMeta = AccessMeta::read(1);
+    const W: AccessMeta = AccessMeta::write(1);
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = LruPolicy::new(3);
+        p.access(1, R);
+        p.access(2, R);
+        p.access(3, R);
+        p.access(1, R); // refresh 1; 2 is now LRU
+        let out = p.access(4, R);
+        assert_eq!(out.evicted(), Some(Evicted { block: 2, dirty: false }));
+        assert!(p.contains(1) && p.contains(3) && p.contains(4));
+    }
+
+    #[test]
+    fn lru_tracks_dirtiness() {
+        let mut p = LruPolicy::new(2);
+        p.access(1, W);
+        p.access(2, R);
+        assert!(p.is_dirty(1));
+        assert!(!p.is_dirty(2));
+        let out = p.access(3, R);
+        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+    }
+
+    #[test]
+    fn lru_mark_clean_clears_dirty_bit() {
+        let mut p = LruPolicy::new(2);
+        p.access(1, W);
+        p.mark_clean(1);
+        assert!(!p.is_dirty(1));
+        p.access(2, R);
+        let out = p.access(3, R);
+        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: false }));
+    }
+
+    #[test]
+    fn lru_hit_on_write_marks_dirty() {
+        let mut p = LruPolicy::new(2);
+        p.access(1, R);
+        assert!(!p.is_dirty(1));
+        assert!(p.access(1, W).is_hit());
+        assert!(p.is_dirty(1));
+    }
+
+    #[test]
+    fn lru_resize_evicts_surplus() {
+        let mut p = LruPolicy::new(4);
+        for b in 1..=4 {
+            p.access(b, R);
+        }
+        let evicted = p.resize(2);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.capacity(), 2);
+        // The survivors are the most recently used (3 and 4).
+        assert!(p.contains(3) && p.contains(4));
+    }
+
+    #[test]
+    fn lru_clear_returns_all_entries() {
+        let mut p = LruPolicy::new(3);
+        p.access(1, W);
+        p.access(2, R);
+        let drained = p.clear();
+        assert_eq!(drained.len(), 2);
+        assert!(p.is_empty());
+        assert!(drained.iter().any(|e| e.block == 1 && e.dirty));
+        assert!(drained.iter().any(|e| e.block == 2 && !e.dirty));
+    }
+
+    #[test]
+    fn lru_remove_specific_block() {
+        let mut p = LruPolicy::new(3);
+        p.access(1, W);
+        assert_eq!(p.remove(1), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(p.remove(1), None);
+        assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity() {
+        let mut p = LruPolicy::new(5);
+        for b in 0..100 {
+            p.access(b, R);
+            assert!(p.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn wlru_prefers_clean_victim() {
+        let mut p = WlruPolicy::new(3, 1.0);
+        p.access(1, W); // dirty, LRU position
+        p.access(2, R); // clean
+        p.access(3, W); // dirty
+        let out = p.access(4, R);
+        // Plain LRU would evict 1 (dirty); WLRU skips it and evicts clean 2.
+        assert_eq!(out.evicted(), Some(Evicted { block: 2, dirty: false }));
+        assert!(p.contains(1) && p.contains(3) && p.contains(4));
+    }
+
+    #[test]
+    fn wlru_falls_back_to_lru_when_all_dirty() {
+        let mut p = WlruPolicy::new(3, 0.5);
+        p.access(1, W);
+        p.access(2, W);
+        p.access(3, W);
+        let out = p.access(4, R);
+        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+    }
+
+    #[test]
+    fn wlru_scan_limit_is_respected() {
+        // With w such that only 1 candidate is scanned, a clean block further
+        // up the list is NOT considered.
+        let mut p = WlruPolicy::new(4, 0.25); // scan limit = ceil(4*0.25) = 1
+        p.access(1, W); // LRU, dirty — the only scanned candidate
+        p.access(2, R); // clean but outside the scan window
+        p.access(3, R);
+        p.access(4, R);
+        let out = p.access(5, R);
+        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+    }
+
+    #[test]
+    fn wlru_zero_weight_is_plain_lru() {
+        let mut wlru = WlruPolicy::new(3, 0.0);
+        let mut lru = LruPolicy::new(3);
+        for &(b, m) in &[(1, W), (2, R), (3, W), (4, R), (2, R), (5, W)] {
+            let a = wlru.access(b, m);
+            let b2 = lru.access(b, m);
+            assert_eq!(a, b2);
+        }
+    }
+
+    #[test]
+    fn wlru_behaves_like_set_for_membership() {
+        let mut p = WlruPolicy::new(2, 0.5);
+        assert_eq!(p.capacity(), 2);
+        p.access(10, R);
+        assert!(p.contains(10));
+        assert!(!p.contains(11));
+        assert_eq!(p.resident_blocks().len(), 1);
+        assert_eq!(p.weight(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn wlru_rejects_bad_weight() {
+        WlruPolicy::new(2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn lru_rejects_zero_capacity() {
+        LruPolicy::new(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The [`ReplacementPolicy`] trait and its shared vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Per-access metadata a policy may use for its replacement decision.
+///
+/// `request_blocks` is the size of the *original* client request the block
+/// belonged to — the `S_i` term of GDSF. `is_write` lets the policy keep a
+/// dirty bit so that clean-preferring policies (WLRU) and the eviction
+/// write-back accounting work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessMeta {
+    /// True if the access modifies the block.
+    pub is_write: bool,
+    /// Size (in blocks) of the client request this access belongs to.
+    pub request_blocks: u64,
+}
+
+impl AccessMeta {
+    /// Metadata for a read access belonging to a request of `request_blocks`.
+    pub const fn read(request_blocks: u64) -> Self {
+        AccessMeta {
+            is_write: false,
+            request_blocks,
+        }
+    }
+
+    /// Metadata for a write access belonging to a request of `request_blocks`.
+    pub const fn write(request_blocks: u64) -> Self {
+        AccessMeta {
+            is_write: true,
+            request_blocks,
+        }
+    }
+}
+
+/// An entry pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evicted {
+    /// The block that was evicted.
+    pub block: u64,
+    /// True if the cached copy had been modified and must be written back to
+    /// the archive partition (costing the RAID-5 read-modify-write).
+    pub dirty: bool,
+}
+
+/// Result of recording one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The block was already resident.
+    Hit,
+    /// The block was inserted; the cache still had room.
+    Inserted,
+    /// The block was inserted and `Evicted` was pushed out to make room.
+    InsertedWithEviction(Evicted),
+}
+
+impl AccessOutcome {
+    /// True for [`AccessOutcome::Hit`].
+    pub const fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// True if the access caused a replacement.
+    pub const fn is_replacement(self) -> bool {
+        matches!(self, AccessOutcome::InsertedWithEviction(_))
+    }
+
+    /// The eviction carried by this outcome, if any.
+    pub const fn evicted(self) -> Option<Evicted> {
+        match self {
+            AccessOutcome::InsertedWithEviction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A block-granular cache replacement policy.
+///
+/// Policies track *which* blocks should be resident in the cache partition
+/// and which block to push out when it is full; they do not perform I/O.
+/// Capacities are expressed in blocks.
+pub trait ReplacementPolicy: fmt::Debug {
+    /// Maximum number of resident blocks.
+    fn capacity(&self) -> usize;
+
+    /// Number of currently resident blocks.
+    fn len(&self) -> usize;
+
+    /// True if no blocks are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `block` is resident.
+    fn contains(&self, block: u64) -> bool;
+
+    /// Records an access to `block`, inserting it (and possibly evicting a
+    /// victim) if it is not resident.
+    fn access(&mut self, block: u64, meta: AccessMeta) -> AccessOutcome;
+
+    /// Marks a resident block clean (after its content has been written back
+    /// to the archive partition). Unknown blocks are ignored.
+    fn mark_clean(&mut self, block: u64);
+
+    /// True if `block` is resident and dirty.
+    fn is_dirty(&self, block: u64) -> bool;
+
+    /// Removes a specific block, returning its eviction record if it was
+    /// resident.
+    fn remove(&mut self, block: u64) -> Option<Evicted>;
+
+    /// Removes every resident block, returning their eviction records (the
+    /// paper's "invalidate PC on expansion" step — dirty entries must be
+    /// written back by the caller).
+    fn clear(&mut self) -> Vec<Evicted>;
+
+    /// Changes the capacity. If the new capacity is smaller, surplus victims
+    /// are evicted and returned.
+    fn resize(&mut self, capacity: usize) -> Vec<Evicted>;
+
+    /// Blocks currently resident, in no particular order.
+    fn resident_blocks(&self) -> Vec<u64>;
+}
+
+/// Selector for the five policies of the paper, used by experiment configs
+/// and the command-line harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least Recently Used.
+    Lru,
+    /// Least Frequently Used with Dynamic Aging.
+    Lfuda,
+    /// Greedy-Dual-Size with Frequency.
+    Gdsf,
+    /// Adaptive Replacement Cache.
+    Arc,
+    /// Weighted LRU with scan-fraction `w` (the paper uses 0.5).
+    Wlru(f64),
+}
+
+impl PolicyKind {
+    /// All policies evaluated by the paper's Tables 2 and 3, in table order.
+    pub fn paper_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Lru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+            PolicyKind::Arc,
+            PolicyKind::Wlru(0.5),
+        ]
+    }
+
+    /// Instantiates the policy with the given capacity (in blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn build(self, capacity: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(crate::lru::LruPolicy::new(capacity)),
+            PolicyKind::Lfuda => Box::new(crate::keyed::LfudaPolicy::new(capacity)),
+            PolicyKind::Gdsf => Box::new(crate::keyed::GdsfPolicy::new(capacity)),
+            PolicyKind::Arc => Box::new(crate::arc::ArcPolicy::new(capacity)),
+            PolicyKind::Wlru(w) => Box::new(crate::lru::WlruPolicy::new(capacity, w)),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Lru => write!(f, "LRU"),
+            PolicyKind::Lfuda => write!(f, "LFUDA"),
+            PolicyKind::Gdsf => write!(f, "GDSF"),
+            PolicyKind::Arc => write!(f, "ARC"),
+            PolicyKind::Wlru(w) => write!(f, "WLRU{w}"),
+        }
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "lru" => Ok(PolicyKind::Lru),
+            "lfuda" => Ok(PolicyKind::Lfuda),
+            "gdsf" => Ok(PolicyKind::Gdsf),
+            "arc" => Ok(PolicyKind::Arc),
+            _ => {
+                if let Some(w) = lower.strip_prefix("wlru") {
+                    let w = if w.is_empty() {
+                        0.5
+                    } else {
+                        w.parse::<f64>().map_err(|e| format!("invalid WLRU weight: {e}"))?
+                    };
+                    if !(0.0..=1.0).contains(&w) {
+                        return Err(format!("WLRU weight must be in [0,1], got {w}"));
+                    }
+                    Ok(PolicyKind::Wlru(w))
+                } else {
+                    Err(format!("unknown policy '{s}' (expected lru, lfuda, gdsf, arc or wlru<w>)"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Hit.is_replacement());
+        assert_eq!(AccessOutcome::Hit.evicted(), None);
+        let e = Evicted { block: 7, dirty: true };
+        let o = AccessOutcome::InsertedWithEviction(e);
+        assert!(o.is_replacement());
+        assert_eq!(o.evicted(), Some(e));
+        assert!(!AccessOutcome::Inserted.is_hit());
+    }
+
+    #[test]
+    fn policy_kind_parsing() {
+        assert_eq!("lru".parse::<PolicyKind>().unwrap(), PolicyKind::Lru);
+        assert_eq!("ARC".parse::<PolicyKind>().unwrap(), PolicyKind::Arc);
+        assert_eq!("wlru0.5".parse::<PolicyKind>().unwrap(), PolicyKind::Wlru(0.5));
+        assert_eq!("wlru".parse::<PolicyKind>().unwrap(), PolicyKind::Wlru(0.5));
+        assert!("wlru1.5".parse::<PolicyKind>().is_err());
+        assert!("clock".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn policy_kind_display_round_trip() {
+        for kind in PolicyKind::paper_set() {
+            let shown = kind.to_string();
+            let parsed: PolicyKind = shown.parse().unwrap();
+            assert_eq!(parsed, kind, "{shown} should parse back to {kind:?}");
+        }
+    }
+
+    #[test]
+    fn paper_set_has_five_policies() {
+        assert_eq!(PolicyKind::paper_set().len(), 5);
+    }
+
+    #[test]
+    fn build_produces_working_policies() {
+        for kind in PolicyKind::paper_set() {
+            let mut p = kind.build(4);
+            assert_eq!(p.capacity(), 4);
+            assert!(p.is_empty());
+            p.access(1, AccessMeta::read(1));
+            assert!(p.contains(1), "{kind} should contain the inserted block");
+        }
+    }
+
+    #[test]
+    fn access_meta_constructors() {
+        assert!(AccessMeta::write(4).is_write);
+        assert!(!AccessMeta::read(4).is_write);
+        assert_eq!(AccessMeta::read(4).request_blocks, 4);
+    }
+}

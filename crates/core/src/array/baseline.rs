@@ -1,0 +1,311 @@
+//! The baseline arrays: ideal RAID-5 and aggregated RAID-5+.
+
+use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
+use craid_raid::{Layout, Raid5Layout, Raid5PlusLayout};
+use craid_simkit::{SimDuration, SimTime};
+
+use crate::config::{ArrayConfig, StrategyKind};
+use crate::devices::DeviceSet;
+use crate::error::CraidError;
+use crate::monitor::MonitorStats;
+use crate::partition::{ArchiveLayout, Partition};
+
+use super::{ExpansionReport, RequestReport, StorageArray};
+
+/// A conventional array without a cache partition: either an ideally
+/// restriped RAID-5 (`RAID-5`) or the aggregation of independent RAID-5 sets
+/// left behind by upgrades (`RAID-5+`).
+#[derive(Debug)]
+pub struct BaselineArray {
+    config: ArrayConfig,
+    devices: DeviceSet,
+    volume: Partition<ArchiveLayout>,
+    disks: usize,
+    expansion_sets: Vec<usize>,
+}
+
+impl BaselineArray {
+    /// Builds the baseline array described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration is invalid or the
+    /// layout cannot be constructed.
+    pub fn new(config: ArrayConfig) -> Result<Self, CraidError> {
+        config.validate()?;
+        let devices = DeviceSet::from_config(&config);
+        let volume = Self::build_volume(&config, config.disks, &config.expansion_sets)?;
+        Ok(BaselineArray {
+            disks: config.disks,
+            expansion_sets: config.expansion_sets.clone(),
+            config,
+            devices,
+            volume,
+        })
+    }
+
+    fn build_volume(
+        config: &ArrayConfig,
+        disks: usize,
+        sets: &[usize],
+    ) -> Result<Partition<ArchiveLayout>, CraidError> {
+        let blocks_per_disk = config.pa_blocks_per_hdd();
+        let layout = if config.strategy.archive_is_aggregated() {
+            ArchiveLayout::Aggregated(Raid5PlusLayout::new(sets, config.stripe_unit, blocks_per_disk)?)
+        } else {
+            ArchiveLayout::Ideal(Raid5Layout::new(
+                disks,
+                config.parity_group,
+                config.stripe_unit,
+                blocks_per_disk,
+            )?)
+        };
+        Ok(Partition::new(layout, 0, 0))
+    }
+
+    /// Fraction of logical blocks whose physical location changes between
+    /// two volume layouts, estimated by sampling the used address range.
+    fn restripe_fraction(old: &Partition<ArchiveLayout>, new: &Partition<ArchiveLayout>, used: u64) -> f64 {
+        let probe = used.min(8_192).max(1);
+        let step = (used / probe).max(1);
+        let mut moved = 0u64;
+        let mut sampled = 0u64;
+        let mut block = 0u64;
+        while block < used && sampled < probe {
+            if old.layout().locate(block) != new.layout().locate(block) {
+                moved += 1;
+            }
+            sampled += 1;
+            block += step;
+        }
+        if sampled == 0 {
+            0.0
+        } else {
+            moved as f64 / sampled as f64
+        }
+    }
+}
+
+impl StorageArray for BaselineArray {
+    fn strategy(&self) -> StrategyKind {
+        self.config.strategy
+    }
+
+    fn disk_count(&self) -> usize {
+        self.disks
+    }
+
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.volume.data_capacity()
+    }
+
+    fn pc_capacity_blocks(&self) -> u64 {
+        0
+    }
+
+    fn submit(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        range: BlockRange,
+    ) -> Result<RequestReport, CraidError> {
+        if range.end() > self.volume.data_capacity() {
+            return Err(CraidError::OutOfRange {
+                start: range.start(),
+                blocks: range.len(),
+                capacity: self.volume.data_capacity(),
+            });
+        }
+        let blocks: Vec<u64> = range.blocks().collect();
+        let plan = self.volume.plan_blocks(kind, &blocks);
+        let mut report = RequestReport::default();
+        let mut finish = now;
+        for io in plan {
+            let event = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            finish = finish.max(event.finished);
+            report.events.push(event);
+        }
+        report.response = finish.saturating_since(now);
+        Ok(report)
+    }
+
+    fn expand(&mut self, _now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
+        if added_disks == 0 {
+            return Err(CraidError::InvalidExpansion("no disks added".into()));
+        }
+        let new_disks = self.disks + added_disks;
+        let migrated = match self.config.strategy {
+            StrategyKind::Raid5 => {
+                // An ideal RAID-5 stays ideal only by restriping: count how
+                // much of the used dataset has to move.
+                if new_disks % self.config.parity_group != 0 {
+                    return Err(CraidError::InvalidExpansion(format!(
+                        "RAID-5 restripe needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
+                        self.config.parity_group
+                    )));
+                }
+                let new_volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
+                let used = self.config.dataset_blocks;
+                let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
+                self.volume = new_volume;
+                (fraction * used as f64).round() as u64
+            }
+            StrategyKind::Raid5Plus => {
+                // Aggregation: the new disks form a fresh RAID-5 set, nothing
+                // moves (and the load stays unbalanced — that is the point).
+                if added_disks < 2 {
+                    return Err(CraidError::InvalidExpansion(
+                        "a new RAID-5 set needs at least 2 disks".into(),
+                    ));
+                }
+                self.expansion_sets.push(added_disks);
+                self.volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
+                0
+            }
+            _ => unreachable!("baseline arrays only implement the two baseline strategies"),
+        };
+        self.devices.add_hdds(added_disks);
+        self.disks = new_disks;
+        Ok(ExpansionReport {
+            added_disks,
+            migrated_blocks: migrated,
+            writeback_blocks: 0,
+            events: Vec::new(),
+        })
+    }
+
+    fn device_stats(&self) -> Vec<DeviceLoadStats> {
+        self.devices.load_stats()
+    }
+
+    fn monitor_stats(&self) -> Option<MonitorStats> {
+        None
+    }
+}
+
+impl BaselineArray {
+    /// Mean response time observed so far across all devices — a cheap
+    /// smoke-test accessor used by examples.
+    pub fn mean_device_busy(&self) -> SimDuration {
+        let stats = self.devices.load_stats();
+        let total: SimDuration = stats.iter().map(|s| s.busy).sum();
+        total / stats.len().max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craid_raid::IoPurpose;
+
+    fn array(strategy: StrategyKind) -> BaselineArray {
+        BaselineArray::new(ArrayConfig::small_test(strategy, 10_000)).unwrap()
+    }
+
+    #[test]
+    fn read_touches_only_data_disks() {
+        let mut a = array(StrategyKind::Raid5);
+        let report = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4))
+            .unwrap();
+        assert!(report.response > SimDuration::ZERO);
+        assert!(report.events.iter().all(|e| e.kind == IoKind::Read));
+        assert_eq!(report.cache_hit_blocks, 0);
+    }
+
+    #[test]
+    fn write_pays_parity_maintenance() {
+        let mut a = array(StrategyKind::Raid5);
+        let report = a
+            .submit(SimTime::ZERO, IoKind::Write, BlockRange::new(100, 2))
+            .unwrap();
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.purpose == IoPurpose::ParityWrite));
+        let read_resp = array(StrategyKind::Raid5)
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(100, 2))
+            .unwrap()
+            .response;
+        assert!(report.response > read_resp, "RMW writes cost more than reads");
+    }
+
+    #[test]
+    fn raid5plus_spreads_sets_over_disjoint_disks() {
+        let mut a = array(StrategyKind::Raid5Plus);
+        // The first set owns disks 0..4: a low address only touches those.
+        let report = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4))
+            .unwrap();
+        assert!(report.events.iter().all(|e| e.device < 4));
+    }
+
+    #[test]
+    fn out_of_range_requests_are_rejected() {
+        let mut a = array(StrategyKind::Raid5);
+        let cap = a.capacity_blocks();
+        let err = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(cap, 1))
+            .unwrap_err();
+        assert!(matches!(err, CraidError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn raid5_expansion_migrates_most_of_the_dataset() {
+        let mut a = array(StrategyKind::Raid5);
+        let report = a.expand(SimTime::ZERO, 4).unwrap();
+        assert_eq!(a.disk_count(), 12);
+        assert!(
+            report.migrated_blocks as f64 > 0.5 * 10_000.0,
+            "an ideal restripe moves most used blocks, got {}",
+            report.migrated_blocks
+        );
+        // The array still serves requests afterwards.
+        assert!(a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4)).is_ok());
+    }
+
+    #[test]
+    fn raid5plus_expansion_migrates_nothing() {
+        let mut a = array(StrategyKind::Raid5Plus);
+        let cap_before = a.capacity_blocks();
+        let report = a.expand(SimTime::ZERO, 4).unwrap();
+        assert_eq!(report.migrated_blocks, 0);
+        assert_eq!(a.disk_count(), 12);
+        assert!(a.capacity_blocks() > cap_before);
+    }
+
+    #[test]
+    fn invalid_expansions_are_rejected() {
+        let mut a = array(StrategyKind::Raid5Plus);
+        assert!(a.expand(SimTime::ZERO, 0).is_err());
+        assert!(a.expand(SimTime::ZERO, 1).is_err(), "a one-disk RAID-5 set is not valid");
+        let mut a = array(StrategyKind::Raid5);
+        assert!(
+            a.expand(SimTime::ZERO, 3).is_err(),
+            "restripe must keep the parity group alignment"
+        );
+    }
+
+    #[test]
+    fn device_stats_accumulate() {
+        let mut a = array(StrategyKind::Raid5);
+        for i in 0..20u64 {
+            a.submit(
+                SimTime::from_millis(i as f64 * 10.0),
+                IoKind::Read,
+                BlockRange::new(i * 37 % 9_000, 4),
+            )
+            .unwrap();
+        }
+        let stats = a.device_stats();
+        assert_eq!(stats.len(), 8);
+        let total: u64 = stats.iter().map(|s| s.requests).sum();
+        assert!(total >= 20);
+        assert!(a.mean_device_busy() > SimDuration::ZERO);
+        assert!(a.monitor_stats().is_none());
+    }
+}

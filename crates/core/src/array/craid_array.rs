@@ -1,0 +1,436 @@
+//! The CRAID array: cache partition + archive partition + control path.
+
+use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
+use craid_raid::{Raid5Layout, Raid5PlusLayout};
+use craid_simkit::SimTime;
+
+use crate::config::{ArrayConfig, StrategyKind};
+use crate::devices::DeviceSet;
+use crate::error::CraidError;
+use crate::monitor::{IoMonitor, MonitorStats};
+use crate::partition::{ArchiveLayout, CachePartition, Partition};
+use crate::redirector;
+
+use super::{ExpansionReport, RequestReport, StorageArray};
+
+/// A CRAID volume: the archive partition `PA` holds every block, the cache
+/// partition `PC` holds copies of the hot set, and the monitor/redirector
+/// pair keeps the two coherent (paper §3–4).
+#[derive(Debug)]
+pub struct CraidArray {
+    config: ArrayConfig,
+    devices: DeviceSet,
+    monitor: IoMonitor,
+    pc: CachePartition,
+    pa: Partition<ArchiveLayout>,
+    disks: usize,
+    expansion_sets: Vec<usize>,
+}
+
+impl CraidArray {
+    /// Builds the CRAID array described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration is invalid or a layout
+    /// cannot be constructed.
+    pub fn new(config: ArrayConfig) -> Result<Self, CraidError> {
+        config.validate()?;
+        if !config.strategy.is_craid() {
+            return Err(CraidError::InvalidConfig(
+                "CraidArray requires a CRAID strategy".into(),
+            ));
+        }
+        let devices = DeviceSet::from_config(&config);
+        let pc = Self::build_pc(&config, config.disks)?;
+        let pa = Self::build_pa(&config, config.disks, &config.expansion_sets)?;
+        let monitor = IoMonitor::new(config.policy, pc.capacity());
+        Ok(CraidArray {
+            disks: config.disks,
+            expansion_sets: config.expansion_sets.clone(),
+            config,
+            devices,
+            monitor,
+            pc,
+            pa,
+        })
+    }
+
+    fn build_pc(config: &ArrayConfig, disks: usize) -> Result<CachePartition, CraidError> {
+        if config.strategy.uses_ssd_cache() {
+            let layout = Raid5Layout::new(
+                config.ssd_cache_devices,
+                config.ssd_cache_devices,
+                config.stripe_unit,
+                config.pc_blocks_per_ssd(),
+            )?;
+            // SSDs are addressed after all mechanical disks.
+            Ok(CachePartition::new(layout, disks, 0))
+        } else {
+            let layout = Raid5Layout::new(
+                disks,
+                config.parity_group,
+                config.stripe_unit,
+                config.pc_blocks_per_hdd(),
+            )?;
+            Ok(CachePartition::new(layout, 0, 0))
+        }
+    }
+
+    fn build_pa(
+        config: &ArrayConfig,
+        disks: usize,
+        sets: &[usize],
+    ) -> Result<Partition<ArchiveLayout>, CraidError> {
+        let blocks_per_disk = config.pa_blocks_per_hdd();
+        let offset = config.pc_blocks_per_hdd();
+        let layout = if config.strategy.archive_is_aggregated() {
+            ArchiveLayout::Aggregated(Raid5PlusLayout::new(sets, config.stripe_unit, blocks_per_disk)?)
+        } else {
+            ArchiveLayout::Ideal(Raid5Layout::new(
+                disks,
+                config.parity_group,
+                config.stripe_unit,
+                blocks_per_disk,
+            )?)
+        };
+        Ok(Partition::new(layout, 0, offset))
+    }
+
+    /// Writes back a set of dirty blocks (used by the upgrade invalidation).
+    fn write_back(
+        &mut self,
+        now: SimTime,
+        tasks: &[crate::monitor::EvictionTask],
+        report: &mut ExpansionReport,
+    ) {
+        let slots: Vec<u64> = tasks.iter().map(|t| t.pc_slot).collect();
+        let pa_blocks: Vec<u64> = tasks.iter().map(|t| t.pa_block).collect();
+        for io in self.pc.plan_blocks(IoKind::Read, &slots) {
+            report
+                .events
+                .push(self.devices.submit(now, io.disk, io.kind, io.range, io.purpose));
+        }
+        for io in self.pa.plan_blocks(IoKind::Write, &pa_blocks) {
+            report
+                .events
+                .push(self.devices.submit(now, io.disk, io.kind, io.range, io.purpose));
+        }
+        report.writeback_blocks += tasks.len() as u64;
+    }
+
+    /// Read access to the cache partition (examples and tests).
+    pub fn cache_partition(&self) -> &CachePartition {
+        &self.pc
+    }
+
+    /// Read access to the I/O monitor (examples and tests).
+    pub fn monitor(&self) -> &IoMonitor {
+        &self.monitor
+    }
+}
+
+impl StorageArray for CraidArray {
+    fn strategy(&self) -> StrategyKind {
+        self.config.strategy
+    }
+
+    fn disk_count(&self) -> usize {
+        self.disks
+    }
+
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.pa.data_capacity()
+    }
+
+    fn pc_capacity_blocks(&self) -> u64 {
+        self.pc.capacity()
+    }
+
+    fn submit(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        range: BlockRange,
+    ) -> Result<RequestReport, CraidError> {
+        if range.end() > self.pa.data_capacity() {
+            return Err(CraidError::OutOfRange {
+                start: range.start(),
+                blocks: range.len(),
+                capacity: self.pa.data_capacity(),
+            });
+        }
+        let plan = redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range);
+
+        let mut report = RequestReport {
+            cache_hit_blocks: plan.cache_hit_blocks,
+            admitted_blocks: plan.admitted_blocks,
+            evictions: plan.evictions,
+            dirty_writebacks: plan.dirty_writebacks,
+            ..RequestReport::default()
+        };
+        let mut finish = now;
+        for io in plan.foreground {
+            let ev = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            finish = finish.max(ev.finished);
+            report.events.push(ev);
+        }
+        for io in plan.background {
+            let ev = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            report.events.push(ev);
+        }
+        report.response = finish.saturating_since(now);
+        Ok(report)
+    }
+
+    fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
+        if added_disks == 0 {
+            return Err(CraidError::InvalidExpansion("no disks added".into()));
+        }
+        let new_disks = self.disks + added_disks;
+        let mut report = ExpansionReport {
+            added_disks,
+            ..ExpansionReport::default()
+        };
+
+        // Migration for CRAID is bounded by what currently lives in PC: the
+        // dirty copies are written back now, the rest is simply invalidated
+        // and re-copied on demand as the working set is touched again.
+        report.migrated_blocks = self.monitor.cached_blocks() as u64;
+
+        let spreads_pc_over_hdds = !self.config.strategy.uses_ssd_cache();
+        if spreads_pc_over_hdds {
+            let tasks = self.monitor.invalidate_all(&mut self.pc);
+            self.write_back(now, &tasks, &mut report);
+        } else {
+            // A dedicated-SSD cache tier does not change when mechanical
+            // disks are added; nothing to invalidate.
+            report.migrated_blocks = 0;
+        }
+
+        self.devices.add_hdds(added_disks);
+        self.disks = new_disks;
+
+        // Rebuild the partitions over the enlarged array.
+        if self.config.strategy.archive_is_aggregated() {
+            if added_disks < 2 {
+                return Err(CraidError::InvalidExpansion(
+                    "a new RAID-5 set needs at least 2 disks".into(),
+                ));
+            }
+            self.expansion_sets.push(added_disks);
+        } else if new_disks % self.config.parity_group != 0 {
+            return Err(CraidError::InvalidExpansion(format!(
+                "the ideal RAID-5 archive needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
+                self.config.parity_group
+            )));
+        }
+        self.pa = Self::build_pa(&self.config, new_disks, &self.expansion_sets)?;
+        if spreads_pc_over_hdds {
+            // PC must keep using every disk: it is rebuilt over the new set
+            // of spindles and starts refilling immediately.
+            let pc_layout = if new_disks % self.config.parity_group == 0 {
+                Raid5Layout::new(
+                    new_disks,
+                    self.config.parity_group,
+                    self.config.stripe_unit,
+                    self.config.pc_blocks_per_hdd(),
+                )?
+            } else {
+                // Keep parity groups aligned by treating the whole array as
+                // one group when the count does not divide evenly.
+                Raid5Layout::new(
+                    new_disks,
+                    new_disks,
+                    self.config.stripe_unit,
+                    self.config.pc_blocks_per_hdd(),
+                )?
+            };
+            self.pc.rebuild(pc_layout, 0, 0);
+            self.monitor.resize(self.pc.capacity());
+        }
+        Ok(report)
+    }
+
+    fn device_stats(&self) -> Vec<DeviceLoadStats> {
+        self.devices.load_stats()
+    }
+
+    fn monitor_stats(&self) -> Option<MonitorStats> {
+        Some(*self.monitor.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craid_simkit::SimDuration;
+
+    fn array(strategy: StrategyKind) -> CraidArray {
+        CraidArray::new(ArrayConfig::small_test(strategy, 10_000)).unwrap()
+    }
+
+    #[test]
+    fn cold_read_goes_to_archive_then_caches() {
+        let mut a = array(StrategyKind::Craid5);
+        let r1 = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(500, 4))
+            .unwrap();
+        assert_eq!(r1.cache_hit_blocks, 0);
+        assert_eq!(r1.admitted_blocks, 4);
+        // Second read of the same blocks hits the cache partition.
+        let r2 = a
+            .submit(SimTime::from_secs(1.0), IoKind::Read, BlockRange::new(500, 4))
+            .unwrap();
+        assert_eq!(r2.cache_hit_blocks, 4);
+        assert_eq!(r2.admitted_blocks, 0);
+        let stats = a.monitor_stats().unwrap();
+        assert_eq!(stats.read_hits, 4);
+        assert_eq!(stats.read_accesses, 8);
+    }
+
+    #[test]
+    fn repeated_hot_reads_get_faster_than_cold_reads() {
+        let mut a = array(StrategyKind::Craid5);
+        let cold = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(2_000, 4))
+            .unwrap()
+            .response;
+        // Touch it a few times so it is firmly resident and the disks are idle.
+        let mut warm = SimDuration::ZERO;
+        for i in 1..=3 {
+            warm = a
+                .submit(SimTime::from_secs(i as f64 * 10.0), IoKind::Read, BlockRange::new(2_000, 4))
+                .unwrap()
+                .response;
+        }
+        assert!(
+            warm <= cold,
+            "warm read ({warm}) should not be slower than the cold read ({cold})"
+        );
+    }
+
+    #[test]
+    fn writes_are_absorbed_by_the_cache_partition() {
+        let mut a = array(StrategyKind::Craid5);
+        let pc_limit = a.config.pc_blocks_per_hdd();
+        let r = a
+            .submit(SimTime::ZERO, IoKind::Write, BlockRange::new(9_000, 2))
+            .unwrap();
+        assert_eq!(r.admitted_blocks, 2);
+        assert!(
+            r.events.iter().all(|e| e.start_block < pc_limit),
+            "all I/O for an absorbed write stays inside the PC region"
+        );
+    }
+
+    #[test]
+    fn ssd_variant_sends_cache_traffic_to_ssds() {
+        let mut a = array(StrategyKind::Craid5Ssd);
+        let r = a
+            .submit(SimTime::ZERO, IoKind::Write, BlockRange::new(100, 2))
+            .unwrap();
+        assert!(
+            r.events.iter().all(|e| e.device >= 8),
+            "writes are absorbed by the dedicated SSDs"
+        );
+        // A cold read touches the archive (HDDs) and copies to the SSDs.
+        let r = a
+            .submit(SimTime::from_secs(1.0), IoKind::Read, BlockRange::new(5_000, 2))
+            .unwrap();
+        assert!(r.events.iter().any(|e| e.device < 8));
+        assert!(r.events.iter().any(|e| e.device >= 8));
+    }
+
+    #[test]
+    fn expansion_invalidates_pc_and_grows_it() {
+        let mut a = array(StrategyKind::Craid5Plus);
+        // Warm the cache with some dirty blocks.
+        for b in 0..40u64 {
+            a.submit(SimTime::from_millis(b as f64), IoKind::Write, BlockRange::new(b * 8, 4))
+                .unwrap();
+        }
+        let cached_before = a.monitor().cached_blocks();
+        assert!(cached_before > 0);
+        let pc_before = a.pc_capacity_blocks();
+        let report = a.expand(SimTime::from_secs(10.0), 4).unwrap();
+        assert_eq!(report.added_disks, 4);
+        assert_eq!(report.migrated_blocks, cached_before as u64);
+        assert!(report.writeback_blocks > 0, "dirty blocks are written back");
+        assert!(!report.events.is_empty());
+        assert_eq!(a.disk_count(), 12);
+        assert!(a.pc_capacity_blocks() > pc_before, "PC now spans 12 disks");
+        assert_eq!(a.monitor().cached_blocks(), 0, "PC starts cold again");
+        // The array keeps serving and refilling after the upgrade.
+        let r = a
+            .submit(SimTime::from_secs(20.0), IoKind::Read, BlockRange::new(0, 4))
+            .unwrap();
+        assert_eq!(r.admitted_blocks, 4);
+    }
+
+    #[test]
+    fn expansion_migration_is_bounded_by_pc_residency() {
+        let mut a = array(StrategyKind::Craid5Plus);
+        for b in 0..100u64 {
+            a.submit(SimTime::from_millis(b as f64), IoKind::Read, BlockRange::new(b * 16, 2))
+                .unwrap();
+        }
+        let report = a.expand(SimTime::from_secs(5.0), 4).unwrap();
+        assert!(report.migrated_blocks <= a.pc_capacity_blocks().max(report.migrated_blocks));
+        assert!(
+            report.migrated_blocks < 10_000 / 2,
+            "CRAID migrates far less than the dataset"
+        );
+    }
+
+    #[test]
+    fn ssd_cached_expansion_keeps_cache_intact() {
+        let mut a = array(StrategyKind::Craid5PlusSsd);
+        for b in 0..20u64 {
+            a.submit(SimTime::from_millis(b as f64), IoKind::Write, BlockRange::new(b * 4, 2))
+                .unwrap();
+        }
+        let cached = a.monitor().cached_blocks();
+        let report = a.expand(SimTime::from_secs(2.0), 4).unwrap();
+        assert_eq!(report.migrated_blocks, 0);
+        assert_eq!(report.writeback_blocks, 0);
+        assert_eq!(a.monitor().cached_blocks(), cached, "the SSD cache survives");
+    }
+
+    #[test]
+    fn out_of_range_and_invalid_expansion_are_rejected() {
+        let mut a = array(StrategyKind::Craid5);
+        let cap = a.capacity_blocks();
+        assert!(a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(cap, 1)).is_err());
+        assert!(a.expand(SimTime::ZERO, 0).is_err());
+        let mut plus = array(StrategyKind::Craid5Plus);
+        assert!(plus.expand(SimTime::ZERO, 1).is_err());
+    }
+
+    #[test]
+    fn eviction_pressure_produces_writebacks() {
+        let mut a = array(StrategyKind::Craid5);
+        let pc = a.pc_capacity_blocks();
+        // Write twice the PC capacity of distinct blocks: must evict dirty
+        // victims and pay archive write-backs.
+        let mut dirty_writebacks = 0;
+        for i in 0..(2 * pc) {
+            let r = a
+                .submit(
+                    SimTime::from_millis(i as f64),
+                    IoKind::Write,
+                    BlockRange::new((i * 7) % 9_000, 1),
+                )
+                .unwrap();
+            dirty_writebacks += r.dirty_writebacks;
+        }
+        assert!(dirty_writebacks > 0);
+        let stats = a.monitor_stats().unwrap();
+        assert!(stats.dirty_evictions > 0);
+        assert!(stats.write_eviction_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Array and experiment configuration.
+
+use serde::{Deserialize, Serialize};
+
+use craid_cache::PolicyKind;
+use craid_diskmodel::{HddParameters, SsdParameters};
+
+use crate::error::CraidError;
+
+/// The six allocation policies compared in the paper's evaluation (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// An ideally restriped RAID-5 using every disk (upper baseline).
+    Raid5,
+    /// A RAID-5 grown by aggregation: independent RAID-5 sets added per
+    /// upgrade (realistic baseline).
+    Raid5Plus,
+    /// CRAID with a RAID-5 cache partition over all disks and an ideally
+    /// restriped RAID-5 archive.
+    Craid5,
+    /// CRAID with a RAID-5 cache partition over all disks and an aggregated
+    /// RAID-5+ archive.
+    Craid5Plus,
+    /// CRAID with the cache partition on dedicated SSDs and a RAID-5 archive.
+    Craid5Ssd,
+    /// CRAID with the cache partition on dedicated SSDs and a RAID-5+
+    /// archive.
+    Craid5PlusSsd,
+}
+
+impl StrategyKind {
+    /// Every strategy of the paper's evaluation, in its plotting order.
+    pub const ALL: [StrategyKind; 6] = [
+        StrategyKind::Raid5,
+        StrategyKind::Raid5Plus,
+        StrategyKind::Craid5,
+        StrategyKind::Craid5Plus,
+        StrategyKind::Craid5Ssd,
+        StrategyKind::Craid5PlusSsd,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Raid5 => "RAID-5",
+            StrategyKind::Raid5Plus => "RAID-5+",
+            StrategyKind::Craid5 => "CRAID-5",
+            StrategyKind::Craid5Plus => "CRAID-5+",
+            StrategyKind::Craid5Ssd => "CRAID-5ssd",
+            StrategyKind::Craid5PlusSsd => "CRAID-5+ssd",
+        }
+    }
+
+    /// True for the four CRAID variants (they carry a cache partition).
+    pub fn is_craid(self) -> bool {
+        !matches!(self, StrategyKind::Raid5 | StrategyKind::Raid5Plus)
+    }
+
+    /// True when the cache partition lives on dedicated SSDs.
+    pub fn uses_ssd_cache(self) -> bool {
+        matches!(self, StrategyKind::Craid5Ssd | StrategyKind::Craid5PlusSsd)
+    }
+
+    /// True when the archive partition is the aggregation of independent
+    /// RAID-5 sets (the "+" variants).
+    pub fn archive_is_aggregated(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Raid5Plus | StrategyKind::Craid5Plus | StrategyKind::Craid5PlusSsd
+        )
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which device model backs the simulated spindles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceTier {
+    /// The Cheetah-15K.5-like mechanical model (the default).
+    Hdd,
+    /// The zero-latency model used for the policy-quality experiments
+    /// (Tables 2 and 3), where only hit/replacement counts matter.
+    Instant,
+}
+
+/// Complete description of one simulated array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Allocation policy under test.
+    pub strategy: StrategyKind,
+    /// Number of mechanical disks in the array (the paper uses 50).
+    pub disks: usize,
+    /// Parity-group width for RAID-5 layouts (the paper uses 10).
+    pub parity_group: usize,
+    /// Stripe unit in 4 KiB blocks. The paper uses 32 (128 KiB); the scaled
+    /// experiments default to 8 so that stripe geometry stays proportionate
+    /// to the scaled-down footprints.
+    pub stripe_unit: u64,
+    /// Number of dedicated SSDs for the `*ssd` strategies (the paper adds 5).
+    pub ssd_cache_devices: usize,
+    /// Requested cache-partition capacity in data blocks. Ignored by the
+    /// baseline strategies. The realised capacity is rounded up to whole
+    /// stripe rows.
+    pub pc_capacity_blocks: u64,
+    /// Client-visible volume size in blocks (the trace's footprint).
+    pub dataset_blocks: u64,
+    /// Replacement policy for the I/O monitor (the paper settles on
+    /// WLRU(0.5)).
+    pub policy: PolicyKind,
+    /// Device model used for the spindles.
+    pub device_tier: DeviceTier,
+    /// Disk counts of the aggregation steps used by RAID-5+ archives
+    /// (the paper's schedule grows 10 → 50 disks in ≈30 % steps).
+    pub expansion_sets: Vec<usize>,
+    /// Blocks per mechanical disk. Defaults to the full Cheetah 15K.5
+    /// capacity so seek distances stay realistic; the dataset is scattered
+    /// across the archive partition by the dataset mapper.
+    pub hdd_capacity_blocks: u64,
+    /// Parameters of the mechanical disks.
+    pub hdd: HddParameters,
+    /// Parameters of the dedicated SSDs.
+    pub ssd: SsdParameters,
+    /// Seed for the dataset-scatter permutation.
+    pub seed: u64,
+}
+
+impl ArrayConfig {
+    /// The paper's testbed shape: 50 disks, parity groups of 10, the
+    /// RAID-5+ aggregation schedule 10 → 13 → 17 → 22 → 29 → 38 → 50, five
+    /// dedicated SSDs, WLRU(0.5).
+    ///
+    /// `dataset_blocks` is the trace footprint; `pc_capacity_blocks` the
+    /// requested cache-partition size (in blocks).
+    pub fn paper(strategy: StrategyKind, dataset_blocks: u64, pc_capacity_blocks: u64) -> Self {
+        // The drive's DRAM cache is scaled down together with the workload
+        // footprint: a full 16 MiB per-disk buffer against a few-hundred-MB
+        // scaled dataset would absorb nearly all re-reads and hide the
+        // mechanical effects the comparison is about.
+        let mut hdd = HddParameters::cheetah_15k5();
+        hdd.cache_bytes = 4 * 1024 * 1024;
+        hdd.cache_segments = 8;
+        hdd.readahead_blocks = 16;
+        ArrayConfig {
+            strategy,
+            disks: 50,
+            parity_group: 10,
+            stripe_unit: 8,
+            ssd_cache_devices: 5,
+            pc_capacity_blocks,
+            dataset_blocks,
+            policy: PolicyKind::Wlru(0.5),
+            device_tier: DeviceTier::Hdd,
+            expansion_sets: vec![10, 3, 4, 5, 7, 9, 12],
+            hdd_capacity_blocks: hdd.capacity_blocks,
+            hdd,
+            ssd: SsdParameters::msr_ideal(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// A small 8-disk array for unit and integration tests: fast to simulate
+    /// while exercising every code path (parity groups, PC, SSD tier).
+    pub fn small_test(strategy: StrategyKind, dataset_blocks: u64) -> Self {
+        let hdd = HddParameters::cheetah_15k5_scaled(2 * 1024 * 1024);
+        ArrayConfig {
+            strategy,
+            disks: 8,
+            parity_group: 4,
+            stripe_unit: 4,
+            ssd_cache_devices: 3,
+            pc_capacity_blocks: (dataset_blocks / 5).max(64),
+            dataset_blocks,
+            policy: PolicyKind::Wlru(0.5),
+            device_tier: DeviceTier::Hdd,
+            expansion_sets: vec![4, 4],
+            hdd_capacity_blocks: hdd.capacity_blocks,
+            hdd,
+            ssd: SsdParameters::msr_ideal_scaled(1024 * 1024),
+            seed: 7,
+        }
+    }
+
+    /// Sets the replacement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the requested cache-partition capacity (in blocks).
+    pub fn with_pc_capacity(mut self, blocks: u64) -> Self {
+        self.pc_capacity_blocks = blocks;
+        self
+    }
+
+    /// Switches the spindles to the zero-latency model.
+    pub fn with_instant_devices(mut self) -> Self {
+        self.device_tier = DeviceTier::Instant;
+        self
+    }
+
+    /// Sets the stripe unit (in blocks).
+    pub fn with_stripe_unit(mut self, blocks: u64) -> Self {
+        self.stripe_unit = blocks;
+        self
+    }
+
+    /// Number of parity groups of the full-width RAID-5 layouts.
+    pub fn parity_groups(&self) -> usize {
+        self.disks / self.parity_group.max(1)
+    }
+
+    /// Data stripe units per row of a full-width RAID-5 layout.
+    pub fn data_units_per_row(&self) -> u64 {
+        (self.disks - self.parity_groups()) as u64
+    }
+
+    /// Cache-partition blocks reserved per mechanical disk (0 for baselines
+    /// and for the SSD-cached variants).
+    pub fn pc_blocks_per_hdd(&self) -> u64 {
+        if !self.strategy.is_craid() || self.strategy.uses_ssd_cache() {
+            return 0;
+        }
+        let data_per_row = self.data_units_per_row() * self.stripe_unit;
+        let rows = self.pc_capacity_blocks.div_ceil(data_per_row).max(1);
+        rows * self.stripe_unit
+    }
+
+    /// Cache-partition blocks reserved per dedicated SSD (0 unless the
+    /// strategy uses the SSD tier).
+    pub fn pc_blocks_per_ssd(&self) -> u64 {
+        if !self.strategy.uses_ssd_cache() {
+            return 0;
+        }
+        let groups = 1u64; // the SSD set forms a single parity group
+        let data_per_row = (self.ssd_cache_devices as u64 - groups) * self.stripe_unit;
+        let rows = self.pc_capacity_blocks.div_ceil(data_per_row.max(1)).max(1);
+        rows * self.stripe_unit
+    }
+
+    /// Archive-partition blocks available per mechanical disk.
+    pub fn pa_blocks_per_hdd(&self) -> u64 {
+        let remaining = self.hdd_capacity_blocks.saturating_sub(self.pc_blocks_per_hdd());
+        (remaining / self.stripe_unit) * self.stripe_unit
+    }
+
+    /// The cache partition's size as a percentage of each disk's capacity —
+    /// the x-axis of the paper's Figures 4 and 6.
+    pub fn pc_percent_per_disk(&self) -> f64 {
+        if self.hdd_capacity_blocks == 0 {
+            0.0
+        } else {
+            100.0 * self.pc_blocks_per_hdd() as f64 / self.hdd_capacity_blocks as f64
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraidError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), CraidError> {
+        let fail = |msg: String| Err(CraidError::InvalidConfig(msg));
+        if self.disks < 2 {
+            return fail(format!("need at least 2 disks, got {}", self.disks));
+        }
+        if self.parity_group < 2 || self.disks % self.parity_group != 0 {
+            return fail(format!(
+                "parity group {} must be >= 2 and divide the disk count {}",
+                self.parity_group, self.disks
+            ));
+        }
+        if self.stripe_unit == 0 {
+            return fail("stripe unit must be positive".into());
+        }
+        if self.dataset_blocks == 0 {
+            return fail("dataset must contain at least one block".into());
+        }
+        if self.strategy.is_craid() && self.pc_capacity_blocks == 0 {
+            return fail("CRAID strategies need a non-empty cache partition".into());
+        }
+        if self.strategy.uses_ssd_cache() && self.ssd_cache_devices < 2 {
+            return fail("the SSD cache tier needs at least 2 devices".into());
+        }
+        if self.strategy.archive_is_aggregated() {
+            if self.expansion_sets.is_empty() {
+                return fail("an aggregated archive needs at least one RAID set".into());
+            }
+            if self.expansion_sets.iter().sum::<usize>() != self.disks {
+                return fail(format!(
+                    "expansion sets {:?} must sum to the disk count {}",
+                    self.expansion_sets, self.disks
+                ));
+            }
+            if self.expansion_sets.iter().any(|&s| s < 2) {
+                return fail("every RAID set needs at least 2 disks".into());
+            }
+        }
+        if self.hdd_capacity_blocks < self.stripe_unit {
+            return fail("disks are smaller than one stripe unit".into());
+        }
+        // The scattered dataset must fit in the archive partition.
+        let pa_data_capacity = self.pa_blocks_per_hdd() / self.stripe_unit
+            * self.data_units_per_row()
+            * self.stripe_unit;
+        if pa_data_capacity < self.dataset_blocks {
+            return fail(format!(
+                "archive partition ({pa_data_capacity} blocks) cannot hold the dataset ({} blocks)",
+                self.dataset_blocks
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_classification() {
+        assert!(!StrategyKind::Raid5.is_craid());
+        assert!(!StrategyKind::Raid5Plus.is_craid());
+        assert!(StrategyKind::Craid5.is_craid());
+        assert!(StrategyKind::Craid5PlusSsd.uses_ssd_cache());
+        assert!(!StrategyKind::Craid5.uses_ssd_cache());
+        assert!(StrategyKind::Raid5Plus.archive_is_aggregated());
+        assert!(!StrategyKind::Craid5Ssd.archive_is_aggregated());
+        assert_eq!(StrategyKind::ALL.len(), 6);
+        assert_eq!(StrategyKind::Craid5Plus.to_string(), "CRAID-5+");
+    }
+
+    #[test]
+    fn paper_config_is_valid_for_every_strategy() {
+        for strategy in StrategyKind::ALL {
+            let cfg = ArrayConfig::paper(strategy, 100_000, 4_000);
+            assert!(cfg.validate().is_ok(), "{strategy}: {:?}", cfg.validate());
+            assert_eq!(cfg.disks, 50);
+            assert_eq!(cfg.parity_groups(), 5);
+            assert_eq!(cfg.data_units_per_row(), 45);
+        }
+    }
+
+    #[test]
+    fn small_test_config_is_valid_for_every_strategy() {
+        for strategy in StrategyKind::ALL {
+            let cfg = ArrayConfig::small_test(strategy, 10_000);
+            assert!(cfg.validate().is_ok(), "{strategy}: {:?}", cfg.validate());
+        }
+    }
+
+    #[test]
+    fn pc_reservation_only_for_hdd_cached_craid() {
+        let dataset = 100_000;
+        let craid = ArrayConfig::paper(StrategyKind::Craid5, dataset, 4_000);
+        assert!(craid.pc_blocks_per_hdd() > 0);
+        assert_eq!(craid.pc_blocks_per_ssd(), 0);
+
+        let ssd = ArrayConfig::paper(StrategyKind::Craid5Ssd, dataset, 4_000);
+        assert_eq!(ssd.pc_blocks_per_hdd(), 0);
+        assert!(ssd.pc_blocks_per_ssd() > 0);
+
+        let baseline = ArrayConfig::paper(StrategyKind::Raid5, dataset, 4_000);
+        assert_eq!(baseline.pc_blocks_per_hdd(), 0);
+        assert_eq!(baseline.pc_blocks_per_ssd(), 0);
+    }
+
+    #[test]
+    fn pc_rounds_up_to_whole_rows() {
+        let cfg = ArrayConfig::paper(StrategyKind::Craid5, 100_000, 1);
+        // One row of PC: stripe_unit blocks on every disk.
+        assert_eq!(cfg.pc_blocks_per_hdd(), cfg.stripe_unit);
+        assert!(cfg.pc_percent_per_disk() > 0.0);
+    }
+
+    #[test]
+    fn pa_capacity_shrinks_with_pc() {
+        let without = ArrayConfig::paper(StrategyKind::Raid5, 100_000, 0);
+        let with = ArrayConfig::paper(StrategyKind::Craid5, 100_000, 1_000_000);
+        assert!(with.pa_blocks_per_hdd() < without.pa_blocks_per_hdd());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut cfg = ArrayConfig::paper(StrategyKind::Craid5, 100_000, 4_000);
+        cfg.parity_group = 7;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ArrayConfig::paper(StrategyKind::Craid5, 100_000, 0);
+        cfg.pc_capacity_blocks = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ArrayConfig::paper(StrategyKind::Craid5Plus, 100_000, 4_000);
+        cfg.expansion_sets = vec![10, 10];
+        assert!(cfg.validate().is_err(), "sets must sum to the disk count");
+
+        let mut cfg = ArrayConfig::paper(StrategyKind::Raid5, 100_000, 0);
+        cfg.dataset_blocks = u64::MAX / 2;
+        assert!(cfg.validate().is_err(), "dataset larger than the archive");
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = ArrayConfig::small_test(StrategyKind::Craid5, 10_000)
+            .with_policy(PolicyKind::Arc)
+            .with_pc_capacity(512)
+            .with_stripe_unit(8)
+            .with_instant_devices();
+        assert_eq!(cfg.policy, PolicyKind::Arc);
+        assert_eq!(cfg.pc_capacity_blocks, 512);
+        assert_eq!(cfg.stripe_unit, 8);
+        assert_eq!(cfg.device_tier, DeviceTier::Instant);
+    }
+}

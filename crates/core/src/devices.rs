@@ -1,0 +1,351 @@
+//! The simulated device population of an array.
+//!
+//! An array owns a set of mechanical disks and (for the `*ssd` strategies) a
+//! set of dedicated SSDs. [`DeviceSet`] hides the concrete model behind an
+//! enum so the rest of the crate can address devices uniformly by index, and
+//! records every device-level I/O as a [`DeviceIoEvent`] that the simulation
+//! driver feeds into the metrics trackers.
+
+use serde::{Deserialize, Serialize};
+
+use craid_diskmodel::{
+    BlockRange, DeviceLoadStats, HddModel, HddParameters, InstantModel, IoKind, SsdModel,
+    SsdParameters, StorageDevice,
+};
+use craid_raid::IoPurpose;
+use craid_simkit::{SimDuration, SimTime};
+
+use crate::config::{ArrayConfig, DeviceTier};
+
+/// One device-level I/O issued during the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceIoEvent {
+    /// Target device (index within the whole array, SSDs after HDDs).
+    pub device: usize,
+    /// Physical start block on the device.
+    pub start_block: u64,
+    /// Number of blocks moved.
+    pub blocks: u64,
+    /// Transfer direction.
+    pub kind: IoKind,
+    /// Why the I/O was issued (client data, parity maintenance, copy...).
+    pub purpose: IoPurpose,
+    /// When the I/O was handed to the device.
+    pub submitted: SimTime,
+    /// When the device completed it.
+    pub finished: SimTime,
+    /// Queue depth observed on arrival at the device.
+    pub queue_depth: u64,
+    /// True if the device served it from its internal cache.
+    pub internal_cache_hit: bool,
+}
+
+impl DeviceIoEvent {
+    /// Bytes moved by this I/O.
+    pub fn bytes(&self) -> u64 {
+        self.blocks * craid_diskmodel::BLOCK_SIZE_BYTES
+    }
+
+    /// Time from submission to completion.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.submitted)
+    }
+}
+
+/// A single simulated device of any tier.
+#[derive(Debug, Clone)]
+enum DeviceUnit {
+    Hdd(StorageDevice<HddModel>),
+    Ssd(StorageDevice<SsdModel>),
+    Instant(StorageDevice<InstantModel>),
+}
+
+impl DeviceUnit {
+    fn submit(&mut self, now: SimTime, kind: IoKind, range: BlockRange) -> (SimTime, u64, bool) {
+        match self {
+            DeviceUnit::Hdd(d) => {
+                let c = d.submit_detailed(now, kind, range);
+                (c.finished, c.queue_depth, c.breakdown.cache_hit)
+            }
+            DeviceUnit::Ssd(d) => {
+                let c = d.submit_detailed(now, kind, range);
+                (c.finished, c.queue_depth, c.breakdown.cache_hit)
+            }
+            DeviceUnit::Instant(d) => {
+                let c = d.submit_detailed(now, kind, range);
+                (c.finished, c.queue_depth, c.breakdown.cache_hit)
+            }
+        }
+    }
+
+    fn stats(&self) -> DeviceLoadStats {
+        match self {
+            DeviceUnit::Hdd(d) => d.stats().clone(),
+            DeviceUnit::Ssd(d) => d.stats().clone(),
+            DeviceUnit::Instant(d) => d.stats().clone(),
+        }
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        match self {
+            DeviceUnit::Hdd(d) => d.capacity_blocks(),
+            DeviceUnit::Ssd(d) => d.capacity_blocks(),
+            DeviceUnit::Instant(d) => d.capacity_blocks(),
+        }
+    }
+
+    fn is_rotational(&self) -> bool {
+        match self {
+            DeviceUnit::Hdd(d) => d.is_rotational(),
+            DeviceUnit::Ssd(d) => d.is_rotational(),
+            DeviceUnit::Instant(d) => d.is_rotational(),
+        }
+    }
+}
+
+/// The device population of one array: `hdd_count` mechanical disks followed
+/// by `ssd_count` dedicated SSDs, addressed by a single flat index.
+#[derive(Debug, Clone)]
+pub struct DeviceSet {
+    devices: Vec<DeviceUnit>,
+    hdd_count: usize,
+    tier: DeviceTier,
+    hdd_params: HddParameters,
+    hdd_capacity_blocks: u64,
+}
+
+impl DeviceSet {
+    /// Builds the device population described by `config`.
+    pub fn from_config(config: &ArrayConfig) -> Self {
+        let mut devices = Vec::with_capacity(config.disks + config.ssd_cache_devices);
+        for id in 0..config.disks {
+            devices.push(Self::build_hdd(config, id));
+        }
+        let ssd_count = if config.strategy.uses_ssd_cache() {
+            config.ssd_cache_devices
+        } else {
+            0
+        };
+        for id in 0..ssd_count {
+            let params = SsdParameters {
+                capacity_blocks: config.ssd.capacity_blocks,
+                ..config.ssd.clone()
+            };
+            devices.push(DeviceUnit::Ssd(StorageDevice::new(
+                config.disks + id,
+                SsdModel::new(params),
+            )));
+        }
+        DeviceSet {
+            devices,
+            hdd_count: config.disks,
+            tier: config.device_tier,
+            hdd_params: config.hdd.clone(),
+            hdd_capacity_blocks: config.hdd_capacity_blocks,
+        }
+    }
+
+    fn build_hdd(config: &ArrayConfig, id: usize) -> DeviceUnit {
+        match config.device_tier {
+            DeviceTier::Hdd => {
+                let params = HddParameters {
+                    capacity_blocks: config.hdd_capacity_blocks,
+                    ..config.hdd.clone()
+                };
+                DeviceUnit::Hdd(StorageDevice::new(id, HddModel::new(params)))
+            }
+            DeviceTier::Instant => DeviceUnit::Instant(StorageDevice::new(
+                id,
+                InstantModel::new(config.hdd_capacity_blocks),
+            )),
+        }
+    }
+
+    /// Number of mechanical disks.
+    pub fn hdd_count(&self) -> usize {
+        self.hdd_count
+    }
+
+    /// Number of dedicated SSDs.
+    pub fn ssd_count(&self) -> usize {
+        self.devices.len() - self.hdd_count
+    }
+
+    /// Total number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the set holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Capacity of device `device` in blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn capacity_blocks(&self, device: usize) -> u64 {
+        self.devices[device].capacity_blocks()
+    }
+
+    /// True if device `device` is a mechanical disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn is_rotational(&self, device: usize) -> bool {
+        self.devices[device].is_rotational()
+    }
+
+    /// Adds `count` new mechanical disks (an online upgrade).
+    pub fn add_hdds(&mut self, count: usize) {
+        for i in 0..count {
+            let id = self.hdd_count + i;
+            let unit = match self.tier {
+                DeviceTier::Hdd => {
+                    let params = HddParameters {
+                        capacity_blocks: self.hdd_capacity_blocks,
+                        ..self.hdd_params.clone()
+                    };
+                    DeviceUnit::Hdd(StorageDevice::new(id, HddModel::new(params)))
+                }
+                DeviceTier::Instant => DeviceUnit::Instant(StorageDevice::new(
+                    id,
+                    InstantModel::new(self.hdd_capacity_blocks),
+                )),
+            };
+            // New disks are spliced in just after the existing HDDs so that
+            // HDD indices stay contiguous and SSDs keep trailing.
+            self.devices.insert(self.hdd_count + i, unit);
+        }
+        self.hdd_count += count;
+    }
+
+    /// Submits one physical I/O to device `device` and returns its event
+    /// record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or the range exceeds the device.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        device: usize,
+        kind: IoKind,
+        range: BlockRange,
+        purpose: IoPurpose,
+    ) -> DeviceIoEvent {
+        assert!(device < self.devices.len(), "device {device} out of range");
+        let (finished, queue_depth, cache_hit) = self.devices[device].submit(now, kind, range);
+        DeviceIoEvent {
+            device,
+            start_block: range.start(),
+            blocks: range.len(),
+            kind,
+            purpose,
+            submitted: now,
+            finished,
+            queue_depth,
+            internal_cache_hit: cache_hit,
+        }
+    }
+
+    /// Per-device load statistics, indexed by device number.
+    pub fn load_stats(&self) -> Vec<DeviceLoadStats> {
+        self.devices.iter().map(DeviceUnit::stats).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyKind;
+
+    fn cfg(strategy: StrategyKind) -> ArrayConfig {
+        ArrayConfig::small_test(strategy, 10_000)
+    }
+
+    #[test]
+    fn population_matches_strategy() {
+        let plain = DeviceSet::from_config(&cfg(StrategyKind::Craid5));
+        assert_eq!(plain.hdd_count(), 8);
+        assert_eq!(plain.ssd_count(), 0);
+        assert_eq!(plain.len(), 8);
+
+        let ssd = DeviceSet::from_config(&cfg(StrategyKind::Craid5Ssd));
+        assert_eq!(ssd.hdd_count(), 8);
+        assert_eq!(ssd.ssd_count(), 3);
+        assert!(ssd.is_rotational(0));
+        assert!(!ssd.is_rotational(8));
+    }
+
+    #[test]
+    fn submit_records_event_details() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Raid5));
+        let ev = set.submit(
+            SimTime::from_millis(1.0),
+            2,
+            IoKind::Read,
+            BlockRange::new(100, 8),
+            IoPurpose::Data,
+        );
+        assert_eq!(ev.device, 2);
+        assert_eq!(ev.blocks, 8);
+        assert_eq!(ev.bytes(), 8 * 4096);
+        assert!(ev.finished > ev.submitted);
+        assert!(ev.latency() > SimDuration::ZERO);
+        assert_eq!(set.load_stats()[2].requests, 1);
+        assert_eq!(set.load_stats()[3].requests, 0);
+    }
+
+    #[test]
+    fn instant_tier_has_zero_latency() {
+        let mut config = cfg(StrategyKind::Raid5);
+        config.device_tier = DeviceTier::Instant;
+        let mut set = DeviceSet::from_config(&config);
+        let ev = set.submit(
+            SimTime::from_millis(3.0),
+            0,
+            IoKind::Write,
+            BlockRange::new(0, 4),
+            IoPurpose::Data,
+        );
+        assert_eq!(ev.finished, SimTime::from_millis(3.0));
+    }
+
+    #[test]
+    fn adding_hdds_extends_the_population() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Craid5Ssd));
+        let before = set.len();
+        set.add_hdds(4);
+        assert_eq!(set.hdd_count(), 12);
+        assert_eq!(set.len(), before + 4);
+        // SSDs still trail and are still flash.
+        assert!(!set.is_rotational(set.len() - 1));
+        assert!(set.is_rotational(11));
+        // The new disks accept I/O.
+        let ev = set.submit(
+            SimTime::ZERO,
+            10,
+            IoKind::Read,
+            BlockRange::new(0, 4),
+            IoPurpose::Data,
+        );
+        assert!(ev.finished > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_device_rejected() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Raid5));
+        set.submit(
+            SimTime::ZERO,
+            99,
+            IoKind::Read,
+            BlockRange::new(0, 1),
+            IoPurpose::Data,
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the CRAID library.
+
+use std::fmt;
+
+use craid_raid::LayoutError;
+
+/// Errors surfaced by the CRAID configuration and simulation APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CraidError {
+    /// An array configuration parameter is inconsistent.
+    InvalidConfig(String),
+    /// A RAID layout could not be constructed from the configuration.
+    Layout(LayoutError),
+    /// A client request addressed blocks outside the volume.
+    OutOfRange {
+        /// First block requested.
+        start: u64,
+        /// Number of blocks requested.
+        blocks: u64,
+        /// Volume capacity in blocks.
+        capacity: u64,
+    },
+    /// An expansion request was invalid (e.g. zero disks added).
+    InvalidExpansion(String),
+}
+
+impl fmt::Display for CraidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CraidError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CraidError::Layout(e) => write!(f, "layout error: {e}"),
+            CraidError::OutOfRange {
+                start,
+                blocks,
+                capacity,
+            } => write!(
+                f,
+                "request for {blocks} blocks at {start} exceeds volume capacity {capacity}"
+            ),
+            CraidError::InvalidExpansion(msg) => write!(f, "invalid expansion: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CraidError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CraidError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for CraidError {
+    fn from(e: LayoutError) -> Self {
+        CraidError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = CraidError::InvalidConfig("zero disks".into());
+        assert!(e.to_string().contains("zero disks"));
+        let e = CraidError::OutOfRange {
+            start: 10,
+            blocks: 5,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        let e = CraidError::InvalidExpansion("no disks added".into());
+        assert!(e.to_string().contains("expansion"));
+    }
+
+    #[test]
+    fn layout_errors_convert_and_chain() {
+        let layout_err = LayoutError::NotEnoughDisks { got: 1, need: 2 };
+        let e: CraidError = layout_err.clone().into();
+        assert_eq!(e, CraidError::Layout(layout_err));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

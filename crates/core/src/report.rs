@@ -1,0 +1,151 @@
+//! Result structures produced by the simulation driver.
+//!
+//! Every number the paper's evaluation section reports has a field here, so
+//! the experiment harness (`craid-bench`) can print Table/Figure rows and
+//! serialize full runs to JSON for EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use craid_metrics::concurrency::ConcurrencySummary;
+
+/// Summary of a response-time distribution (one line of Fig. 4 / Fig. 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseSummary {
+    /// Number of requests measured.
+    pub count: u64,
+    /// Mean response time in milliseconds.
+    pub mean_ms: f64,
+    /// Half-width of the 95 % confidence interval of the mean (ms).
+    pub ci95_ms: f64,
+    /// Median response time (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Slowest request (ms).
+    pub max_ms: f64,
+}
+
+/// Cache-partition behaviour of a CRAID run (Tables 2, 3 and 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CraidStats {
+    /// Cache-partition capacity in blocks.
+    pub pc_capacity_blocks: u64,
+    /// The cache partition's size as a percentage of each disk.
+    pub pc_percent_per_disk: f64,
+    /// Hit ratio over all block accesses.
+    pub hit_ratio: f64,
+    /// Hit ratio of read block accesses.
+    pub read_hit_ratio: f64,
+    /// Hit ratio of write block accesses.
+    pub write_hit_ratio: f64,
+    /// Evictions per block access.
+    pub replacement_ratio: f64,
+    /// Evictions per read block access.
+    pub read_eviction_ratio: f64,
+    /// Evictions per write block access.
+    pub write_eviction_ratio: f64,
+    /// Evictions whose victim was dirty.
+    pub dirty_evictions: u64,
+}
+
+/// Load-balance measurements (Fig. 7 / Table 6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadBalanceSummary {
+    /// CDF points of the per-second coefficient of variation of per-disk
+    /// load: `(cv, fraction_of_seconds)`.
+    pub cv_cdf: Vec<(f64, f64)>,
+    /// Mean per-second cv.
+    pub mean_cv: f64,
+    /// 95th percentile of the per-second cv.
+    pub p95_cv: f64,
+    /// cv of the whole-run per-device byte totals.
+    pub overall_cv: f64,
+}
+
+/// Everything measured while replaying one trace against one array.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Strategy label (e.g. `"CRAID-5"`).
+    pub strategy: String,
+    /// Workload name (e.g. `"wdev"`).
+    pub workload: String,
+    /// Number of client requests replayed.
+    pub requests: u64,
+    /// Response-time summary of read requests.
+    pub read: ResponseSummary,
+    /// Response-time summary of write requests.
+    pub write: ResponseSummary,
+    /// Per-second sequential-access percentage CDF (Fig. 5).
+    pub sequentiality_cdf: Vec<(f64, f64)>,
+    /// Fraction of device accesses that were physically sequential.
+    pub sequential_fraction: f64,
+    /// Load-balance measurements (Fig. 7 / Table 6).
+    pub load_balance: LoadBalanceSummary,
+    /// Device I/O-queue depth summary (Table 5 "Ioq").
+    pub ioq: ConcurrencySummary,
+    /// Concurrently-active device count summary (Table 5 "Cdev").
+    pub cdev: ConcurrencySummary,
+    /// Cache-partition statistics (None for the baselines).
+    pub craid: Option<CraidStats>,
+    /// Total bytes moved per device over the run.
+    pub device_bytes: Vec<u64>,
+}
+
+impl SimulationReport {
+    /// Mean read response time in milliseconds (0 if no reads were issued).
+    pub fn read_mean_ms(&self) -> f64 {
+        self.read.mean_ms
+    }
+
+    /// Mean write response time in milliseconds (0 if no writes were issued).
+    pub fn write_mean_ms(&self) -> f64 {
+        self.write.mean_ms
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde serialization fails, which cannot happen for
+    /// this plain-data structure.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SimulationReport always serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = SimulationReport {
+            strategy: "CRAID-5".into(),
+            workload: "wdev".into(),
+            requests: 100,
+            read: ResponseSummary {
+                count: 60,
+                mean_ms: 4.2,
+                ci95_ms: 0.3,
+                p50_ms: 3.9,
+                p95_ms: 8.1,
+                p99_ms: 12.0,
+                max_ms: 30.0,
+            },
+            craid: Some(CraidStats {
+                pc_capacity_blocks: 1024,
+                hit_ratio: 0.91,
+                ..CraidStats::default()
+            }),
+            ..SimulationReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("CRAID-5"));
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.read_mean_ms(), 4.2);
+        assert_eq!(back.write_mean_ms(), 0.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The trace-replay simulation driver.
+//!
+//! [`Simulation`] replays a [`Trace`] against the array described by an
+//! [`ArrayConfig`] and collects every measurement the paper's evaluation
+//! reports. The workload generator issues each request at its recorded time
+//! (open loop), the array turns it into device I/Os, and the metrics
+//! trackers observe the per-device traffic.
+//!
+//! [`DatasetMapper`] scatters the trace's dataset uniformly across the
+//! archive partition (the paper maps its datasets "onto the simulated disks
+//! uniformly so that all disks have the same access probability"), while
+//! preserving intra-request contiguity at extent granularity.
+//!
+//! [`policy_quality`] reproduces the setup of Tables 2 and 3: the policies
+//! are exercised against the raw block stream with an instant disk model, so
+//! hit and replacement ratios can be compared without queueing interference.
+
+use craid_cache::{AccessMeta, PolicyKind};
+use craid_diskmodel::{BlockRange, IoKind};
+use craid_metrics::{ConcurrencyTracker, LoadBalanceTracker, Quantiles, SequentialityTracker, StreamingSummary};
+use craid_simkit::SimTime;
+use craid_trace::Trace;
+
+use crate::array::{build_array, ExpansionReport};
+use crate::config::ArrayConfig;
+use crate::error::CraidError;
+use crate::report::{CraidStats, LoadBalanceSummary, ResponseSummary, SimulationReport};
+
+/// Scatter granularity of the dataset mapper: large enough that almost every
+/// client request stays contiguous after mapping, small enough to spread the
+/// dataset across the whole archive.
+const MAP_EXTENT_BLOCKS: u64 = 256;
+
+/// Maps dataset-relative block numbers onto the archive partition's logical
+/// address space, scattering extents with a fixed coprime stride.
+#[derive(Debug, Clone)]
+pub struct DatasetMapper {
+    dataset_blocks: u64,
+    target_extents: u64,
+    stride: u64,
+}
+
+impl DatasetMapper {
+    /// Creates a mapper scattering `dataset_blocks` over `target_capacity`
+    /// logical blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset does not fit in the target capacity.
+    pub fn new(dataset_blocks: u64, target_capacity: u64, seed: u64) -> Self {
+        assert!(dataset_blocks > 0, "dataset must contain at least one block");
+        assert!(
+            target_capacity >= dataset_blocks,
+            "dataset ({dataset_blocks} blocks) does not fit in the volume ({target_capacity} blocks)"
+        );
+        let target_extents = (target_capacity / MAP_EXTENT_BLOCKS).max(1);
+        // A deterministic odd stride derived from the seed, made coprime with
+        // the extent count.
+        let mut stride = (seed | 1).wrapping_mul(2_654_435_761) % target_extents.max(1);
+        stride = stride.max(1) | 1;
+        while gcd(stride, target_extents) != 1 {
+            stride += 2;
+        }
+        DatasetMapper {
+            dataset_blocks,
+            target_extents,
+            stride,
+        }
+    }
+
+    /// Maps one dataset-relative range onto one or more volume ranges
+    /// (usually one; more when the range straddles a scatter extent).
+    pub fn map(&self, range: BlockRange) -> Vec<BlockRange> {
+        assert!(
+            range.end() <= self.dataset_blocks,
+            "request {range} outside the dataset of {} blocks",
+            self.dataset_blocks
+        );
+        range
+            .chunks(MAP_EXTENT_BLOCKS)
+            .flat_map(|chunk| {
+                // Split chunks that straddle an extent boundary.
+                let first_extent = chunk.start() / MAP_EXTENT_BLOCKS;
+                let last_extent = (chunk.end() - 1) / MAP_EXTENT_BLOCKS;
+                if first_extent == last_extent {
+                    vec![self.map_within_extent(chunk)]
+                } else {
+                    let split = (first_extent + 1) * MAP_EXTENT_BLOCKS;
+                    vec![
+                        self.map_within_extent(BlockRange::new(chunk.start(), split - chunk.start())),
+                        self.map_within_extent(BlockRange::new(split, chunk.end() - split)),
+                    ]
+                }
+            })
+            .collect()
+    }
+
+    fn map_within_extent(&self, range: BlockRange) -> BlockRange {
+        let extent = range.start() / MAP_EXTENT_BLOCKS;
+        let offset = range.start() % MAP_EXTENT_BLOCKS;
+        let target_extent = (extent.wrapping_mul(self.stride)) % self.target_extents;
+        BlockRange::new(target_extent * MAP_EXTENT_BLOCKS + offset, range.len())
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Replays traces against a configured array and produces
+/// [`SimulationReport`]s.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: ArrayConfig,
+}
+
+impl Simulation {
+    /// Creates a driver for the given configuration.
+    pub fn new(config: ArrayConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// The configuration this driver runs.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Replays `trace` and returns the full measurement report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (use [`Simulation::try_run`]
+    /// for a fallible variant).
+    pub fn run(&self, trace: &Trace) -> SimulationReport {
+        self.try_run(trace).expect("simulation configuration is valid")
+    }
+
+    /// Replays `trace`, applying each `(time, added_disks)` expansion when
+    /// the replay clock passes its time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or an expansion is invalid.
+    pub fn run_with_expansions(
+        &self,
+        trace: &Trace,
+        expansions: &[(SimTime, usize)],
+    ) -> (SimulationReport, Vec<ExpansionReport>) {
+        self.try_run_with_expansions(trace, expansions)
+            .expect("simulation configuration and expansions are valid")
+    }
+
+    /// Fallible variant of [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration is inconsistent.
+    pub fn try_run(&self, trace: &Trace) -> Result<SimulationReport, CraidError> {
+        self.try_run_with_expansions(trace, &[]).map(|(report, _)| report)
+    }
+
+    /// Fallible variant of [`Simulation::run_with_expansions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration or an expansion is
+    /// inconsistent.
+    pub fn try_run_with_expansions(
+        &self,
+        trace: &Trace,
+        expansions: &[(SimTime, usize)],
+    ) -> Result<(SimulationReport, Vec<ExpansionReport>), CraidError> {
+        let mut config = self.config.clone();
+        config.dataset_blocks = config.dataset_blocks.max(trace.footprint_blocks());
+        let mut array = build_array(&config)?;
+        let mapper = DatasetMapper::new(
+            trace.footprint_blocks(),
+            array.capacity_blocks(),
+            config.seed,
+        );
+
+        let mut read_summary = StreamingSummary::new();
+        let mut write_summary = StreamingSummary::new();
+        let mut read_quantiles = Quantiles::new();
+        let mut write_quantiles = Quantiles::new();
+        let mut load = LoadBalanceTracker::new(array.device_count() + total_added(expansions));
+        let mut seq = SequentialityTracker::new();
+        let mut conc = ConcurrencyTracker::new();
+
+        let mut expansion_reports = Vec::new();
+        let mut pending_expansions = expansions.iter().copied().peekable();
+
+        for record in trace {
+            // Apply any upgrade whose time has come.
+            while let Some(&(when, added)) = pending_expansions.peek() {
+                if when <= record.time {
+                    let report = array.expand(when, added)?;
+                    for ev in &report.events {
+                        load.record(ev.submitted, ev.device, ev.bytes());
+                        seq.record(ev.submitted, ev.device, ev.start_block, ev.blocks);
+                        conc.record(ev.submitted, ev.device, ev.queue_depth);
+                    }
+                    expansion_reports.push(report);
+                    pending_expansions.next();
+                } else {
+                    break;
+                }
+            }
+
+            let ranges = mapper.map(BlockRange::new(record.offset, record.length));
+            let mut worst_response = 0.0f64;
+            for range in ranges {
+                let report = array.submit(record.time, record.kind, range)?;
+                worst_response = worst_response.max(report.response.as_millis());
+                for ev in &report.events {
+                    load.record(ev.submitted, ev.device, ev.bytes());
+                    seq.record(ev.submitted, ev.device, ev.start_block, ev.blocks);
+                    conc.record(ev.submitted, ev.device, ev.queue_depth);
+                }
+            }
+            match record.kind {
+                IoKind::Read => {
+                    read_summary.record(worst_response);
+                    read_quantiles.record(worst_response);
+                }
+                IoKind::Write => {
+                    write_summary.record(worst_response);
+                    write_quantiles.record(worst_response);
+                }
+            }
+        }
+
+        // Any expansion scheduled after the last request still executes.
+        for (when, added) in pending_expansions {
+            expansion_reports.push(array.expand(when, added)?);
+        }
+
+        let sequential_fraction = seq.overall_sequential_fraction();
+        let mut seq_samples = seq.finish();
+        let overall_cv = load.overall_cv();
+        let mut cv_samples = load.finish();
+        let (ioq, cdev) = conc.finish();
+
+        let craid = array.monitor_stats().map(|m| CraidStats {
+            pc_capacity_blocks: array.pc_capacity_blocks(),
+            pc_percent_per_disk: config.pc_percent_per_disk(),
+            hit_ratio: m.hit_ratio(),
+            read_hit_ratio: m.read_hit_ratio(),
+            write_hit_ratio: m.write_hit_ratio(),
+            replacement_ratio: m.replacement_ratio(),
+            read_eviction_ratio: m.read_eviction_ratio(),
+            write_eviction_ratio: m.write_eviction_ratio(),
+            dirty_evictions: m.dirty_evictions,
+        });
+
+        let report = SimulationReport {
+            strategy: config.strategy.name().to_string(),
+            workload: trace.name().to_string(),
+            requests: trace.len() as u64,
+            read: summarize_response(&read_summary, &mut read_quantiles),
+            write: summarize_response(&write_summary, &mut write_quantiles),
+            sequentiality_cdf: seq_samples.cdf_points(20),
+            sequential_fraction,
+            load_balance: LoadBalanceSummary {
+                cv_cdf: cv_samples.cdf_points(20),
+                mean_cv: cv_samples.mean().unwrap_or(0.0),
+                p95_cv: cv_samples.quantile(0.95).unwrap_or(0.0),
+                overall_cv,
+            },
+            ioq,
+            cdev,
+            craid,
+            device_bytes: array.device_stats().iter().map(|s| s.bytes).collect(),
+        };
+        Ok((report, expansion_reports))
+    }
+}
+
+fn total_added(expansions: &[(SimTime, usize)]) -> usize {
+    expansions.iter().map(|&(_, added)| added).sum()
+}
+
+fn summarize_response(summary: &StreamingSummary, quantiles: &mut Quantiles) -> ResponseSummary {
+    ResponseSummary {
+        count: summary.count(),
+        mean_ms: summary.mean(),
+        ci95_ms: summary.ci95_half_width(),
+        p50_ms: quantiles.quantile(0.5).unwrap_or(0.0),
+        p95_ms: quantiles.quantile(0.95).unwrap_or(0.0),
+        p99_ms: quantiles.quantile(0.99).unwrap_or(0.0),
+        max_ms: quantiles.max().unwrap_or(0.0),
+    }
+}
+
+/// Hit and replacement ratios of one policy over one trace (Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PolicyQuality {
+    /// Fraction of block accesses that hit the cache.
+    pub hit_ratio: f64,
+    /// Replacements per block access.
+    pub replacement_ratio: f64,
+    /// Capacity the policy was given, in blocks.
+    pub capacity_blocks: u64,
+}
+
+/// Replays the block stream of `trace` through `policy` with a cache of
+/// `capacity_fraction` × footprint blocks and an instant storage model, as
+/// the paper does for its policy-quality comparison.
+///
+/// # Panics
+///
+/// Panics if `capacity_fraction` is not in `(0, 1]`.
+pub fn policy_quality(policy: PolicyKind, trace: &Trace, capacity_fraction: f64) -> PolicyQuality {
+    assert!(
+        capacity_fraction > 0.0 && capacity_fraction <= 1.0,
+        "capacity fraction must be in (0, 1], got {capacity_fraction}"
+    );
+    let capacity = ((trace.footprint_blocks() as f64 * capacity_fraction) as usize).max(1);
+    let mut cache = policy.build(capacity);
+    let mut accesses = 0u64;
+    let mut hits = 0u64;
+    let mut replacements = 0u64;
+    for record in trace {
+        let meta = match record.kind {
+            IoKind::Read => AccessMeta::read(record.length),
+            IoKind::Write => AccessMeta::write(record.length),
+        };
+        for block in record.blocks() {
+            accesses += 1;
+            let outcome = cache.access(block, meta);
+            if outcome.is_hit() {
+                hits += 1;
+            }
+            if outcome.is_replacement() {
+                replacements += 1;
+            }
+        }
+    }
+    PolicyQuality {
+        hit_ratio: if accesses == 0 { 0.0 } else { hits as f64 / accesses as f64 },
+        replacement_ratio: if accesses == 0 {
+            0.0
+        } else {
+            replacements as f64 / accesses as f64
+        },
+        capacity_blocks: capacity as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyKind;
+    use craid_trace::{SyntheticWorkload, WorkloadId};
+
+    fn tiny_trace() -> Trace {
+        SyntheticWorkload::paper(WorkloadId::Wdev).scale(400_000).generate(3)
+    }
+
+    #[test]
+    fn mapper_preserves_length_and_stays_in_bounds() {
+        let mapper = DatasetMapper::new(10_000, 1_000_000, 42);
+        for start in [0u64, 100, 255, 256, 9_990] {
+            let len = 8.min(10_000 - start);
+            let mapped = mapper.map(BlockRange::new(start, len));
+            let total: u64 = mapped.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+            assert!(mapped.iter().all(|r| r.end() <= 1_000_000));
+        }
+    }
+
+    #[test]
+    fn mapper_is_injective_on_extents() {
+        let mapper = DatasetMapper::new(4_096, 65_536, 7);
+        let mut seen = std::collections::HashSet::new();
+        for extent in 0..(4_096 / MAP_EXTENT_BLOCKS) {
+            let mapped = mapper.map(BlockRange::new(extent * MAP_EXTENT_BLOCKS, 1));
+            assert!(seen.insert(mapped[0].start()), "two extents mapped to the same place");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn mapper_rejects_oversized_datasets() {
+        DatasetMapper::new(1_000, 500, 0);
+    }
+
+    #[test]
+    fn simulation_produces_complete_report() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Craid5, trace.footprint_blocks());
+        let report = Simulation::new(config).run(&trace);
+        assert_eq!(report.requests, trace.len() as u64);
+        assert_eq!(report.workload, "wdev");
+        assert_eq!(report.strategy, "CRAID-5");
+        assert!(report.read.count + report.write.count == report.requests);
+        assert!(report.write.mean_ms > 0.0);
+        let craid = report.craid.expect("CRAID run must report cache stats");
+        assert!(craid.hit_ratio > 0.0, "a skewed workload must produce cache hits");
+        assert!(!report.device_bytes.is_empty());
+        assert!(!report.load_balance.cv_cdf.is_empty());
+    }
+
+    #[test]
+    fn baseline_report_has_no_craid_stats() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Raid5, trace.footprint_blocks());
+        let report = Simulation::new(config).run(&trace);
+        assert!(report.craid.is_none());
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn expansions_are_applied_mid_run() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, trace.footprint_blocks());
+        let half_time = SimTime::from_secs(trace.duration().as_secs() / 2.0);
+        let (report, expansions) =
+            Simulation::new(config).run_with_expansions(&trace, &[(half_time, 4)]);
+        assert_eq!(expansions.len(), 1);
+        assert_eq!(expansions[0].added_disks, 4);
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn policy_quality_matches_paper_ordering() {
+        let trace = tiny_trace();
+        let arc = policy_quality(PolicyKind::Arc, &trace, 0.05);
+        let lru = policy_quality(PolicyKind::Lru, &trace, 0.05);
+        let gdsf = policy_quality(PolicyKind::Gdsf, &trace, 0.05);
+        assert!(arc.hit_ratio > 0.2);
+        assert!(
+            (arc.hit_ratio - lru.hit_ratio).abs() < 0.15,
+            "ARC and LRU should be comparable: {} vs {}",
+            arc.hit_ratio,
+            lru.hit_ratio
+        );
+        assert!(
+            gdsf.hit_ratio < arc.hit_ratio,
+            "GDSF must trail the other policies ({} vs {})",
+            gdsf.hit_ratio,
+            arc.hit_ratio
+        );
+        assert!(arc.replacement_ratio <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity fraction")]
+    fn policy_quality_validates_fraction() {
+        policy_quality(PolicyKind::Lru, &tiny_trace(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Streaming mean / variance / confidence-interval summary.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-pass summary of a stream of samples (Welford's algorithm), with
+/// the 95 % confidence interval of the mean that the paper reports for its
+/// response-time measurements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        StreamingSummary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "samples must be finite, got {value}");
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample seen, or 0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen, or 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample variance (unbiased); 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (normal approximation, `1.96 × standard error`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// `(low, high)` bounds of the 95 % confidence interval of the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let hw = self.ci95_half_width();
+        (self.mean() - hw, self.mean() + hw)
+    }
+
+    /// Merges another summary into this one (exact for count/mean/variance).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        let new_m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = new_mean;
+        self.m2 = new_m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_textbook_values() {
+        let mut s = StreamingSummary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_more_samples() {
+        let mut small = StreamingSummary::new();
+        let mut large = StreamingSummary::new();
+        for i in 0..10 {
+            small.record((i % 5) as f64);
+        }
+        for i in 0..10_000 {
+            large.record((i % 5) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+        let (lo, hi) = large.ci95();
+        assert!(lo <= large.mean() && large.mean() <= hi);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = StreamingSummary::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let mut a = StreamingSummary::new();
+        let mut b = StreamingSummary::new();
+        for &v in &data[..37] {
+            a.record(v);
+        }
+        for &v in &data[37..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = StreamingSummary::new();
+        s.record(3.0);
+        let before = s.clone();
+        s.merge(&StreamingSummary::new());
+        assert_eq!(s, before);
+        let mut empty = StreamingSummary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_sample_rejected() {
+        StreamingSummary::new().record(f64::NAN);
+    }
+
+    proptest! {
+        /// The mean is always between min and max, and variance is never
+        /// negative.
+        #[test]
+        fn prop_mean_bounded(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = StreamingSummary::new();
+            for &v in &values {
+                s.record(v);
+            }
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert_eq!(s.count() as usize, values.len());
+        }
+    }
+}

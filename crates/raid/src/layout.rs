@@ -1,0 +1,67 @@
+//! The [`Layout`] trait: how logical volume blocks map onto devices.
+
+use crate::types::DiskBlock;
+
+/// A deterministic mapping from a volume's logical block space onto the
+/// physical blocks of an array of devices.
+///
+/// Implementations are pure address arithmetic: they do not talk to devices
+/// and hold no per-request state, so the same layout value can be shared by
+/// the planner, the simulator and the reshape cost analysis.
+///
+/// Physical block numbers returned by a layout are *partition relative*:
+/// block 0 is the first block of whichever per-disk region the caller gives
+/// to this layout (CRAID places its cache partition before the archive
+/// partition on every disk and adds the base offsets itself).
+pub trait Layout {
+    /// Number of devices this layout spreads data over.
+    fn disk_count(&self) -> usize;
+
+    /// Number of logical data blocks addressable through this layout.
+    fn data_capacity(&self) -> u64;
+
+    /// Blocks per stripe unit (the contiguous run placed on one disk before
+    /// moving to the next).
+    fn stripe_unit(&self) -> u64;
+
+    /// Number of physical blocks this layout occupies on every disk
+    /// (data + parity).
+    fn blocks_per_disk(&self) -> u64;
+
+    /// Maps a logical data block to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= self.data_capacity()`.
+    fn locate(&self, logical: u64) -> DiskBlock;
+
+    /// Location of the parity block protecting `logical`, or `None` for
+    /// layouts without redundancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= self.data_capacity()`.
+    fn parity_for(&self, logical: u64) -> Option<DiskBlock>;
+
+    /// Number of data blocks covered by one parity block (i.e. the data
+    /// blocks of one parity-group row). Returns 1 for layouts without parity
+    /// so that callers can still reason about full-stripe writes uniformly.
+    fn data_blocks_per_parity_stripe(&self) -> u64;
+
+    /// True if every device index in `0..disk_count()` receives at least one
+    /// data or parity block. Useful as a sanity check in tests.
+    fn uses_all_disks(&self) -> bool {
+        let mut seen = vec![false; self.disk_count()];
+        let probe = self.data_capacity().min(64 * 1024);
+        for logical in 0..probe {
+            seen[self.locate(logical).disk] = true;
+            if let Some(p) = self.parity_for(logical) {
+                seen[p.disk] = true;
+            }
+            if seen.iter().all(|&s| s) {
+                return true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}

@@ -1,0 +1,309 @@
+//! Translating logical requests into per-device physical I/Os.
+//!
+//! The planner is where the paper's cost model becomes concrete:
+//!
+//! * a logical **read** touches only the disks holding its data blocks
+//!   (contiguous runs per disk are coalesced into single device requests);
+//! * a logical **write** to a RAID-5 layout additionally pays the
+//!   read-modify-write parity update — read old data, read old parity, write
+//!   new data, write new parity — which is exactly the "4 additional I/Os
+//!   (2 reads and 2 writes)" the paper charges for every dirty-block eviction
+//!   (§5.1). When an entire parity column is overwritten, the old-data and
+//!   old-parity reads are skipped (full-stripe write optimization).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use craid_diskmodel::{BlockRange, IoKind};
+
+use crate::layout::Layout;
+use crate::types::{DiskBlock, IoPurpose};
+
+/// One physical I/O to be issued to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedIo {
+    /// Target device index within the array.
+    pub disk: usize,
+    /// Physical block range on that device (partition-relative).
+    pub range: BlockRange,
+    /// Transfer direction.
+    pub kind: IoKind,
+    /// Why this I/O exists (data vs. parity maintenance).
+    pub purpose: IoPurpose,
+}
+
+impl PlannedIo {
+    /// Number of blocks moved by this I/O.
+    pub fn blocks(&self) -> u64 {
+        self.range.len()
+    }
+}
+
+/// Plans device I/Os for logical requests over a [`Layout`].
+///
+/// # Example
+///
+/// ```
+/// use craid_raid::{IoPlanner, Raid5Layout};
+/// use craid_diskmodel::{BlockRange, IoKind};
+///
+/// let planner = IoPlanner::new(Raid5Layout::new(4, 4, 2, 16).unwrap());
+/// // A single-block overwrite needs 4 device I/Os: old data, old parity,
+/// // new data, new parity.
+/// let plan = planner.plan(IoKind::Write, BlockRange::new(0, 1));
+/// assert_eq!(plan.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IoPlanner<L> {
+    layout: L,
+}
+
+impl<L: Layout> IoPlanner<L> {
+    /// Wraps a layout.
+    pub fn new(layout: L) -> Self {
+        IoPlanner { layout }
+    }
+
+    /// The wrapped layout.
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    /// Consumes the planner and returns the layout.
+    pub fn into_layout(self) -> L {
+        self.layout
+    }
+
+    /// Plans the device I/Os for a logical request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the layout's data capacity.
+    pub fn plan(&self, kind: IoKind, range: BlockRange) -> Vec<PlannedIo> {
+        let blocks: Vec<u64> = range.blocks().collect();
+        self.plan_blocks(kind, &blocks)
+    }
+
+    /// Plans the device I/Os for an arbitrary (not necessarily contiguous)
+    /// set of logical blocks. Used by CRAID when copying the scattered hot
+    /// set into the cache partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is beyond the layout's data capacity.
+    pub fn plan_blocks(&self, kind: IoKind, logical_blocks: &[u64]) -> Vec<PlannedIo> {
+        match kind {
+            IoKind::Read => self.plan_reads(logical_blocks),
+            IoKind::Write => self.plan_writes(logical_blocks),
+        }
+    }
+
+    fn plan_reads(&self, logical_blocks: &[u64]) -> Vec<PlannedIo> {
+        let locs: Vec<DiskBlock> = logical_blocks.iter().map(|&b| self.layout.locate(b)).collect();
+        coalesce(locs, IoKind::Read, IoPurpose::Data)
+    }
+
+    fn plan_writes(&self, logical_blocks: &[u64]) -> Vec<PlannedIo> {
+        // Data writes.
+        let data_locs: Vec<DiskBlock> = logical_blocks.iter().map(|&b| self.layout.locate(b)).collect();
+        let mut plan = coalesce(data_locs.clone(), IoKind::Write, IoPurpose::Data);
+
+        // Parity maintenance. Group the written blocks by the parity block
+        // that protects them.
+        let per_parity_block = (self.layout.data_blocks_per_parity_stripe()
+            / self.layout.stripe_unit())
+        .max(1);
+        let mut groups: BTreeMap<DiskBlock, Vec<DiskBlock>> = BTreeMap::new();
+        for (&logical, &loc) in logical_blocks.iter().zip(&data_locs) {
+            if let Some(parity) = self.layout.parity_for(logical) {
+                groups.entry(parity).or_default().push(loc);
+            }
+        }
+        if groups.is_empty() {
+            return plan; // Layout without redundancy (RAID-0).
+        }
+
+        let mut old_data_reads = Vec::new();
+        let mut parity_reads = Vec::new();
+        let mut parity_writes = Vec::new();
+        for (parity, written) in groups {
+            let full_column = written.len() as u64 >= per_parity_block;
+            if !full_column {
+                // Read-modify-write: old data of the written blocks + old parity.
+                old_data_reads.extend(written);
+                parity_reads.push(parity);
+            }
+            parity_writes.push(parity);
+        }
+        plan.extend(coalesce(old_data_reads, IoKind::Read, IoPurpose::OldDataRead));
+        plan.extend(coalesce(parity_reads, IoKind::Read, IoPurpose::ParityRead));
+        plan.extend(coalesce(parity_writes, IoKind::Write, IoPurpose::ParityWrite));
+        plan
+    }
+}
+
+/// Merges physically contiguous blocks on the same disk into single I/Os.
+fn coalesce(mut locs: Vec<DiskBlock>, kind: IoKind, purpose: IoPurpose) -> Vec<PlannedIo> {
+    if locs.is_empty() {
+        return Vec::new();
+    }
+    locs.sort_unstable();
+    locs.dedup();
+    let mut out = Vec::new();
+    let mut run_disk = locs[0].disk;
+    let mut run_start = locs[0].block;
+    let mut run_len = 1u64;
+    for loc in &locs[1..] {
+        if loc.disk == run_disk && loc.block == run_start + run_len {
+            run_len += 1;
+        } else {
+            out.push(PlannedIo {
+                disk: run_disk,
+                range: BlockRange::new(run_start, run_len),
+                kind,
+                purpose,
+            });
+            run_disk = loc.disk;
+            run_start = loc.block;
+            run_len = 1;
+        }
+    }
+    out.push(PlannedIo {
+        disk: run_disk,
+        range: BlockRange::new(run_start, run_len),
+        kind,
+        purpose,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raid0::Raid0Layout;
+    use crate::raid5::Raid5Layout;
+    use proptest::prelude::*;
+
+    fn raid5_planner() -> IoPlanner<Raid5Layout> {
+        // 4 disks, one parity group of 4, unit 2, 16 blocks/disk.
+        IoPlanner::new(Raid5Layout::new(4, 4, 2, 16).unwrap())
+    }
+
+    #[test]
+    fn single_block_read_is_one_io() {
+        let p = raid5_planner();
+        let plan = p.plan(IoKind::Read, BlockRange::new(0, 1));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].kind, IoKind::Read);
+        assert_eq!(plan[0].purpose, IoPurpose::Data);
+        assert_eq!(plan[0].blocks(), 1);
+    }
+
+    #[test]
+    fn contiguous_read_coalesces_per_disk() {
+        let p = raid5_planner();
+        // One stripe unit (2 blocks) lives on one disk → a 2-block read is 1 I/O.
+        let plan = p.plan(IoKind::Read, BlockRange::new(0, 2));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].blocks(), 2);
+        // Crossing into the next unit touches a second disk.
+        let plan = p.plan(IoKind::Read, BlockRange::new(0, 3));
+        assert_eq!(plan.len(), 2);
+        let total: u64 = plan.iter().map(|io| io.blocks()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn small_write_pays_the_four_io_penalty() {
+        let p = raid5_planner();
+        let plan = p.plan(IoKind::Write, BlockRange::new(0, 1));
+        let data_writes = plan.iter().filter(|io| io.purpose == IoPurpose::Data).count();
+        let old_reads = plan.iter().filter(|io| io.purpose == IoPurpose::OldDataRead).count();
+        let parity_reads = plan.iter().filter(|io| io.purpose == IoPurpose::ParityRead).count();
+        let parity_writes = plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite).count();
+        assert_eq!((data_writes, old_reads, parity_reads, parity_writes), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn full_column_write_skips_reads() {
+        let p = raid5_planner();
+        // Row 0 offset 0 has 3 data blocks (logical 0, 2, 4 at offset 0).
+        let plan = p.plan_blocks(IoKind::Write, &[0, 2, 4]);
+        assert!(plan.iter().all(|io| io.purpose != IoPurpose::OldDataRead));
+        assert!(plan.iter().all(|io| io.purpose != IoPurpose::ParityRead));
+        assert_eq!(
+            plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raid0_write_has_no_parity_traffic() {
+        let p = IoPlanner::new(Raid0Layout::new(4, 2, 16).unwrap());
+        let plan = p.plan(IoKind::Write, BlockRange::new(0, 8));
+        assert!(plan.iter().all(|io| io.purpose == IoPurpose::Data));
+        assert!(plan.iter().all(|io| io.kind == IoKind::Write));
+    }
+
+    #[test]
+    fn plan_blocks_accepts_scattered_input() {
+        let p = raid5_planner();
+        let plan = p.plan_blocks(IoKind::Read, &[0, 7, 13, 1]);
+        let total: u64 = plan.iter().map(|io| io.blocks()).sum();
+        assert_eq!(total, 4);
+        // Blocks 0 and 1 are contiguous on one disk and must be coalesced.
+        assert!(plan.iter().any(|io| io.blocks() == 2));
+    }
+
+    #[test]
+    fn duplicate_blocks_are_deduplicated() {
+        let p = raid5_planner();
+        let plan = p.plan_blocks(IoKind::Read, &[5, 5, 5]);
+        let total: u64 = plan.iter().map(|io| io.blocks()).sum();
+        assert_eq!(total, 1);
+    }
+
+    proptest! {
+        /// Reads never generate parity traffic and always move exactly the
+        /// requested number of distinct blocks.
+        #[test]
+        fn prop_reads_move_exact_blocks(start in 0u64..30, len in 1u64..12) {
+            let p = raid5_planner();
+            let cap = p.layout().data_capacity();
+            let start = start.min(cap - 1);
+            let len = len.min(cap - start);
+            let plan = p.plan(IoKind::Read, BlockRange::new(start, len));
+            prop_assert!(plan.iter().all(|io| io.purpose == IoPurpose::Data && io.kind == IoKind::Read));
+            let total: u64 = plan.iter().map(|io| io.blocks()).sum();
+            prop_assert_eq!(total, len);
+        }
+
+        /// For RAID-5 writes the number of data blocks written equals the
+        /// request size, every touched parity column is written exactly once,
+        /// and parity reads only happen for partial columns.
+        #[test]
+        fn prop_write_parity_accounting(start in 0u64..30, len in 1u64..12) {
+            let p = raid5_planner();
+            let cap = p.layout().data_capacity();
+            let start = start.min(cap - 1);
+            let len = len.min(cap - start);
+            let plan = p.plan(IoKind::Write, BlockRange::new(start, len));
+            let data: u64 = plan.iter().filter(|io| io.purpose == IoPurpose::Data).map(|io| io.blocks()).sum();
+            prop_assert_eq!(data, len);
+            let parity_reads: u64 = plan.iter().filter(|io| io.purpose == IoPurpose::ParityRead).map(|io| io.blocks()).sum();
+            let parity_writes: u64 = plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite).map(|io| io.blocks()).sum();
+            prop_assert!(parity_writes >= 1);
+            prop_assert!(parity_reads <= parity_writes, "cannot read more parity than we rewrite");
+            // Device targets of data writes never coincide with the parity
+            // block being rewritten at the same physical address.
+            for a in plan.iter().filter(|io| io.purpose == IoPurpose::Data) {
+                for b in plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite) {
+                    if a.disk == b.disk {
+                        prop_assert!(!a.range.overlaps(b.range));
+                    }
+                }
+            }
+        }
+    }
+}

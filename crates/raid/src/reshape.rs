@@ -1,0 +1,190 @@
+//! Upgrade-cost baselines.
+//!
+//! CRAID's headline claim is that an upgrade only has to redistribute the
+//! cache partition, while conventional approaches move large fractions of
+//! the stored data. This module quantifies the conventional side of that
+//! comparison:
+//!
+//! * [`round_robin_migration_blocks`] — the cost of a full restripe that
+//!   preserves round-robin order (what `mdadm --grow` style reshapes do):
+//!   every block whose physical location differs between the old and new
+//!   layout must move.
+//! * [`minimal_migration_blocks`] — the information-theoretic lower bound for
+//!   regaining a balanced distribution: the fraction of data that must land
+//!   on the new disks (`added / total`), the bound approaches like FastScale
+//!   or SCADDAR aim for.
+//! * [`ExpansionSchedule`] — the paper's ≈30 % growth schedule
+//!   (10 → 13 → 17 → 22 → 29 → 38 → 50 disks), used by the upgrade benches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::Layout;
+
+/// Number of blocks a round-robin-preserving restripe must migrate when the
+/// layout changes from `old` to `new`, considering only the first
+/// `used_blocks` logical blocks (the data actually stored).
+///
+/// A block migrates if either its target disk or its physical block number
+/// changes. Parity blocks are not counted (they are recomputed rather than
+/// copied), which makes the number a *lower* bound on the real restripe
+/// traffic — and CRAID still undercuts it by orders of magnitude.
+///
+/// # Panics
+///
+/// Panics if `used_blocks` exceeds the data capacity of either layout.
+pub fn round_robin_migration_blocks<A: Layout, B: Layout>(old: &A, new: &B, used_blocks: u64) -> u64 {
+    assert!(
+        used_blocks <= old.data_capacity() && used_blocks <= new.data_capacity(),
+        "used_blocks ({used_blocks}) exceeds a layout capacity (old {}, new {})",
+        old.data_capacity(),
+        new.data_capacity()
+    );
+    (0..used_blocks)
+        .filter(|&b| old.locate(b) != new.locate(b))
+        .count() as u64
+}
+
+/// The minimum number of blocks that must move to the newly added disks to
+/// restore a uniform distribution: `used_blocks * added_disks / new_disks`.
+///
+/// # Panics
+///
+/// Panics if `new_disks <= old_disks` or `old_disks == 0`.
+pub fn minimal_migration_blocks(used_blocks: u64, old_disks: usize, new_disks: usize) -> u64 {
+    assert!(old_disks > 0, "old array must have at least one disk");
+    assert!(
+        new_disks > old_disks,
+        "an upgrade must add disks (old {old_disks}, new {new_disks})"
+    );
+    let added = (new_disks - old_disks) as u64;
+    // Round up: a fractional block still requires one block worth of movement.
+    used_blocks * added / new_disks as u64
+        + u64::from((used_blocks * added) % new_disks as u64 != 0)
+}
+
+/// A sequence of array sizes describing successive upgrade operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionSchedule {
+    sizes: Vec<usize>,
+}
+
+impl ExpansionSchedule {
+    /// Creates a schedule from explicit array sizes (strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or they are not strictly
+    /// increasing.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        assert!(sizes.len() >= 2, "a schedule needs at least two sizes");
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "schedule sizes must be strictly increasing"
+        );
+        ExpansionSchedule { sizes }
+    }
+
+    /// The paper's evaluation schedule: start at 10 disks and add ≈30 % per
+    /// step (+3, +4, +5, +7, +9, +12) until 50 disks are reached.
+    pub fn paper() -> Self {
+        ExpansionSchedule::new(vec![10, 13, 17, 22, 29, 38, 50])
+    }
+
+    /// The array sizes, in order.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of upgrade operations (transitions between sizes).
+    pub fn steps(&self) -> usize {
+        self.sizes.len() - 1
+    }
+
+    /// Iterates over `(old_disks, new_disks)` pairs, one per upgrade.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.sizes.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Per-step disk additions, e.g. `[3, 4, 5, 7, 9, 12]` for the paper's
+    /// schedule.
+    pub fn additions(&self) -> Vec<usize> {
+        self.transitions().map(|(a, b)| b - a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raid0::Raid0Layout;
+    use crate::raid5::Raid5Layout;
+
+    #[test]
+    fn paper_schedule_matches_the_text() {
+        let s = ExpansionSchedule::paper();
+        assert_eq!(s.sizes(), &[10, 13, 17, 22, 29, 38, 50]);
+        assert_eq!(s.additions(), vec![3, 4, 5, 7, 9, 12]);
+        assert_eq!(s.steps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn schedule_must_grow() {
+        ExpansionSchedule::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn round_robin_restripe_moves_most_blocks() {
+        // Growing a RAID-0 from 4 to 5 disks scrambles nearly every block's
+        // position: round-robin order is preserved only for the first stripe.
+        let old = Raid0Layout::new(4, 1, 1024).unwrap();
+        let new = Raid0Layout::new(5, 1, 1024).unwrap();
+        let used = 2_000;
+        let moved = round_robin_migration_blocks(&old, &new, used);
+        assert!(
+            moved as f64 > 0.7 * used as f64,
+            "expected most blocks to move, got {moved}/{used}"
+        );
+    }
+
+    #[test]
+    fn raid5_restripe_also_moves_most_blocks() {
+        let old = Raid5Layout::new(10, 10, 2, 128).unwrap();
+        let new = Raid5Layout::new(12, 12, 2, 128).unwrap();
+        let used = old.data_capacity().min(new.data_capacity());
+        let moved = round_robin_migration_blocks(&old, &new, used);
+        assert!(moved as f64 > 0.6 * used as f64);
+    }
+
+    #[test]
+    fn minimal_migration_is_proportional_to_added_fraction() {
+        assert_eq!(minimal_migration_blocks(1_000, 4, 5), 200);
+        assert_eq!(minimal_migration_blocks(1_000, 10, 13), 231);
+        // Rounds up.
+        assert_eq!(minimal_migration_blocks(10, 9, 10), 1);
+        assert_eq!(minimal_migration_blocks(0, 4, 5), 0);
+    }
+
+    #[test]
+    fn minimal_is_below_round_robin() {
+        let old = Raid0Layout::new(4, 1, 1024).unwrap();
+        let new = Raid0Layout::new(5, 1, 1024).unwrap();
+        let used = 2_000;
+        let rr = round_robin_migration_blocks(&old, &new, used);
+        let min = minimal_migration_blocks(used, 4, 5);
+        assert!(min < rr, "minimal ({min}) must undercut round-robin ({rr})");
+    }
+
+    #[test]
+    #[should_panic(expected = "must add disks")]
+    fn shrinking_is_not_an_upgrade() {
+        minimal_migration_blocks(100, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a layout capacity")]
+    fn used_blocks_bounded_by_capacity() {
+        let old = Raid0Layout::new(4, 1, 8).unwrap();
+        let new = Raid0Layout::new(5, 1, 8).unwrap();
+        round_robin_migration_blocks(&old, &new, 1_000_000);
+    }
+}

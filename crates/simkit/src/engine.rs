@@ -1,0 +1,221 @@
+//! A minimal event-loop driver.
+//!
+//! The storage simulator in `craid` owns most of its own control flow (it
+//! knows about disks, partitions and requests), but the outer loop — pop the
+//! next event, advance the clock, hand it to a handler, stop when a budget is
+//! exhausted — is generic and lives here so it can be unit-tested in
+//! isolation and reused by auxiliary tools.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Why an [`EventLoop`] run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The future-event list became empty.
+    Drained,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured event budget was exhausted.
+    EventBudgetExhausted,
+    /// The handler requested an early stop.
+    HandlerStopped,
+}
+
+/// Outcome returned by a [`Handler`] for each delivered event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Flow {
+    /// Keep running.
+    #[default]
+    Continue,
+    /// Stop the loop after this event.
+    Stop,
+}
+
+/// A consumer of simulation events.
+///
+/// Implementations receive mutable access to the event queue so they can
+/// schedule follow-up events (e.g. a disk scheduling its own completion).
+pub trait Handler<E> {
+    /// Handles one event delivered at `now`.
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>) -> Flow;
+}
+
+impl<E, F> Handler<E> for F
+where
+    F: FnMut(SimTime, E, &mut EventQueue<E>) -> Flow,
+{
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>) -> Flow {
+        self(now, event, queue)
+    }
+}
+
+/// Drives a [`Handler`] over an [`EventQueue`] until a stop condition fires.
+///
+/// # Example
+///
+/// ```
+/// use craid_simkit::{EventLoop, EventQueue, SimTime, StopReason};
+/// use craid_simkit::engine::Flow;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(SimTime::ZERO, 0u32);
+///
+/// let mut fired = Vec::new();
+/// let reason = EventLoop::new().run(&mut queue, |now, ev: u32, q: &mut EventQueue<u32>| {
+///     fired.push(ev);
+///     if ev < 4 {
+///         q.schedule(now + craid_simkit::SimDuration::from_millis(1.0), ev + 1);
+///     }
+///     Flow::Continue
+/// });
+/// assert_eq!(reason, StopReason::Drained);
+/// assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventLoop {
+    horizon: Option<SimTime>,
+    event_budget: Option<u64>,
+    events_processed: u64,
+    now: SimTime,
+}
+
+impl EventLoop {
+    /// Creates a loop with no horizon and no event budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stops once the clock passes `horizon` (events scheduled later are left
+    /// in the queue untouched).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Stops after delivering `budget` events.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs the loop to completion and reports why it stopped.
+    pub fn run<E, H: Handler<E>>(
+        &mut self,
+        queue: &mut EventQueue<E>,
+        mut handler: H,
+    ) -> StopReason {
+        loop {
+            if let Some(budget) = self.event_budget {
+                if self.events_processed >= budget {
+                    return StopReason::EventBudgetExhausted;
+                }
+            }
+            let Some(next_time) = queue.peek_time() else {
+                return StopReason::Drained;
+            };
+            if let Some(horizon) = self.horizon {
+                if next_time > horizon {
+                    return StopReason::HorizonReached;
+                }
+            }
+            let (time, event) = queue.pop().expect("peek said non-empty");
+            self.now = time;
+            self.events_processed += 1;
+            if handler.handle(time, event, queue) == Flow::Stop {
+                return StopReason::HandlerStopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn drains_empty_queue_immediately() {
+        let mut queue: EventQueue<()> = EventQueue::new();
+        let reason = EventLoop::new().run(&mut queue, |_, _, _: &mut EventQueue<()>| Flow::Continue);
+        assert_eq!(reason, StopReason::Drained);
+    }
+
+    #[test]
+    fn horizon_stops_before_late_events() {
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::from_millis(1.0), 1u32);
+        queue.schedule(SimTime::from_millis(10.0), 2u32);
+        let mut seen = Vec::new();
+        let mut engine = EventLoop::new().with_horizon(SimTime::from_millis(5.0));
+        let reason = engine.run(&mut queue, |_, ev, _: &mut EventQueue<u32>| {
+            seen.push(ev);
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(queue.len(), 1, "the late event remains queued");
+    }
+
+    #[test]
+    fn event_budget_limits_work() {
+        let mut queue = EventQueue::new();
+        for i in 0..10u32 {
+            queue.schedule(SimTime::from_millis(i as f64), i);
+        }
+        let mut engine = EventLoop::new().with_event_budget(3);
+        let mut count = 0;
+        let reason = engine.run(&mut queue, |_, _, _: &mut EventQueue<u32>| {
+            count += 1;
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+        assert_eq!(count, 3);
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut queue = EventQueue::new();
+        for i in 0..10u32 {
+            queue.schedule(SimTime::from_millis(i as f64), i);
+        }
+        let reason = EventLoop::new().run(&mut queue, |_, ev, _: &mut EventQueue<u32>| {
+            if ev == 4 {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        });
+        assert_eq!(reason, StopReason::HandlerStopped);
+        assert_eq!(queue.len(), 5);
+    }
+
+    #[test]
+    fn handler_scheduled_events_are_delivered() {
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, 0u32);
+        let mut chain = Vec::new();
+        let mut engine = EventLoop::new();
+        engine.run(&mut queue, |now, ev, q: &mut EventQueue<u32>| {
+            chain.push((now, ev));
+            if ev < 3 {
+                q.schedule(now + SimDuration::from_millis(2.0), ev + 1);
+            }
+            Flow::Continue
+        });
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.last().unwrap().0, SimTime::from_millis(6.0));
+        assert_eq!(engine.now(), SimTime::from_millis(6.0));
+    }
+}

@@ -1,0 +1,313 @@
+//! The seven paper workloads and their published summary statistics.
+//!
+//! Table 1 of the paper summarises one week of each trace. The real traces
+//! (HP cello99, Harvard deasna/home02, FIU webresearch/webusers, MSR
+//! wdev/proj) are not redistributable, so the specs below record the
+//! published statistics and the synthetic generator reproduces them; the
+//! working-set overlap column condenses Fig. 1 (bottom row).
+
+use serde::{Deserialize, Serialize};
+
+use craid_diskmodel::BLOCK_SIZE_BYTES;
+
+/// Identifier of one of the paper's seven traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadId {
+    /// HP Labs research cluster, 1999.
+    Cello99,
+    /// Harvard DEAS NFS (research + email), 2002.
+    Deasna,
+    /// Harvard CAMPUS NFS home directories, 2001.
+    Home02,
+    /// FIU Apache server for research projects, 2009 (write-dominated).
+    Webresearch,
+    /// FIU web server hosting personal sites, 2009.
+    Webusers,
+    /// MSR Cambridge test web server, 2007.
+    Wdev,
+    /// MSR Cambridge project-files server, 2007.
+    Proj,
+}
+
+impl WorkloadId {
+    /// All seven workloads, in the order the paper's tables list them.
+    pub const ALL: [WorkloadId; 7] = [
+        WorkloadId::Cello99,
+        WorkloadId::Deasna,
+        WorkloadId::Home02,
+        WorkloadId::Webresearch,
+        WorkloadId::Webusers,
+        WorkloadId::Wdev,
+        WorkloadId::Proj,
+    ];
+
+    /// The lower-case name used in the paper's tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Cello99 => "cello99",
+            WorkloadId::Deasna => "deasna",
+            WorkloadId::Home02 => "home02",
+            WorkloadId::Webresearch => "webresearch",
+            WorkloadId::Webusers => "webusers",
+            WorkloadId::Wdev => "wdev",
+            WorkloadId::Proj => "proj",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for WorkloadId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WorkloadId::ALL
+            .into_iter()
+            .find(|id| id.name() == s.trim().to_ascii_lowercase())
+            .ok_or_else(|| format!("unknown workload '{s}'"))
+    }
+}
+
+/// Published (Table 1 / Fig. 1) characteristics of one week of a workload,
+/// plus the handful of modelling knobs the synthetic generator needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which trace this spec describes.
+    pub id: WorkloadId,
+    /// Wall-clock length of the traced period in seconds (one week).
+    pub duration_secs: f64,
+    /// Total bytes read over the week, in GB (Table 1 "Reads Total").
+    pub read_gb: f64,
+    /// Total bytes written over the week, in GB (Table 1 "Writes Total").
+    pub write_gb: f64,
+    /// Distinct data read over the week, in GB (Table 1 "Reads Unique").
+    pub unique_read_gb: f64,
+    /// Distinct data written over the week, in GB (Table 1 "Writes Unique").
+    pub unique_write_gb: f64,
+    /// Fraction of all accesses that target the 20 % most-accessed blocks
+    /// (Table 1, last column), in `[0, 1]`.
+    pub top20_share: f64,
+    /// Typical fraction of blocks shared between consecutive days'
+    /// working sets (Fig. 1 bottom row), in `[0, 1]`.
+    pub daily_overlap: f64,
+    /// Mean client request size in 4 KiB blocks.
+    pub avg_request_blocks: u64,
+}
+
+const WEEK_SECS: f64 = 7.0 * 24.0 * 3600.0;
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+impl WorkloadSpec {
+    /// The published spec for one of the paper's workloads.
+    pub fn paper(id: WorkloadId) -> Self {
+        // Numbers straight from Table 1; daily overlap condensed from Fig. 1.
+        match id {
+            WorkloadId::Cello99 => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 73.73,
+                write_gb: 129.91,
+                unique_read_gb: 10.52,
+                unique_write_gb: 10.92,
+                top20_share: 0.6577,
+                daily_overlap: 0.65,
+                avg_request_blocks: 8,
+            },
+            WorkloadId::Deasna => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 672.4,
+                write_gb: 231.57,
+                unique_read_gb: 23.32,
+                unique_write_gb: 45.45,
+                top20_share: 0.8688,
+                daily_overlap: 0.30,
+                avg_request_blocks: 16,
+            },
+            WorkloadId::Home02 => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 269.29,
+                write_gb: 66.35,
+                unique_read_gb: 9.07,
+                unique_write_gb: 4.49,
+                top20_share: 0.6136,
+                daily_overlap: 0.70,
+                avg_request_blocks: 16,
+            },
+            WorkloadId::Webresearch => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 0.0,
+                write_gb: 3.37,
+                unique_read_gb: 0.0,
+                unique_write_gb: 0.51,
+                top20_share: 0.5133,
+                daily_overlap: 0.60,
+                avg_request_blocks: 8,
+            },
+            WorkloadId::Webusers => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 1.16,
+                write_gb: 6.85,
+                unique_read_gb: 0.45,
+                unique_write_gb: 0.50,
+                top20_share: 0.5617,
+                daily_overlap: 0.60,
+                avg_request_blocks: 8,
+            },
+            WorkloadId::Wdev => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 2.76,
+                write_gb: 8.77,
+                unique_read_gb: 0.2,
+                unique_write_gb: 0.42,
+                top20_share: 0.7244,
+                daily_overlap: 0.75,
+                avg_request_blocks: 8,
+            },
+            WorkloadId::Proj => WorkloadSpec {
+                id,
+                duration_secs: WEEK_SECS,
+                read_gb: 2152.74,
+                write_gb: 367.05,
+                unique_read_gb: 1238.86,
+                unique_write_gb: 168.88,
+                top20_share: 0.5764,
+                daily_overlap: 0.55,
+                avg_request_blocks: 32,
+            },
+        }
+    }
+
+    /// Total traffic over the week in GB (Table 1 "Total accessed data").
+    pub fn total_gb(&self) -> f64 {
+        self.read_gb + self.write_gb
+    }
+
+    /// Fraction of requests that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        if self.total_gb() == 0.0 {
+            0.0
+        } else {
+            self.read_gb / self.total_gb()
+        }
+    }
+
+    /// Read/write ratio as printed in Table 1 (0 when there are no writes).
+    pub fn rw_ratio(&self) -> f64 {
+        if self.write_gb == 0.0 {
+            0.0
+        } else {
+            self.read_gb / self.write_gb
+        }
+    }
+
+    /// Number of distinct 4 KiB blocks the workload touches over the week.
+    pub fn footprint_blocks(&self) -> u64 {
+        (((self.unique_read_gb + self.unique_write_gb) * GB) / BLOCK_SIZE_BYTES as f64).ceil() as u64
+    }
+
+    /// Number of client requests over the week implied by the traffic volume
+    /// and the mean request size.
+    pub fn total_requests(&self) -> u64 {
+        let bytes = self.total_gb() * GB;
+        let per_request = self.avg_request_blocks as f64 * BLOCK_SIZE_BYTES as f64;
+        (bytes / per_request).ceil() as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration_secs <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.total_gb() <= 0.0 {
+            return Err("workload must move some data".into());
+        }
+        if self.unique_read_gb + self.unique_write_gb <= 0.0 {
+            return Err("footprint must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.top20_share) {
+            return Err("top20 share must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.daily_overlap) {
+            return Err("daily overlap must be in [0,1]".into());
+        }
+        if self.avg_request_blocks == 0 {
+            return Err("average request size must be positive".into());
+        }
+        if self.unique_read_gb > self.read_gb + 1e-9 || self.unique_write_gb > self.write_gb + 1e-9 {
+            return Err("unique volume cannot exceed total volume".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_are_consistent() {
+        for id in WorkloadId::ALL {
+            let spec = WorkloadSpec::paper(id);
+            assert!(spec.validate().is_ok(), "{id}: {:?}", spec.validate());
+            assert!(spec.footprint_blocks() > 0);
+            assert!(spec.total_requests() > 0);
+        }
+    }
+
+    #[test]
+    fn table1_totals_match_the_paper() {
+        let cello = WorkloadSpec::paper(WorkloadId::Cello99);
+        assert!((cello.total_gb() - 203.64).abs() < 0.1);
+        assert!((cello.rw_ratio() - 0.57).abs() < 0.1);
+        let proj = WorkloadSpec::paper(WorkloadId::Proj);
+        assert!((proj.total_gb() - 2519.79).abs() < 0.1);
+        assert!(proj.rw_ratio() > 5.0);
+        let webresearch = WorkloadSpec::paper(WorkloadId::Webresearch);
+        assert_eq!(webresearch.read_fraction(), 0.0, "webresearch is write-only");
+    }
+
+    #[test]
+    fn footprints_order_matches_table1() {
+        // proj has by far the largest footprint, wdev one of the smallest.
+        let proj = WorkloadSpec::paper(WorkloadId::Proj).footprint_blocks();
+        let wdev = WorkloadSpec::paper(WorkloadId::Wdev).footprint_blocks();
+        let deasna = WorkloadSpec::paper(WorkloadId::Deasna).footprint_blocks();
+        assert!(proj > deasna);
+        assert!(deasna > wdev);
+    }
+
+    #[test]
+    fn workload_id_round_trips_through_strings() {
+        for id in WorkloadId::ALL {
+            let parsed: WorkloadId = id.name().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        assert!("nosuchtrace".parse::<WorkloadId>().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = WorkloadSpec::paper(WorkloadId::Wdev);
+        s.top20_share = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::paper(WorkloadId::Wdev);
+        s.unique_read_gb = 100.0;
+        assert!(s.validate().is_err());
+        let mut s = WorkloadSpec::paper(WorkloadId::Wdev);
+        s.avg_request_blocks = 0;
+        assert!(s.validate().is_err());
+    }
+}

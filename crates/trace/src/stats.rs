@@ -1,0 +1,377 @@
+//! Trace analysis: the paper's workload-characterisation artifacts.
+//!
+//! * [`summarize`] — the per-trace row of Table 1 (read/write volume, unique
+//!   footprint, R/W ratio, share of accesses to the top-20 % blocks).
+//! * [`frequency_cdf`] — the block-access-frequency CDF of Fig. 1 (top row):
+//!   a point `(f, p)` means `p` % of blocks were accessed at most `f` times.
+//! * [`overlap_series`] — the day-over-day working-set overlap of Fig. 1
+//!   (bottom row), for all accessed blocks and for the top-20 % most accessed
+//!   blocks.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use craid_diskmodel::{IoKind, BLOCK_SIZE_BYTES};
+
+use crate::record::Trace;
+
+/// One row of the paper's Table 1, computed from a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Workload name.
+    pub name: String,
+    /// Total gigabytes read.
+    pub read_gb: f64,
+    /// Gigabytes of distinct blocks read.
+    pub unique_read_gb: f64,
+    /// Total gigabytes written.
+    pub write_gb: f64,
+    /// Gigabytes of distinct blocks written.
+    pub unique_write_gb: f64,
+    /// Read/write volume ratio (0 when nothing was written).
+    pub rw_ratio: f64,
+    /// Total gigabytes moved.
+    pub total_gb: f64,
+    /// Fraction of accesses that target the 20 % most accessed blocks.
+    pub top20_access_share: f64,
+    /// Number of requests in the trace.
+    pub requests: usize,
+}
+
+/// Computes the Table 1 row for a trace.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let mut read_bytes = 0u64;
+    let mut write_bytes = 0u64;
+    let mut unique_read: HashSet<u64> = HashSet::new();
+    let mut unique_write: HashSet<u64> = HashSet::new();
+    let mut per_block_accesses: HashMap<u64, u64> = HashMap::new();
+    let mut total_block_accesses = 0u64;
+
+    for r in trace {
+        match r.kind {
+            IoKind::Read => {
+                read_bytes += r.bytes();
+                unique_read.extend(r.blocks());
+            }
+            IoKind::Write => {
+                write_bytes += r.bytes();
+                unique_write.extend(r.blocks());
+            }
+        }
+        for b in r.blocks() {
+            *per_block_accesses.entry(b).or_default() += 1;
+            total_block_accesses += 1;
+        }
+    }
+
+    let mut freqs: Vec<u64> = per_block_accesses.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let top20_count = (freqs.len() / 5).max(1).min(freqs.len().max(1));
+    let top20_accesses: u64 = freqs.iter().take(top20_count).sum();
+    let top20_share = if total_block_accesses == 0 {
+        0.0
+    } else {
+        top20_accesses as f64 / total_block_accesses as f64
+    };
+
+    let gb = |bytes: u64| bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+    TraceSummary {
+        name: trace.name().to_string(),
+        read_gb: gb(read_bytes),
+        unique_read_gb: gb(unique_read.len() as u64 * BLOCK_SIZE_BYTES),
+        write_gb: gb(write_bytes),
+        unique_write_gb: gb(unique_write.len() as u64 * BLOCK_SIZE_BYTES),
+        rw_ratio: if write_bytes == 0 {
+            0.0
+        } else {
+            read_bytes as f64 / write_bytes as f64
+        },
+        total_gb: gb(read_bytes + write_bytes),
+        top20_access_share: top20_share,
+        requests: trace.len(),
+    }
+}
+
+/// The block-access-frequency CDF of Fig. 1 (top row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyCdf {
+    /// `(frequency, fraction_of_blocks_accessed_at_most_that_often)` points,
+    /// in increasing frequency order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl FrequencyCdf {
+    /// Fraction of blocks accessed at most `freq` times.
+    pub fn fraction_at(&self, freq: u64) -> f64 {
+        let mut best = 0.0;
+        for &(f, p) in &self.points {
+            if f <= freq {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Computes the access-frequency CDF for the given request kind
+/// (`None` = both kinds combined).
+pub fn frequency_cdf(trace: &Trace, kind: Option<IoKind>) -> FrequencyCdf {
+    let mut per_block: HashMap<u64, u64> = HashMap::new();
+    for r in trace {
+        if kind.is_none() || kind == Some(r.kind) {
+            for b in r.blocks() {
+                *per_block.entry(b).or_default() += 1;
+            }
+        }
+    }
+    let total_blocks = per_block.len();
+    if total_blocks == 0 {
+        return FrequencyCdf { points: Vec::new() };
+    }
+    let mut freq_histogram: HashMap<u64, u64> = HashMap::new();
+    for &f in per_block.values() {
+        *freq_histogram.entry(f).or_default() += 1;
+    }
+    let mut freqs: Vec<u64> = freq_histogram.keys().copied().collect();
+    freqs.sort_unstable();
+    let mut cumulative = 0u64;
+    let points = freqs
+        .into_iter()
+        .map(|f| {
+            cumulative += freq_histogram[&f];
+            (f, cumulative as f64 / total_blocks as f64)
+        })
+        .collect();
+    FrequencyCdf { points }
+}
+
+/// The day-over-day working-set overlap of Fig. 1 (bottom row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSeries {
+    /// `overlap_all[d]` is the fraction of blocks accessed on both day `d`
+    /// and day `d + 1`, over all blocks accessed on day `d`.
+    pub overlap_all: Vec<f64>,
+    /// Same, restricted to each day's top-20 % most accessed blocks.
+    pub overlap_top20: Vec<f64>,
+}
+
+impl OverlapSeries {
+    /// Mean overlap across days, for all blocks.
+    pub fn mean_all(&self) -> f64 {
+        mean(&self.overlap_all)
+    }
+
+    /// Mean overlap across days, for the top-20 % blocks.
+    pub fn mean_top20(&self) -> f64 {
+        mean(&self.overlap_top20)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Splits the trace into `days` equal time windows and computes the overlap
+/// between consecutive windows' working sets.
+///
+/// # Panics
+///
+/// Panics if `days < 2`.
+pub fn overlap_series(trace: &Trace, days: usize) -> OverlapSeries {
+    assert!(days >= 2, "need at least two day buckets to compute overlap");
+    if trace.is_empty() {
+        return OverlapSeries {
+            overlap_all: Vec::new(),
+            overlap_top20: Vec::new(),
+        };
+    }
+    let start = trace.records().first().expect("non-empty").time;
+    let end = trace.records().last().expect("non-empty").time;
+    let span = end.saturating_since(start).as_secs().max(1e-9);
+    let day_len = span / days as f64;
+
+    let mut daily_counts: Vec<HashMap<u64, u64>> = vec![HashMap::new(); days];
+    for r in trace {
+        let elapsed = r.time.saturating_since(start).as_secs();
+        let day = ((elapsed / day_len) as usize).min(days - 1);
+        for b in r.blocks() {
+            *daily_counts[day].entry(b).or_default() += 1;
+        }
+    }
+
+    let top20 = |counts: &HashMap<u64, u64>| -> HashSet<u64> {
+        let mut entries: Vec<(u64, u64)> = counts.iter().map(|(&b, &c)| (b, c)).collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let keep = (entries.len() / 5).max(1);
+        entries.into_iter().take(keep).map(|(b, _)| b).collect()
+    };
+
+    let mut overlap_all = Vec::new();
+    let mut overlap_top20 = Vec::new();
+    for d in 0..days - 1 {
+        let today: HashSet<u64> = daily_counts[d].keys().copied().collect();
+        let tomorrow: HashSet<u64> = daily_counts[d + 1].keys().copied().collect();
+        if today.is_empty() {
+            overlap_all.push(0.0);
+            overlap_top20.push(0.0);
+            continue;
+        }
+        let shared = today.intersection(&tomorrow).count();
+        overlap_all.push(shared as f64 / today.len() as f64);
+
+        let today_hot = top20(&daily_counts[d]);
+        let tomorrow_hot = top20(&daily_counts[d + 1]);
+        if today_hot.is_empty() {
+            overlap_top20.push(0.0);
+        } else {
+            let shared_hot = today_hot.intersection(&tomorrow_hot).count();
+            overlap_top20.push(shared_hot as f64 / today_hot.len() as f64);
+        }
+    }
+    OverlapSeries {
+        overlap_all,
+        overlap_top20,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+    use crate::synth::SyntheticWorkload;
+    use crate::WorkloadId;
+    use craid_simkit::SimTime;
+
+    fn rec(secs: f64, kind: IoKind, offset: u64, len: u64) -> TraceRecord {
+        TraceRecord::new(SimTime::from_secs(secs), kind, offset, len)
+    }
+
+    #[test]
+    fn summary_of_a_hand_built_trace() {
+        let t = Trace::new(
+            "toy",
+            100,
+            vec![
+                rec(0.0, IoKind::Read, 0, 2),
+                rec(1.0, IoKind::Read, 0, 2),
+                rec(2.0, IoKind::Write, 10, 1),
+            ],
+        );
+        let s = summarize(&t);
+        assert_eq!(s.requests, 3);
+        assert!((s.rw_ratio - 4.0).abs() < 1e-9);
+        assert!(s.read_gb > s.write_gb);
+        assert!(s.unique_read_gb < s.read_gb, "blocks 0..2 were read twice");
+        // 3 distinct blocks; top-20% = 1 block (block 0 or 1, accessed twice
+        // out of 5 block-accesses).
+        assert!((s.top20_access_share - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_cdf_is_monotone_and_ends_at_one() {
+        let t = SyntheticWorkload::paper(WorkloadId::Wdev).scale(50_000).generate(1);
+        let cdf = frequency_cdf(&t, None);
+        assert!(!cdf.points.is_empty());
+        for w in cdf.points.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Most blocks are accessed few times (the paper's Observation 1).
+        assert!(cdf.fraction_at(50) > 0.75);
+    }
+
+    #[test]
+    fn frequency_cdf_filters_by_kind() {
+        let t = Trace::new(
+            "toy",
+            10,
+            vec![rec(0.0, IoKind::Read, 0, 1), rec(1.0, IoKind::Write, 5, 1)],
+        );
+        let reads = frequency_cdf(&t, Some(IoKind::Read));
+        let writes = frequency_cdf(&t, Some(IoKind::Write));
+        let both = frequency_cdf(&t, None);
+        assert_eq!(reads.points, vec![(1, 1.0)]);
+        assert_eq!(writes.points, vec![(1, 1.0)]);
+        assert_eq!(both.points, vec![(1, 1.0)]);
+        assert_eq!(frequency_cdf(&Trace::new("e", 1, vec![]), None).points, vec![]);
+    }
+
+    #[test]
+    fn overlap_detects_stable_working_sets() {
+        // Two "days": identical working sets → overlap 1.0.
+        let mut records = Vec::new();
+        for day in 0..2 {
+            for i in 0..50u64 {
+                records.push(rec(day as f64 * 100.0 + i as f64, IoKind::Read, i, 1));
+            }
+        }
+        let t = Trace::new("stable", 1_000, records);
+        let o = overlap_series(&t, 2);
+        assert_eq!(o.overlap_all.len(), 1);
+        assert!((o.overlap_all[0] - 1.0).abs() < 1e-9);
+        assert!((o.overlap_top20[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_detects_disjoint_working_sets() {
+        let mut records = Vec::new();
+        for i in 0..50u64 {
+            records.push(rec(i as f64, IoKind::Read, i, 1));
+        }
+        for i in 0..50u64 {
+            records.push(rec(100.0 + i as f64, IoKind::Read, 500 + i, 1));
+        }
+        let t = Trace::new("disjoint", 1_000, records);
+        let o = overlap_series(&t, 2);
+        assert_eq!(o.overlap_all[0], 0.0);
+        assert_eq!(o.mean_all(), 0.0);
+    }
+
+    #[test]
+    fn synthetic_workloads_show_working_set_stability() {
+        // The qualitative contrast of Fig. 1 (bottom row): working sets show
+        // substantial day-over-day overlap, and for deasna — the paper's
+        // "diverse but heavily reusing" outlier — the top-20 % blocks are far
+        // more stable than the working set as a whole.
+        let wdev = SyntheticWorkload::paper_scaled_to(WorkloadId::Wdev, 8_000).generate(5);
+        let deasna = SyntheticWorkload::paper_scaled_to(WorkloadId::Deasna, 8_000).generate(5);
+        let o_wdev = overlap_series(&wdev, 7);
+        let o_deasna = overlap_series(&deasna, 7);
+        assert!(o_wdev.mean_all() > 0.25, "wdev working set should be stable");
+        assert!(o_wdev.mean_top20() > 0.35);
+        assert!(
+            o_deasna.mean_top20() > o_deasna.mean_all() + 0.15,
+            "deasna's hot blocks ({}) must be much more stable than its overall working set ({})",
+            o_deasna.mean_top20(),
+            o_deasna.mean_all()
+        );
+    }
+
+    #[test]
+    fn synthetic_top20_share_tracks_spec() {
+        for (id, scale) in [(WorkloadId::Deasna, 200_000u64), (WorkloadId::Webresearch, 100)] {
+            let spec_share = crate::WorkloadSpec::paper(id).top20_share;
+            let t = SyntheticWorkload::paper(id).scale(scale).generate(11);
+            let measured = summarize(&t).top20_access_share;
+            assert!(
+                (measured - spec_share).abs() < 0.22,
+                "{id}: measured {measured} vs spec {spec_share}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two day buckets")]
+    fn overlap_needs_two_days() {
+        let t = Trace::new("toy", 10, vec![rec(0.0, IoKind::Read, 0, 1)]);
+        overlap_series(&t, 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Synthetic workload generation.
+//!
+//! The generator reproduces the four properties of the paper's traces that
+//! CRAID's behaviour depends on (§2):
+//!
+//! 1. **Skewed popularity** — extents are chosen through a Zipf sampler whose
+//!    exponent is calibrated so that the top 20 % of the footprint receives
+//!    the share of accesses Table 1 reports for the trace.
+//! 2. **Long-term temporal locality** — the popularity ranking drifts slowly
+//!    from day to day; the drift rate is derived from the day-over-day
+//!    working-set overlap of Fig. 1.
+//! 3. **Read/write mix** — requests are reads with the probability implied by
+//!    the trace's R/W volume ratio.
+//! 4. **Multi-block requests** — request lengths follow a truncated Pareto,
+//!    so the redirector has real multi-block I/Os to split.
+//!
+//! Generation is fully deterministic given `(spec, scale, seed)`.
+
+use craid_diskmodel::IoKind;
+use craid_simkit::dist::{RunLength, Zipf};
+use craid_simkit::{SimRng, SimTime};
+
+use crate::catalog::{WorkloadId, WorkloadSpec};
+use crate::record::{Trace, TraceRecord};
+
+/// Number of blocks grouped into one popularity extent. Popularity is
+/// tracked per extent rather than per block so that synthetic requests keep
+/// the intra-request contiguity of real workloads.
+const EXTENT_BLOCKS: u64 = 16;
+
+/// Floors applied after scaling so heavily scaled-down workloads still
+/// exercise meaningful cache behaviour.
+const MIN_FOOTPRINT_BLOCKS: u64 = 8_192;
+const MIN_REQUESTS: u64 = 4_000;
+
+/// A deterministic generator of synthetic traces matching a [`WorkloadSpec`].
+///
+/// # Example
+///
+/// ```
+/// use craid_trace::{SyntheticWorkload, WorkloadId};
+///
+/// let gen = SyntheticWorkload::paper(WorkloadId::Webusers).scale(500);
+/// let a = gen.generate(7);
+/// let b = gen.generate(7);
+/// assert_eq!(a.records().len(), b.records().len(), "generation is deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    spec: WorkloadSpec,
+    scale: u64,
+}
+
+impl SyntheticWorkload {
+    /// A generator for one of the paper's workloads at scale 1 (full size).
+    pub fn paper(id: WorkloadId) -> Self {
+        Self::from_spec(WorkloadSpec::paper(id))
+    }
+
+    /// A generator for an arbitrary spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn from_spec(spec: WorkloadSpec) -> Self {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid workload spec: {msg}");
+        }
+        SyntheticWorkload { spec, scale: 1 }
+    }
+
+    /// Divides the footprint, request count and duration by `scale`, keeping
+    /// the arrival intensity and popularity skew of the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// A generator scaled so that roughly `target_requests` requests are
+    /// produced — the knob the experiment harness uses to keep every
+    /// workload's simulation time comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_requests` is zero.
+    pub fn paper_scaled_to(id: WorkloadId, target_requests: u64) -> Self {
+        assert!(target_requests > 0, "target request count must be positive");
+        let spec = WorkloadSpec::paper(id);
+        let scale = (spec.total_requests() / target_requests).max(1);
+        Self::from_spec(spec).scale(scale)
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The configured scale factor.
+    pub fn scale_factor(&self) -> u64 {
+        self.scale
+    }
+
+    /// Footprint (distinct 4 KiB blocks) after scaling.
+    pub fn scaled_footprint_blocks(&self) -> u64 {
+        let scaled = self.spec.footprint_blocks() / self.scale;
+        // Round up to whole extents.
+        let scaled = scaled.max(MIN_FOOTPRINT_BLOCKS);
+        scaled.div_ceil(EXTENT_BLOCKS) * EXTENT_BLOCKS
+    }
+
+    /// Number of requests after scaling.
+    pub fn scaled_requests(&self) -> u64 {
+        (self.spec.total_requests() / self.scale).max(MIN_REQUESTS)
+    }
+
+    /// Trace duration in seconds after scaling.
+    ///
+    /// Scaling down the request count without also compressing time would
+    /// leave the array nearly idle, hiding the queueing effects that make
+    /// stripe width and load balance matter in the original traces' bursts.
+    /// The scaled duration therefore targets a mean arrival rate of
+    /// ~150 requests/s (burst peaks are ~25× that), with a floor of a dozen
+    /// simulated seconds per "day" so per-second metrics stay meaningful.
+    pub fn scaled_duration_secs(&self) -> f64 {
+        let natural = self.spec.duration_secs / self.scale as f64;
+        let intense = self.scaled_requests() as f64 / 150.0;
+        natural.min(intense).max(7.0 * 12.0)
+    }
+
+    /// Calibrates a Zipf exponent so the top 20 % of extents receive the
+    /// spec's share of accesses.
+    ///
+    /// The head is taken at 12 % of the extents rather than 20 % to
+    /// compensate for two flattening effects of the generator: the daily
+    /// drift of the ranking and the partial intra-extent overlap of
+    /// multi-block requests. The compensation was tuned so the measured
+    /// block-level top-20 % share of the generated traces lands near the
+    /// spec value.
+    fn calibrate_theta(&self, extents: usize) -> f64 {
+        let target = self.spec.top20_share;
+        let head = (extents * 12 / 100).max(1);
+        let (mut lo, mut hi) = (0.0f64, 3.0f64);
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            let mass = Zipf::new(extents, mid).head_mass(head);
+            if mass < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+
+    /// Generates the synthetic trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let footprint = self.scaled_footprint_blocks();
+        let requests = self.scaled_requests();
+        let duration = self.scaled_duration_secs();
+        let extents = (footprint / EXTENT_BLOCKS).max(8) as usize;
+
+        let theta = self.calibrate_theta(extents);
+        let zipf = Zipf::new(extents, theta);
+        // Request sizes follow a truncated Pareto with a heavy tail (up to
+        // 16× the trace's mean request): the occasional large, multi-stripe
+        // request is what lets wide arrays exploit intra-request parallelism.
+        let lengths = RunLength::new((self.spec.avg_request_blocks * 16).max(4) as usize, 1.15);
+
+        let root = SimRng::from_seed(seed ^ hash_name(self.spec.id));
+        let mut arrivals = root.substream("arrivals");
+        let mut popularity = root.substream("popularity");
+        let mut sizes = root.substream("sizes");
+        let mut kinds = root.substream("kinds");
+        let mut offsets = root.substream("offsets");
+
+        // How far the popularity ranking slides per day: a low day-over-day
+        // overlap means a larger slide. The very hottest extents are pinned —
+        // the paper's Fig. 1 shows that even when the overall working set
+        // drifts (deasna), the top-20 % blocks stay heavily reused.
+        let day_secs = duration / 7.0;
+        let shift_per_day = ((1.0 - self.spec.daily_overlap) * extents as f64 * 0.18) as u64;
+        let pinned = (extents as f64 * 0.04).ceil() as u64;
+        let perm_stride = coprime_stride(extents as u64);
+
+        let mean_interarrival = duration / requests as f64;
+        let read_fraction = self.spec.read_fraction();
+
+        let mut records = Vec::with_capacity(requests as usize);
+        let mut now = 0.0f64;
+        for _ in 0..requests {
+            // Real block traces are bursty: most requests arrive in dense
+            // clusters separated by long idle gaps. The two-phase arrival
+            // process below keeps the configured mean rate but concentrates
+            // ~80 % of the requests into bursts ~25× the average intensity —
+            // which is what makes stripe width and load balance matter for
+            // response times (the effect behind the paper's Figs. 4 and 6).
+            let dt = arrivals.exponential(mean_interarrival);
+            now += if arrivals.chance(0.8) { dt * 0.04 } else { dt * 4.84 };
+            let day = (now / day_secs) as u64;
+
+            let rank = zipf.sample(&mut popularity) as u64;
+            let shifted = if rank < pinned {
+                rank
+            } else {
+                let movable = extents as u64 - pinned;
+                pinned + ((rank - pinned + day * shift_per_day) % movable)
+            };
+            let extent = (shifted * perm_stride) % extents as u64;
+
+            let base = extent * EXTENT_BLOCKS;
+            // Accesses cluster near the start of the extent so repeated visits
+            // to a hot extent reuse the same blocks.
+            let offset = offsets.index((EXTENT_BLOCKS / 4).max(1) as usize) as u64;
+            let start = (base + offset).min(footprint - 1);
+            let max_len = footprint - start;
+            let length = (lengths.sample(&mut sizes) as u64).min(max_len).max(1);
+
+            let kind = if kinds.chance(read_fraction) {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
+
+            records.push(TraceRecord::new(
+                SimTime::from_secs(now),
+                kind,
+                start,
+                length,
+            ));
+        }
+
+        Trace::new(self.spec.id.name(), footprint, records)
+    }
+}
+
+/// A multiplicative stride coprime with `n`, used as a cheap deterministic
+/// permutation that scatters consecutive popularity ranks across the dataset.
+fn coprime_stride(n: u64) -> u64 {
+    let mut stride = (n / 2 + 1) | 1; // odd, roughly half the range
+    while gcd(stride, n) != 1 {
+        stride += 2;
+    }
+    stride
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn hash_name(id: WorkloadId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.name().as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small(id: WorkloadId) -> Trace {
+        SyntheticWorkload::paper(id).scale(50_000).generate(1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small(WorkloadId::Wdev);
+        let b = small(WorkloadId::Wdev);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = SyntheticWorkload::paper(WorkloadId::Wdev).scale(50_000);
+        let a = gen.generate(1);
+        let b = gen.generate(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_footprint_and_ordering() {
+        let t = small(WorkloadId::Webusers);
+        assert!(!t.is_empty());
+        let mut prev = SimTime::ZERO;
+        for r in &t {
+            assert!(r.time >= prev);
+            assert!(r.end() <= t.footprint_blocks());
+            prev = r.time;
+        }
+    }
+
+    #[test]
+    fn read_write_mix_tracks_spec() {
+        let t = small(WorkloadId::Home02); // read-mostly (R/W ≈ 3.9 by volume)
+        let reads = t.records().iter().filter(|r| r.kind.is_read()).count();
+        let frac = reads as f64 / t.len() as f64;
+        assert!(frac > 0.6, "home02 should be read-dominated, got {frac}");
+
+        let w = small(WorkloadId::Webresearch); // write-only
+        assert!(w.records().iter().all(|r| r.kind.is_write()));
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = small(WorkloadId::Wdev);
+        let mut counts = std::collections::HashMap::new();
+        for r in &t {
+            for b in r.blocks() {
+                *counts.entry(b).or_insert(0u64) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = freqs.iter().sum();
+        let top20_count = (counts.len() / 5).max(1);
+        let top20: u64 = freqs[..top20_count].iter().sum();
+        let share = top20 as f64 / total as f64;
+        assert!(
+            share > 0.5,
+            "wdev's top 20% blocks should dominate accesses, got {share}"
+        );
+    }
+
+    #[test]
+    fn footprint_is_actually_used() {
+        let gen = SyntheticWorkload::paper(WorkloadId::Wdev).scale(50_000);
+        let t = gen.generate(3);
+        let distinct: HashSet<u64> = t.records().iter().flat_map(|r| r.blocks()).collect();
+        // The skew means not every block is touched, but a meaningful part
+        // of the footprint must be.
+        assert!(
+            distinct.len() as u64 > t.footprint_blocks() / 20,
+            "only {} of {} blocks touched",
+            distinct.len(),
+            t.footprint_blocks()
+        );
+    }
+
+    #[test]
+    fn scaled_to_produces_roughly_target_requests() {
+        let gen = SyntheticWorkload::paper_scaled_to(WorkloadId::Proj, 10_000);
+        let reqs = gen.scaled_requests();
+        assert!(
+            (5_000..=20_000).contains(&reqs),
+            "expected about 10k requests, got {reqs}"
+        );
+    }
+
+    #[test]
+    fn scale_floors_apply() {
+        let gen = SyntheticWorkload::paper(WorkloadId::Webusers).scale(u64::MAX / 2);
+        assert_eq!(gen.scaled_requests(), MIN_REQUESTS);
+        assert!(gen.scaled_footprint_blocks() >= MIN_FOOTPRINT_BLOCKS);
+        assert_eq!(gen.scaled_footprint_blocks() % EXTENT_BLOCKS, 0);
+    }
+
+    #[test]
+    fn theta_calibration_orders_workloads_by_skew() {
+        // deasna (86.9% to top 20%) must get a larger exponent than
+        // webresearch (51.3%).
+        let deasna = SyntheticWorkload::paper(WorkloadId::Deasna);
+        let webresearch = SyntheticWorkload::paper(WorkloadId::Webresearch);
+        let e = 10_000;
+        assert!(deasna.calibrate_theta(e) > webresearch.calibrate_theta(e));
+    }
+
+    #[test]
+    fn coprime_stride_is_coprime() {
+        for n in [8u64, 100, 1024, 7_919, 65_536] {
+            let s = coprime_stride(n);
+            assert_eq!(gcd(s, n), 1, "stride {s} not coprime with {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = SyntheticWorkload::paper(WorkloadId::Wdev).scale(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quick start: simulate a CRAID-5 array serving a scaled-down version of
+//! the MSR `wdev` workload and print the headline measurements.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use craid::{ArrayConfig, Simulation, StrategyKind};
+use craid_trace::{SyntheticWorkload, WorkloadId};
+
+fn main() {
+    // 1. Generate a synthetic week of the wdev test-server workload, heavily
+    //    scaled down so this example runs in well under a second.
+    let workload = SyntheticWorkload::paper_scaled_to(WorkloadId::Wdev, 5_000);
+    let trace = workload.generate(42);
+    println!(
+        "workload: {} — {} requests over {:.0}s, footprint {} blocks",
+        trace.name(),
+        trace.len(),
+        trace.duration().as_secs(),
+        trace.footprint_blocks()
+    );
+
+    // 2. Describe the array: the paper's 50-disk testbed with a cache
+    //    partition sized at 10% of the workload footprint.
+    let pc_blocks = trace.footprint_blocks() / 10;
+    let config = ArrayConfig::paper(StrategyKind::Craid5, trace.footprint_blocks(), pc_blocks);
+    println!(
+        "array: {} disks, stripe unit {} blocks, cache partition {} blocks ({:.4}% of each disk)",
+        config.disks,
+        config.stripe_unit,
+        config.pc_capacity_blocks,
+        config.pc_percent_per_disk()
+    );
+
+    // 3. Replay the workload and look at what CRAID did.
+    let report = Simulation::new(config).run(&trace);
+    println!();
+    println!("read  response: mean {:.2} ms (p99 {:.2} ms) over {} requests", report.read.mean_ms, report.read.p99_ms, report.read.count);
+    println!("write response: mean {:.2} ms (p99 {:.2} ms) over {} requests", report.write.mean_ms, report.write.p99_ms, report.write.count);
+    let craid = report.craid.expect("a CRAID strategy always reports cache statistics");
+    println!(
+        "cache partition: hit ratio {:.1}% (reads {:.1}%, writes {:.1}%), {} dirty evictions",
+        craid.hit_ratio * 100.0,
+        craid.read_hit_ratio * 100.0,
+        craid.write_hit_ratio * 100.0,
+        craid.dirty_evictions
+    );
+    println!(
+        "load balance: mean per-second cv {:.3}, sequential accesses {:.1}%",
+        report.load_balance.mean_cv,
+        report.sequential_fraction * 100.0
+    );
+    println!();
+    println!("For the paper's full evaluation, run the bench targets in crates/bench");
+    println!("(e.g. `cargo bench -p craid-bench --bench figure4_read_response`).");
+}

@@ -1,0 +1,105 @@
+//! Failure-injection integration tests: crash recovery of the mapping cache,
+//! malformed inputs, and error paths of the public API.
+
+use craid::{ArrayConfig, CraidError, MappingCache, Simulation, StrategyKind};
+use craid_cache::PolicyKind;
+use craid_diskmodel::{BlockRange, IoKind};
+use craid_simkit::SimTime;
+use craid_trace::{SyntheticWorkload, Trace, TraceRecord, WorkloadId};
+
+#[test]
+fn mapping_cache_crash_recovery_preserves_exactly_the_dirty_blocks() {
+    // Build up a mapping cache as the monitor would, "crash", and recover
+    // from the persistent dirty log (paper §4.2).
+    let mut mapping = MappingCache::new();
+    for block in 0..1_000u64 {
+        mapping.insert(block * 3, block, block % 4 == 0);
+    }
+    let log = mapping.dirty_log();
+    assert_eq!(log.len(), 250);
+
+    let recovered = MappingCache::recover_from_log(&log);
+    assert_eq!(recovered.len(), 250);
+    for entry in &log {
+        let m = recovered.lookup(entry.pa_block).expect("dirty block survived the crash");
+        assert!(m.dirty);
+        assert_eq!(m.pc_block, entry.pc_block);
+    }
+    // Clean blocks were invalidated: their next access misses, which is safe
+    // because the archive still holds identical data.
+    assert!(recovered.lookup(3).is_none());
+}
+
+#[test]
+fn out_of_range_requests_are_rejected_not_swallowed() {
+    let trace = SyntheticWorkload::paper_scaled_to(WorkloadId::Wdev, 2_000).generate(1);
+    let config = ArrayConfig::small_test(StrategyKind::Craid5, trace.footprint_blocks());
+    let mut array = craid::array::build_array(&config).unwrap();
+    let cap = array.capacity_blocks();
+    let err = array
+        .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(cap - 1, 10))
+        .unwrap_err();
+    assert!(matches!(err, CraidError::OutOfRange { .. }));
+    // The array is still usable after the error.
+    assert!(array
+        .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4))
+        .is_ok());
+}
+
+#[test]
+fn invalid_configurations_fail_fast_with_descriptive_errors() {
+    let mut config = ArrayConfig::paper(StrategyKind::Craid5, 10_000, 500);
+    config.parity_group = 7; // does not divide 50
+    let err = config.validate().unwrap_err();
+    assert!(err.to_string().contains("parity group"));
+
+    let mut config = ArrayConfig::paper(StrategyKind::Craid5Plus, 10_000, 500);
+    config.expansion_sets = vec![10, 10];
+    assert!(config.validate().is_err());
+
+    let config = ArrayConfig::paper(StrategyKind::Craid5, 10_000, 0);
+    assert!(matches!(config.validate(), Err(CraidError::InvalidConfig(_))));
+}
+
+#[test]
+fn malformed_traces_are_rejected_at_construction() {
+    let ok = TraceRecord::new(SimTime::from_secs(1.0), IoKind::Read, 0, 4);
+    let later = TraceRecord::new(SimTime::from_secs(2.0), IoKind::Write, 8, 4);
+    // Out-of-order records.
+    let result = std::panic::catch_unwind(|| Trace::new("bad", 100, vec![later, ok]));
+    assert!(result.is_err());
+    // Records beyond the declared footprint.
+    let result = std::panic::catch_unwind(|| {
+        Trace::new("bad", 4, vec![TraceRecord::new(SimTime::ZERO, IoKind::Read, 2, 8)])
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn expansion_errors_leave_the_simulation_usable() {
+    let trace = SyntheticWorkload::paper_scaled_to(WorkloadId::Webusers, 2_000).generate(2);
+    let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, trace.footprint_blocks());
+    // Adding a single disk cannot form a RAID-5 set: the fallible API
+    // reports the error instead of corrupting the run.
+    let sim = Simulation::new(config);
+    let result = sim.try_run_with_expansions(&trace, &[(SimTime::from_secs(1.0), 1)]);
+    assert!(matches!(result, Err(CraidError::InvalidExpansion(_))));
+    // A plain run with the same driver still works.
+    assert!(sim.try_run(&trace).is_ok());
+}
+
+#[test]
+fn every_policy_survives_pathological_single_block_thrashing() {
+    // A worst-case anti-locality stream: every access a distinct block, far
+    // larger than the cache. No policy may panic, leak residency, or report
+    // impossible ratios.
+    let records: Vec<TraceRecord> = (0..5_000u64)
+        .map(|i| TraceRecord::new(SimTime::from_millis(i as f64), IoKind::Write, i, 1))
+        .collect();
+    let trace = Trace::new("thrash", 5_000, records);
+    for policy in PolicyKind::paper_set() {
+        let q = craid::policy_quality(policy, &trace, 0.01);
+        assert_eq!(q.hit_ratio, 0.0, "{policy}: nothing repeats, nothing can hit");
+        assert!(q.replacement_ratio > 0.9, "{policy}: almost every miss must replace");
+    }
+}

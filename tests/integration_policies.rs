@@ -1,0 +1,83 @@
+//! Integration tests for the replacement policies driven by real (synthetic)
+//! workloads through the public `policy_quality` API — the setup of the
+//! paper's Tables 2 and 3.
+
+use craid::policy_quality;
+use craid_cache::PolicyKind;
+use craid_trace::{SyntheticWorkload, WorkloadId};
+
+fn trace(id: WorkloadId) -> craid_trace::Trace {
+    SyntheticWorkload::paper_scaled_to(id, 4_000).generate(21)
+}
+
+#[test]
+fn all_policies_produce_valid_ratios_on_every_workload() {
+    for id in WorkloadId::ALL {
+        let t = trace(id);
+        for policy in PolicyKind::paper_set() {
+            let q = policy_quality(policy, &t, 0.05);
+            assert!((0.0..=1.0).contains(&q.hit_ratio), "{id}/{policy}");
+            assert!((0.0..=1.0).contains(&q.replacement_ratio), "{id}/{policy}");
+            assert!(q.capacity_blocks > 0);
+            // An access is either a hit or a (possible) insertion; replacements
+            // can never exceed misses.
+            assert!(
+                q.replacement_ratio <= 1.0 - q.hit_ratio + 1e-9,
+                "{id}/{policy}: more replacements than misses"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_workloads_hit_more_than_uniform_pressure_would_suggest() {
+    // deasna is the paper's most skewed workload: even a 5% cache captures
+    // well over half the accesses.
+    let q = policy_quality(PolicyKind::Wlru(0.5), &trace(WorkloadId::Deasna), 0.05);
+    assert!(q.hit_ratio > 0.5, "deasna hit ratio {} too low", q.hit_ratio);
+}
+
+#[test]
+fn bigger_caches_help_every_policy() {
+    let t = trace(WorkloadId::Wdev);
+    for policy in PolicyKind::paper_set() {
+        let small = policy_quality(policy, &t, 0.01);
+        let large = policy_quality(policy, &t, 0.2);
+        assert!(
+            large.hit_ratio >= small.hit_ratio,
+            "{policy}: {} -> {}",
+            small.hit_ratio,
+            large.hit_ratio
+        );
+        assert!(large.replacement_ratio <= small.replacement_ratio + 1e-9);
+    }
+}
+
+#[test]
+fn arc_is_at_least_as_good_as_gdsf_everywhere() {
+    // The paper's ranking: ARC best, GDSF clearly worst.
+    for id in WorkloadId::ALL {
+        let t = trace(id);
+        let arc = policy_quality(PolicyKind::Arc, &t, 0.05);
+        let gdsf = policy_quality(PolicyKind::Gdsf, &t, 0.05);
+        assert!(
+            arc.hit_ratio + 0.02 >= gdsf.hit_ratio,
+            "{id}: GDSF ({}) should not beat ARC ({})",
+            gdsf.hit_ratio,
+            arc.hit_ratio
+        );
+    }
+}
+
+#[test]
+fn wlru_parameter_interpolates_between_lru_and_full_scan() {
+    let t = trace(WorkloadId::Home02);
+    let lru = policy_quality(PolicyKind::Wlru(0.0), &t, 0.05);
+    let half = policy_quality(PolicyKind::Wlru(0.5), &t, 0.05);
+    let full = policy_quality(PolicyKind::Wlru(1.0), &t, 0.05);
+    // The scan only changes *which* block is evicted, not how often: hit
+    // ratios stay within a small band of plain LRU.
+    for q in [&half, &full] {
+        assert!((q.hit_ratio - lru.hit_ratio).abs() < 0.05);
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests: full trace-replay simulations across crates,
+//! asserting the qualitative results of the paper's evaluation on small
+//! arrays (fast enough for CI).
+
+use craid::{ArrayConfig, Simulation, StrategyKind};
+use craid_trace::{SyntheticWorkload, WorkloadId};
+
+fn trace(id: WorkloadId, requests: u64, seed: u64) -> craid_trace::Trace {
+    SyntheticWorkload::paper_scaled_to(id, requests).generate(seed)
+}
+
+#[test]
+fn every_strategy_completes_a_replay_and_reports_sane_numbers() {
+    let t = trace(WorkloadId::Wdev, 2_000, 1);
+    for strategy in StrategyKind::ALL {
+        let config = ArrayConfig::small_test(strategy, t.footprint_blocks());
+        let report = Simulation::new(config).run(&t);
+        assert_eq!(report.requests, t.len() as u64, "{strategy}");
+        assert_eq!(report.read.count + report.write.count, report.requests);
+        assert!(report.write.mean_ms > 0.0, "{strategy}: writes must take time");
+        assert!(report.write.p99_ms >= report.write.p50_ms);
+        assert_eq!(report.craid.is_some(), strategy.is_craid());
+        let moved: u64 = report.device_bytes.iter().sum();
+        assert!(moved > 0, "{strategy}: devices must see traffic");
+    }
+}
+
+#[test]
+fn craid_cache_absorbs_the_hot_set() {
+    let t = trace(WorkloadId::Home02, 3_000, 2);
+    let config = ArrayConfig::small_test(StrategyKind::Craid5, t.footprint_blocks());
+    let report = Simulation::new(config).run(&t);
+    let craid = report.craid.unwrap();
+    assert!(
+        craid.hit_ratio > 0.3,
+        "a skewed workload must produce a solid hit ratio, got {}",
+        craid.hit_ratio
+    );
+    assert!(craid.replacement_ratio < 1.0);
+}
+
+#[test]
+fn larger_cache_partitions_do_not_hurt_and_raise_hit_ratios() {
+    let t = trace(WorkloadId::Webusers, 3_000, 3);
+    let small_cfg = ArrayConfig::small_test(StrategyKind::Craid5, t.footprint_blocks())
+        .with_pc_capacity(t.footprint_blocks() / 20);
+    let large_cfg = ArrayConfig::small_test(StrategyKind::Craid5, t.footprint_blocks())
+        .with_pc_capacity(t.footprint_blocks() / 2);
+    let small = Simulation::new(small_cfg).run(&t);
+    let large = Simulation::new(large_cfg).run(&t);
+    let (s, l) = (small.craid.unwrap(), large.craid.unwrap());
+    assert!(l.hit_ratio >= s.hit_ratio, "hit ratio must not drop with a larger PC");
+    assert!(
+        l.replacement_ratio <= s.replacement_ratio,
+        "a larger PC must not evict more"
+    );
+}
+
+#[test]
+fn craid_write_latency_beats_the_plain_baselines() {
+    let t = trace(WorkloadId::Wdev, 3_000, 4);
+    let craid = Simulation::new(ArrayConfig::small_test(
+        StrategyKind::Craid5,
+        t.footprint_blocks(),
+    ))
+    .run(&t);
+    let raid5 = Simulation::new(ArrayConfig::small_test(
+        StrategyKind::Raid5,
+        t.footprint_blocks(),
+    ))
+    .run(&t);
+    assert!(
+        craid.write.mean_ms < raid5.write.mean_ms,
+        "CRAID writes ({}) should beat RAID-5 writes ({})",
+        craid.write.mean_ms,
+        raid5.write.mean_ms
+    );
+}
+
+#[test]
+fn craid_plus_tracks_craid_despite_the_aggregated_archive() {
+    let t = trace(WorkloadId::Home02, 3_000, 5);
+    let craid5 = Simulation::new(ArrayConfig::small_test(
+        StrategyKind::Craid5,
+        t.footprint_blocks(),
+    ))
+    .run(&t);
+    let craid5p = Simulation::new(ArrayConfig::small_test(
+        StrategyKind::Craid5Plus,
+        t.footprint_blocks(),
+    ))
+    .run(&t);
+    assert!(
+        craid5p.write.mean_ms <= craid5.write.mean_ms * 1.5,
+        "the archive layout should barely matter once PC absorbs the hot set"
+    );
+    assert!(craid5p.craid.unwrap().hit_ratio > 0.2);
+}
+
+#[test]
+fn load_balance_orderings_match_the_paper() {
+    // This ordering depends on the unevenly sized RAID sets of the paper's
+    // aggregation schedule, so it runs on the paper-shaped 50-disk array.
+    let t = trace(WorkloadId::Wdev, 3_000, 6);
+    let run = |s| {
+        Simulation::new(ArrayConfig::paper(s, t.footprint_blocks(), t.footprint_blocks() / 5))
+            .run(&t)
+            .load_balance
+            .overall_cv
+    };
+    let raid5 = run(StrategyKind::Raid5);
+    let raid5p = run(StrategyKind::Raid5Plus);
+    let craid5p = run(StrategyKind::Craid5Plus);
+    let craid5ssd = run(StrategyKind::Craid5Ssd);
+    assert!(raid5p > raid5, "aggregated sets distribute load worse than ideal RAID-5");
+    assert!(craid5p < raid5p, "CRAID rebalances the aggregated archive's load");
+    assert!(
+        craid5ssd > craid5p,
+        "funnelling the cache into dedicated SSDs concentrates the load"
+    );
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let t = trace(WorkloadId::Webresearch, 2_000, 7);
+    let report = Simulation::new(ArrayConfig::small_test(
+        StrategyKind::Craid5Plus,
+        t.footprint_blocks(),
+    ))
+    .run(&t);
+    let json = report.to_json();
+    let back: craid::SimulationReport = serde_json::from_str(&json).unwrap();
+    // Full float equality is not preserved by JSON's shortest-representation
+    // printing; compare the fields the harness actually consumes.
+    assert_eq!(back.strategy, report.strategy);
+    assert_eq!(back.requests, report.requests);
+    assert_eq!(back.craid.unwrap().dirty_evictions, report.craid.unwrap().dirty_evictions);
+    assert!((back.write.mean_ms - report.write.mean_ms).abs() < 1e-9);
+    assert_eq!(back.device_bytes, report.device_bytes);
+}

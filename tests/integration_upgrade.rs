@@ -1,0 +1,83 @@
+//! Integration tests for online upgrades: the headline CRAID claim that
+//! adding disks only redistributes the cache partition.
+
+use craid::{ArrayConfig, Simulation, StrategyKind};
+use craid_raid::{minimal_migration_blocks, ExpansionSchedule};
+use craid_simkit::SimTime;
+use craid_trace::{SyntheticWorkload, WorkloadId};
+
+fn trace() -> craid_trace::Trace {
+    SyntheticWorkload::paper_scaled_to(WorkloadId::Webusers, 3_000).generate(9)
+}
+
+#[test]
+fn craid_migrates_orders_of_magnitude_less_than_a_restripe() {
+    let t = trace();
+    let footprint = t.footprint_blocks();
+    let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, footprint);
+    config.disks = 4;
+    config.expansion_sets = vec![4];
+    let mid = SimTime::from_secs(t.duration().as_secs() / 2.0);
+    let (_, upgrades) = Simulation::new(config).run_with_expansions(&t, &[(mid, 4)]);
+    assert_eq!(upgrades.len(), 1);
+    let craid_migrated = upgrades[0].migrated_blocks;
+    assert!(craid_migrated > 0, "a warm cache partition has something to refill");
+    assert!(
+        craid_migrated < footprint / 3,
+        "CRAID migration ({craid_migrated}) must be a small fraction of the dataset ({footprint})"
+    );
+    // Even the theoretical minimum for rebalancing the whole dataset moves more.
+    assert!(craid_migrated < minimal_migration_blocks(footprint, 4, 8));
+}
+
+#[test]
+fn service_continues_through_a_whole_expansion_schedule() {
+    let t = trace();
+    let footprint = t.footprint_blocks();
+    let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, footprint);
+    config.disks = 4;
+    config.expansion_sets = vec![4];
+    let span = t.duration().as_secs();
+    let expansions: Vec<(SimTime, usize)> = [2usize, 2, 4]
+        .iter()
+        .enumerate()
+        .map(|(i, &added)| (SimTime::from_secs(span * (i + 1) as f64 / 4.0), added))
+        .collect();
+    let (report, upgrades) = Simulation::new(config).run_with_expansions(&t, &expansions);
+    assert_eq!(upgrades.len(), 3);
+    assert_eq!(report.requests, t.len() as u64, "no request is dropped during upgrades");
+    // Dirty blocks written back during invalidation show up as upgrade I/O.
+    assert!(upgrades.iter().any(|u| u.writeback_blocks > 0));
+    // The array keeps hitting its (rebuilt) cache after the upgrades.
+    assert!(report.craid.unwrap().hit_ratio > 0.1);
+}
+
+#[test]
+fn baseline_restripe_cost_dwarfs_craid_on_the_paper_schedule() {
+    // Pure address arithmetic (no device simulation): compare the per-step
+    // migration of a round-robin restripe against CRAID's bound (its cache
+    // partition size) over the paper's 10 -> 50 disk schedule.
+    let schedule = ExpansionSchedule::paper();
+    let dataset: u64 = 500_000;
+    let pc: u64 = dataset / 50; // a 2% cache partition
+    for (old, new) in schedule.transitions() {
+        let minimal = minimal_migration_blocks(dataset, old, new);
+        assert!(
+            pc < minimal,
+            "CRAID's bound ({pc}) must stay below even minimal rebalancing ({minimal}) at {old}->{new}"
+        );
+    }
+}
+
+#[test]
+fn ssd_cached_craid_keeps_serving_without_invalidation() {
+    let t = trace();
+    let mut config = ArrayConfig::small_test(StrategyKind::Craid5PlusSsd, t.footprint_blocks());
+    config.disks = 4;
+    config.expansion_sets = vec![4];
+    let mid = SimTime::from_secs(t.duration().as_secs() / 2.0);
+    let (report, upgrades) = Simulation::new(config).run_with_expansions(&t, &[(mid, 4)]);
+    assert_eq!(upgrades[0].migrated_blocks, 0, "the SSD cache tier is unaffected");
+    assert_eq!(upgrades[0].writeback_blocks, 0);
+    assert!(report.craid.unwrap().hit_ratio > 0.1);
+}
