@@ -3,33 +3,41 @@
 //! The paper selects WLRU(0.5) because it matches ARC's prediction quality
 //! while preferring clean victims (saving the 4-I/O parity write-back). This
 //! bench quantifies that trade-off end to end: full simulations of CRAID-5
-//! on wdev under every policy, plus a sweep of the WLRU scan weight.
+//! on wdev under every policy, plus a sweep of the WLRU scan weight — all
+//! declared as one `Campaign` and run in parallel.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, parallel_map, pct, print_header, row};
+use craid::{Campaign, CraidError, ScenarioOutcome};
+use craid_bench::{base_scenario, header_row, pct, print_header, row};
 use craid_cache::PolicyKind;
 use craid_trace::WorkloadId;
 
-fn main() {
+fn main() -> Result<(), CraidError> {
     print_header(
         "Ablation",
         "end-to-end effect of the replacement policy and the WLRU weight (CRAID-5, wdev)",
     );
-    let trace = gen_trace(WorkloadId::Wdev);
 
     let mut policies = PolicyKind::paper_set();
     policies.extend([PolicyKind::Wlru(0.0), PolicyKind::Wlru(1.0)]);
 
-    let reports = parallel_map(policies.clone(), |&policy| {
-        let config = craid_bench::config_for(StrategyKind::Craid5, &trace, 0.1).with_policy(policy);
-        craid::Simulation::new(config).run(&trace)
-    });
+    let scenarios = policies
+        .iter()
+        .map(|&policy| {
+            let mut scenario = base_scenario(WorkloadId::Wdev);
+            scenario.name = format!("ablation/{policy}");
+            scenario.array.pc_fraction = 0.1;
+            scenario.array.policy = Some(policy);
+            scenario
+        })
+        .collect();
+    let outcomes: Vec<ScenarioOutcome> = Campaign::new(scenarios).run()?;
 
     println!(
         "{}",
         header_row(&["policy", "read ms", "write ms", "hit ratio", "dirty evict"])
     );
-    for (policy, r) in policies.iter().zip(&reports) {
+    for (policy, outcome) in policies.iter().zip(&outcomes) {
+        let r = &outcome.report;
         let c = r.craid.expect("CRAID run");
         println!(
             "{}",
@@ -45,30 +53,24 @@ fn main() {
 
     // WLRU with a scan budget must not produce more dirty evictions than
     // plain LRU (WLRU with w = 0).
-    let dirty = |kind: PolicyKind| -> u64 {
+    let craid_of = |kind: PolicyKind| {
         policies
             .iter()
-            .zip(&reports)
+            .zip(&outcomes)
             .find(|(p, _)| **p == kind)
-            .map(|(_, r)| r.craid.unwrap().dirty_evictions)
-            .unwrap()
+            .map(|(_, o)| o.report.craid.expect("CRAID run"))
+            .expect("policy is part of the campaign")
     };
     assert!(
-        dirty(PolicyKind::Wlru(0.5)) <= dirty(PolicyKind::Wlru(0.0)),
+        craid_of(PolicyKind::Wlru(0.5)).dirty_evictions
+            <= craid_of(PolicyKind::Wlru(0.0)).dirty_evictions,
         "WLRU(0.5) must not write back more dirty victims than plain LRU"
     );
 
     // GDSF's poor prediction must show up as a lower end-to-end hit ratio.
-    let hit = |kind: PolicyKind| -> f64 {
-        policies
-            .iter()
-            .zip(&reports)
-            .find(|(p, _)| **p == kind)
-            .map(|(_, r)| r.craid.unwrap().hit_ratio)
-            .unwrap()
-    };
-    assert!(hit(PolicyKind::Gdsf) <= hit(PolicyKind::Arc) + 0.02);
+    assert!(craid_of(PolicyKind::Gdsf).hit_ratio <= craid_of(PolicyKind::Arc).hit_ratio + 0.02);
 
     println!("\nWLRU's clean-victim preference reduces dirty write-backs at equal hit ratio,");
     println!("which is exactly why the paper configures the I/O monitor with WLRU(0.5).");
+    Ok(())
 }

@@ -37,10 +37,7 @@ fn main() {
 
     println!();
     println!("-- Bottom row: blocks shared between consecutive days (mean over the week) --");
-    println!(
-        "{}",
-        header_row(&["trace", "all blocks", "top-20% blocks"])
-    );
+    println!("{}", header_row(&["trace", "all blocks", "top-20% blocks"]));
     let mut gaps = Vec::new();
     for id in workloads() {
         let trace = gen_trace(id);
@@ -59,7 +56,10 @@ fn main() {
             o.mean_top20() + 0.05 >= o.mean_all(),
             "{id}: the top-20% blocks should not be less stable than the whole working set"
         );
-        assert!(o.mean_top20() > 0.25, "{id}: hot blocks should persist across days");
+        assert!(
+            o.mean_top20() > 0.25,
+            "{id}: hot blocks should persist across days"
+        );
         gaps.push((id, o.mean_top20() - o.mean_all()));
     }
     // deasna is the paper's outlier: a diverse overall working set whose hot

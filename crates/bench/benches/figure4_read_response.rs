@@ -6,35 +6,44 @@
 //! RAID-5+ is clearly slower than RAID-5; CRAID-5 / CRAID-5+ track the ideal
 //! RAID-5 (and improve with larger partitions); the SSD-cached variants are
 //! at least as fast on reads.
+//!
+//! The whole experiment matrix is declared as one `Campaign::sweep` (plus a
+//! one-fraction sweep for the partition-independent baselines) and executed
+//! in parallel by the engine.
 
-use craid::StrategyKind;
-use craid_bench::{
-    gen_trace, header_row, parallel_map, print_header, row, run_strategy, workloads, CRAID_STRATEGIES,
-    PC_SWEEP,
-};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, print_header, row, workloads, Sweep, CRAID_STRATEGIES, PC_SWEEP};
 
-fn main() {
-    print_header("Figure 4", "comparison of I/O response time (read requests), ms");
-    for id in workloads() {
-        let trace = gen_trace(id);
-        let raid5 = run_strategy(StrategyKind::Raid5, &trace, PC_SWEEP[0]);
-        let raid5p = run_strategy(StrategyKind::Raid5Plus, &trace, PC_SWEEP[0]);
-        println!("\n[{}]  baselines: RAID-5 = {:.2} ms   RAID-5+ = {:.2} ms", id, raid5.read.mean_ms, raid5p.read.mean_ms);
+fn main() -> Result<(), CraidError> {
+    print_header(
+        "Figure 4",
+        "comparison of I/O response time (read requests), ms",
+    );
+    let all = workloads();
+    let sweep = Sweep::with_baselines(&all, &PC_SWEEP, &CRAID_STRATEGIES)?;
+    let baselines = &sweep;
+
+    for id in all {
+        let raid5 = baselines.report(id, PC_SWEEP[0], StrategyKind::Raid5);
+        let raid5p = baselines.report(id, PC_SWEEP[0], StrategyKind::Raid5Plus);
+        println!(
+            "\n[{}]  baselines: RAID-5 = {:.2} ms   RAID-5+ = {:.2} ms",
+            id, raid5.read.mean_ms, raid5p.read.mean_ms
+        );
         let mut header = vec!["pc fraction".to_string()];
         header.extend(CRAID_STRATEGIES.iter().map(|s| s.name().to_string()));
-        println!("{}", header_row(&header.iter().map(String::as_str).collect::<Vec<_>>()));
+        println!(
+            "{}",
+            header_row(&header.iter().map(String::as_str).collect::<Vec<_>>())
+        );
 
-        let jobs: Vec<(StrategyKind, f64)> = PC_SWEEP
-            .iter()
-            .flat_map(|&frac| CRAID_STRATEGIES.iter().map(move |&s| (s, frac)))
-            .collect();
-        let reports = parallel_map(jobs.clone(), |&(s, frac)| run_strategy(s, &trace, frac));
-
-        for (i, &frac) in PC_SWEEP.iter().enumerate() {
+        for &frac in &PC_SWEEP {
             let mut cells = vec![format!("{frac:.2}")];
-            for (j, _) in CRAID_STRATEGIES.iter().enumerate() {
-                let report = &reports[i * CRAID_STRATEGIES.len() + j];
-                cells.push(format!("{:.2}", report.read.mean_ms));
+            for &strategy in &CRAID_STRATEGIES {
+                cells.push(format!(
+                    "{:.2}",
+                    sweep.report(id, frac, strategy).read.mean_ms
+                ));
             }
             println!("{}", row(&cells));
         }
@@ -45,9 +54,10 @@ fn main() {
         // mattering once PC absorbs the hot set), and a large-partition
         // CRAID-5 is competitive with the ideally restriped RAID-5.
         if raid5.read.count > 100 {
-            let craid5_smallest = &reports[0];
-            let craid5_largest = &reports[(PC_SWEEP.len() - 1) * CRAID_STRATEGIES.len()];
-            let craid5p_largest = &reports[(PC_SWEEP.len() - 1) * CRAID_STRATEGIES.len() + 1];
+            let largest = *PC_SWEEP.last().expect("sweep is non-empty");
+            let craid5_smallest = sweep.report(id, PC_SWEEP[0], StrategyKind::Craid5);
+            let craid5_largest = sweep.report(id, largest, StrategyKind::Craid5);
+            let craid5p_largest = sweep.report(id, largest, StrategyKind::Craid5Plus);
             assert!(
                 craid5_largest.read.mean_ms <= craid5_smallest.read.mean_ms * 1.05,
                 "{id}: growing the cache partition should not hurt read latency"
@@ -70,4 +80,5 @@ fn main() {
     println!("(Note: at this scaled-down concurrency the plain RAID-5+ baseline is not slower");
     println!("than RAID-5 per request — see EXPERIMENTS.md for the discussion; its poorer");
     println!("load balance and queue behaviour are reproduced in Figure 7 / Table 5.)");
+    Ok(())
 }

@@ -3,9 +3,11 @@
 //! The paper's explanation for CRAID's read performance: co-locating the hot
 //! set in a small partition makes device-level access patterns about as
 //! sequential as an ideal RAID-5 and clearly more sequential than RAID-5+.
+//! The four-strategy comparison is one `Campaign::sweep` at a fixed
+//! partition fraction.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, parallel_map, pct, print_header, row};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, pct, print_header, row, Sweep};
 use craid_trace::WorkloadId;
 
 const STRATEGIES: [StrategyKind; 4] = [
@@ -15,22 +17,24 @@ const STRATEGIES: [StrategyKind; 4] = [
     StrategyKind::Craid5Plus,
 ];
 
-fn main() {
+const PC_FRACTION: f64 = 0.2;
+
+fn main() -> Result<(), CraidError> {
     print_header(
         "Figure 5",
         "sequential access distribution per strategy (cello99, webusers)",
     );
-    for id in [WorkloadId::Cello99, WorkloadId::Webusers] {
-        let trace = gen_trace(id);
-        let reports = parallel_map(STRATEGIES.to_vec(), |&s| {
-            craid_bench::run_strategy(s, &trace, 0.2)
-        });
+    let workloads = [WorkloadId::Cello99, WorkloadId::Webusers];
+    let sweep = Sweep::run(&workloads, &[PC_FRACTION], &STRATEGIES)?;
+
+    for id in workloads {
         println!("\n[{}]", id);
         println!(
             "{}",
             header_row(&["strategy", "overall seq", "p25 /s", "median /s", "p75 /s"])
         );
-        for (strategy, report) in STRATEGIES.iter().zip(&reports) {
+        for &strategy in &STRATEGIES {
+            let report = sweep.report(id, PC_FRACTION, strategy);
             let cdf = &report.sequentiality_cdf;
             let at = |frac: f64| -> f64 {
                 cdf.iter()
@@ -49,10 +53,11 @@ fn main() {
                 ])
             );
         }
-        let raid5 = reports[0].sequential_fraction;
-        let raid5p = reports[1].sequential_fraction;
-        let craid5 = reports[2].sequential_fraction;
-        let craid5p = reports[3].sequential_fraction;
+        let seq_of = |s| sweep.report(id, PC_FRACTION, s).sequential_fraction;
+        let raid5 = seq_of(StrategyKind::Raid5);
+        let raid5p = seq_of(StrategyKind::Raid5Plus);
+        let craid5 = seq_of(StrategyKind::Craid5);
+        let craid5p = seq_of(StrategyKind::Craid5Plus);
         assert!(
             craid5 > raid5p && craid5p > raid5p,
             "{id}: CRAID sequentiality ({craid5:.3}/{craid5p:.3}) must beat RAID-5+ ({raid5p:.3})"
@@ -65,4 +70,5 @@ fn main() {
     }
     println!("\nAs in the paper: the cache partition restores the sequentiality an aggregated");
     println!("RAID-5+ loses, bringing it close to the ideal RAID-5.");
+    Ok(())
 }

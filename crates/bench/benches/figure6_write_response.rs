@@ -1,38 +1,43 @@
 //! Figure 6 — write response time vs. cache-partition size.
 //!
-//! Same sweep as Figure 4 but for writes. The shapes to look for, as in the
-//! paper: RAID-5+ writes are much slower than RAID-5; CRAID-5 / CRAID-5+
-//! absorb writes in the cache partition and beat the plain baselines for
-//! most workloads.
+//! Same sweep as Figure 4 but for writes, declared as one `Campaign::sweep`.
+//! The shapes to look for, as in the paper: RAID-5+ writes are much slower
+//! than RAID-5; CRAID-5 / CRAID-5+ absorb writes in the cache partition and
+//! beat the plain baselines for most workloads.
 
-use craid::StrategyKind;
-use craid_bench::{
-    gen_trace, header_row, parallel_map, print_header, row, run_strategy, workloads, CRAID_STRATEGIES,
-    PC_SWEEP,
-};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, print_header, row, workloads, Sweep, CRAID_STRATEGIES, PC_SWEEP};
 
-fn main() {
-    print_header("Figure 6", "comparison of I/O response time (write requests), ms");
-    for id in workloads() {
-        let trace = gen_trace(id);
-        let raid5 = run_strategy(StrategyKind::Raid5, &trace, PC_SWEEP[0]);
-        let raid5p = run_strategy(StrategyKind::Raid5Plus, &trace, PC_SWEEP[0]);
-        println!("\n[{}]  baselines: RAID-5 = {:.2} ms   RAID-5+ = {:.2} ms", id, raid5.write.mean_ms, raid5p.write.mean_ms);
+fn main() -> Result<(), CraidError> {
+    print_header(
+        "Figure 6",
+        "comparison of I/O response time (write requests), ms",
+    );
+    let all = workloads();
+    let sweep = Sweep::with_baselines(&all, &PC_SWEEP, &CRAID_STRATEGIES)?;
+    let baselines = &sweep;
+
+    for id in all {
+        let raid5 = baselines.report(id, PC_SWEEP[0], StrategyKind::Raid5);
+        let raid5p = baselines.report(id, PC_SWEEP[0], StrategyKind::Raid5Plus);
+        println!(
+            "\n[{}]  baselines: RAID-5 = {:.2} ms   RAID-5+ = {:.2} ms",
+            id, raid5.write.mean_ms, raid5p.write.mean_ms
+        );
         let mut header = vec!["pc fraction".to_string()];
         header.extend(CRAID_STRATEGIES.iter().map(|s| s.name().to_string()));
-        println!("{}", header_row(&header.iter().map(String::as_str).collect::<Vec<_>>()));
+        println!(
+            "{}",
+            header_row(&header.iter().map(String::as_str).collect::<Vec<_>>())
+        );
 
-        let jobs: Vec<(StrategyKind, f64)> = PC_SWEEP
-            .iter()
-            .flat_map(|&frac| CRAID_STRATEGIES.iter().map(move |&s| (s, frac)))
-            .collect();
-        let reports = parallel_map(jobs, |&(s, frac)| run_strategy(s, &trace, frac));
-
-        for (i, &frac) in PC_SWEEP.iter().enumerate() {
+        for &frac in &PC_SWEEP {
             let mut cells = vec![format!("{frac:.2}")];
-            for (j, _) in CRAID_STRATEGIES.iter().enumerate() {
-                let report = &reports[i * CRAID_STRATEGIES.len() + j];
-                cells.push(format!("{:.2}", report.write.mean_ms));
+            for &strategy in &CRAID_STRATEGIES {
+                cells.push(format!(
+                    "{:.2}",
+                    sweep.report(id, frac, strategy).write.mean_ms
+                ));
             }
             println!("{}", row(&cells));
         }
@@ -41,8 +46,9 @@ fn main() {
             // The paper's strongest write-side claim: CRAID-5 and CRAID-5+
             // beat the traditional RAID-5 (and the aggregated RAID-5+)
             // because every write is absorbed by the cache partition.
-            let craid5_largest = &reports[(PC_SWEEP.len() - 1) * CRAID_STRATEGIES.len()];
-            let craid5p_largest = &reports[(PC_SWEEP.len() - 1) * CRAID_STRATEGIES.len() + 1];
+            let largest = *PC_SWEEP.last().expect("sweep is non-empty");
+            let craid5_largest = sweep.report(id, largest, StrategyKind::Craid5);
+            let craid5p_largest = sweep.report(id, largest, StrategyKind::Craid5Plus);
             assert!(
                 craid5_largest.write.mean_ms < raid5.write.mean_ms,
                 "{id}: CRAID-5 writes should beat ideal RAID-5 ({} vs {})",
@@ -60,4 +66,5 @@ fn main() {
     println!("\nShape summary: write requests are absorbed by the cache partition, so every");
     println!("CRAID variant beats its own baseline — including the ideal RAID-5 — exactly as");
     println!("in the paper's Figure 6.");
+    Ok(())
 }

@@ -1,34 +1,32 @@
 //! Figure 7 — workload-distribution CDFs: per-second coefficient of
 //! variation of per-disk load, full-HDD vs SSD-dedicated CRAID (deasna,
-//! wdev).
+//! wdev). The six-strategy comparison is one `Campaign::sweep`.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, parallel_map, print_header, row, run_strategy, PC_SWEEP};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, print_header, row, Sweep, PC_SWEEP};
 use craid_trace::WorkloadId;
 
-const STRATEGIES: [StrategyKind; 6] = [
-    StrategyKind::Raid5,
-    StrategyKind::Raid5Plus,
-    StrategyKind::Craid5,
-    StrategyKind::Craid5Plus,
-    StrategyKind::Craid5Ssd,
-    StrategyKind::Craid5PlusSsd,
-];
-
-fn main() {
+fn main() -> Result<(), CraidError> {
     print_header(
         "Figure 7",
         "CDF of the per-second coefficient of variation of per-disk load (deasna, wdev)",
     );
-    for id in [WorkloadId::Deasna, WorkloadId::Wdev] {
-        let trace = gen_trace(id);
-        let reports = parallel_map(STRATEGIES.to_vec(), |&s| run_strategy(s, &trace, PC_SWEEP[1]));
-        println!("\n[{}]  (cache partition at {:.0}% of the footprint)", id, PC_SWEEP[1] * 100.0);
+    let workloads = [WorkloadId::Deasna, WorkloadId::Wdev];
+    let fraction = PC_SWEEP[1];
+    let sweep = Sweep::run(&workloads, &[fraction], &StrategyKind::ALL)?;
+
+    for id in workloads {
+        println!(
+            "\n[{}]  (cache partition at {:.0}% of the footprint)",
+            id,
+            fraction * 100.0
+        );
         println!(
             "{}",
             header_row(&["strategy", "mean cv", "p95 cv", "overall cv"])
         );
-        for (strategy, r) in STRATEGIES.iter().zip(&reports) {
+        for &strategy in &StrategyKind::ALL {
+            let r = sweep.report(id, fraction, strategy);
             println!(
                 "{}",
                 row(&[
@@ -39,11 +37,12 @@ fn main() {
                 ])
             );
         }
-        let raid5 = &reports[0].load_balance;
-        let raid5p = &reports[1].load_balance;
-        let craid5 = &reports[2].load_balance;
-        let craid5p = &reports[3].load_balance;
-        let craid5ssd = &reports[4].load_balance;
+        let balance = |s| &sweep.report(id, fraction, s).load_balance;
+        let raid5 = balance(StrategyKind::Raid5);
+        let raid5p = balance(StrategyKind::Raid5Plus);
+        let craid5 = balance(StrategyKind::Craid5);
+        let craid5p = balance(StrategyKind::Craid5Plus);
+        let craid5ssd = balance(StrategyKind::Craid5Ssd);
         assert!(
             raid5p.overall_cv > raid5.overall_cv,
             "{id}: RAID-5+ whole-run load must be less balanced than ideal RAID-5"
@@ -62,4 +61,5 @@ fn main() {
     println!("\nAs in the paper: the spread cache partition absorbs most I/O and restores the");
     println!("balance an aggregated RAID-5+ lacks; dedicating SSDs to the cache concentrates");
     println!("load and leaves the spindles underused.");
+    Ok(())
 }

@@ -38,14 +38,21 @@ fn main() {
         // The paper's qualitative results: ARC is the best (or tied best)
         // predictor, GDSF never beats it, and the recency/frequency policies
         // (LRU, LFUDA, WLRU) sit within a few points of each other.
-        let (lru, lfuda, gdsf, arc, wlru) = (results[0], results[1], results[2], results[3], results[4]);
+        let (lru, lfuda, gdsf, arc, wlru) =
+            (results[0], results[1], results[2], results[3], results[4]);
         assert!(
             arc + 0.03 >= results.iter().copied().fold(0.0, f64::max),
             "{id}: ARC ({arc}) should be the best or tied-best policy"
         );
-        assert!(gdsf <= arc + 0.01, "{id}: GDSF ({gdsf}) must not beat ARC ({arc})");
+        assert!(
+            gdsf <= arc + 0.01,
+            "{id}: GDSF ({gdsf}) must not beat ARC ({arc})"
+        );
         let trio_spread = [lru, lfuda, wlru].iter().copied().fold(0.0, f64::max)
-            - [lru, lfuda, wlru].iter().copied().fold(f64::INFINITY, f64::min);
+            - [lru, lfuda, wlru]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
         assert!(
             trio_spread < 0.08,
             "{id}: LRU/LFUDA/WLRU should be within a few points of each other"

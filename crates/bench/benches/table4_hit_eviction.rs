@@ -1,28 +1,41 @@
 //! Table 4 — best hit ratio and worst eviction ratio over all CRAID
-//! simulations of the response-time sweep.
+//! simulations of the response-time sweep, declared as one `Campaign::sweep`.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, parallel_map, pct, print_header, row, workloads, PC_SWEEP};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, pct, print_header, row, workloads, Sweep, PC_SWEEP};
 
-fn main() {
+fn main() -> Result<(), CraidError> {
     print_header(
         "Table 4",
         "best hit ratio and worst eviction ratio across the Figure 4/6 sweep",
     );
     println!(
         "{}",
-        header_row(&["trace", "best hit rd", "best hit wr", "worst evict rd", "worst evict wr"])
+        header_row(&[
+            "trace",
+            "best hit rd",
+            "best hit wr",
+            "worst evict rd",
+            "worst evict wr"
+        ])
     );
-    for id in workloads() {
-        let trace = gen_trace(id);
-        let reports = parallel_map(PC_SWEEP.to_vec(), |&frac| {
-            craid_bench::run_strategy(StrategyKind::Craid5, &trace, frac)
-        });
-        let craid: Vec<_> = reports.iter().filter_map(|r| r.craid).collect();
+    let all = workloads();
+    let sweep = Sweep::run(&all, &PC_SWEEP, &[StrategyKind::Craid5])?;
+    for id in all {
+        let craid: Vec<_> = PC_SWEEP
+            .iter()
+            .filter_map(|&frac| sweep.report(id, frac, StrategyKind::Craid5).craid)
+            .collect();
         let best_hit_rd = craid.iter().map(|c| c.read_hit_ratio).fold(0.0, f64::max);
         let best_hit_wr = craid.iter().map(|c| c.write_hit_ratio).fold(0.0, f64::max);
-        let worst_ev_rd = craid.iter().map(|c| c.read_eviction_ratio).fold(0.0, f64::max);
-        let worst_ev_wr = craid.iter().map(|c| c.write_eviction_ratio).fold(0.0, f64::max);
+        let worst_ev_rd = craid
+            .iter()
+            .map(|c| c.read_eviction_ratio)
+            .fold(0.0, f64::max);
+        let worst_ev_wr = craid
+            .iter()
+            .map(|c| c.write_eviction_ratio)
+            .fold(0.0, f64::max);
         println!(
             "{}",
             row(&[
@@ -41,4 +54,5 @@ fn main() {
     println!("\nAs in the paper, hit ratios at the largest partition size are high for every");
     println!("workload, and the workloads with the largest, most diverse footprints (proj)");
     println!("show the lowest best-case hit ratio and the highest eviction pressure.");
+    Ok(())
 }

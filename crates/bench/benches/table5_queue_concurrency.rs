@@ -5,23 +5,33 @@
 //! their queues and leaves the spindles idle, while spreading the cache
 //! partition over all disks keeps queues shallow and many devices busy.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, print_header, row, run_strategy};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, print_header, row, Sweep};
 use craid_trace::WorkloadId;
 
-fn main() {
+const PC_FRACTION: f64 = 0.05; // the paper uses its smallest partition here
+
+fn main() -> Result<(), CraidError> {
     print_header(
         "Table 5",
         "CRAID full-HDD vs SSD-dedicated: queue depth (Ioq) and concurrent devices (Cdev), wdev",
     );
-    let trace = gen_trace(WorkloadId::Wdev);
-    // The paper uses its smallest partition for this comparison.
-    let hdd = run_strategy(StrategyKind::Craid5Plus, &trace, 0.05);
-    let ssd = run_strategy(StrategyKind::Craid5PlusSsd, &trace, 0.05);
+    let strategies = [StrategyKind::Craid5Plus, StrategyKind::Craid5PlusSsd];
+    let sweep = Sweep::run(&[WorkloadId::Wdev], &[PC_FRACTION], &strategies)?;
+    let hdd = sweep.report(WorkloadId::Wdev, PC_FRACTION, StrategyKind::Craid5Plus);
+    let ssd = sweep.report(WorkloadId::Wdev, PC_FRACTION, StrategyKind::Craid5PlusSsd);
 
     println!(
         "{}",
-        header_row(&["strategy", "Ioq mean", "Ioq p99", "Ioq max", "Cdev mean", "Cdev p99", "Cdev max"])
+        header_row(&[
+            "strategy",
+            "Ioq mean",
+            "Ioq p99",
+            "Ioq max",
+            "Cdev mean",
+            "Cdev p99",
+            "Cdev max"
+        ])
     );
     for (name, r) in [("CRAID-5+", &hdd), ("CRAID-5+ssd", &ssd)] {
         println!(
@@ -52,4 +62,5 @@ fn main() {
     );
     println!("\nAs in the paper: the SSD-dedicated cache funnels I/O into few devices (deeper");
     println!("queues, fewer active spindles); the spread partition exploits the whole array.");
+    Ok(())
 }

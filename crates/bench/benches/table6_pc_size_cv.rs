@@ -1,19 +1,24 @@
 //! Table 6 — influence of the cache-partition size on the workload
 //! distribution: the partition size with the best (lowest) and worst
-//! (highest) whole-run cv for CRAID-5 and CRAID-5+.
+//! (highest) whole-run cv for CRAID-5 and CRAID-5+. The full
+//! {workloads × fractions × strategies} matrix is one `Campaign::sweep`.
 //!
 //! The paper's (mildly counter-intuitive) finding: the *smallest* partition
 //! tends to give the best balance and the largest the worst, because a large
 //! partition lets the layout of hot blocks skew which disks are busiest.
 
-use craid::StrategyKind;
-use craid_bench::{gen_trace, header_row, parallel_map, print_header, row, workloads, PC_SWEEP};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{header_row, print_header, row, workloads, Sweep, PC_SWEEP};
 
-fn main() {
+fn main() -> Result<(), CraidError> {
     print_header(
         "Table 6",
         "cache-partition size (fraction of footprint) with the best / worst load-balance cv",
     );
+    let strategies = [StrategyKind::Craid5, StrategyKind::Craid5Plus];
+    let all = workloads();
+    let sweep = Sweep::run(&all, &PC_SWEEP, &strategies)?;
+
     println!(
         "{}",
         header_row(&[
@@ -24,17 +29,12 @@ fn main() {
             "CRAID-5+ worst",
         ])
     );
-    for id in workloads() {
-        let trace = gen_trace(id);
+    for id in all {
         let mut cells = vec![id.name().to_string()];
-        for strategy in [StrategyKind::Craid5, StrategyKind::Craid5Plus] {
-            let reports = parallel_map(PC_SWEEP.to_vec(), |&frac| {
-                craid_bench::run_strategy(strategy, &trace, frac)
-            });
+        for &strategy in &strategies {
             let mut by_cv: Vec<(f64, f64)> = PC_SWEEP
                 .iter()
-                .zip(&reports)
-                .map(|(&frac, r)| (frac, r.load_balance.mean_cv))
+                .map(|&frac| (frac, sweep.report(id, frac, strategy).load_balance.mean_cv))
                 .collect();
             by_cv.sort_by(|a, b| a.1.total_cmp(&b.1));
             let best = by_cv.first().expect("sweep is non-empty").0;
@@ -47,4 +47,5 @@ fn main() {
     println!("\nAs in the paper's Table 6, the best-balanced configuration is usually a small");
     println!("partition and the worst the largest one of the sweep — growing PC slightly");
     println!("degrades balance even as it improves response time.");
+    Ok(())
 }

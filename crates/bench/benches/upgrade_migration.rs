@@ -2,17 +2,18 @@
 //!
 //! The paper's motivating claim (§1, §3): a CRAID upgrade only has to
 //! redistribute the cache partition, while conventional approaches move a
-//! large fraction of the stored data. This bench runs the paper's expansion
-//! schedule (10 → 13 → 17 → 22 → 29 → 38 → 50 disks) against the wdev
-//! workload and compares the blocks each approach must migrate per step.
+//! large fraction of the stored data. This bench declares the paper's
+//! expansion schedule (10 → 13 → 17 → 22 → 29 → 38 → 50 disks) as a
+//! `Scenario` timeline over the wdev workload and compares the blocks each
+//! approach must migrate per step.
 
-use craid::{ArrayConfig, Simulation, StrategyKind};
-use craid_bench::{gen_trace, header_row, print_header, row};
+use craid::{CraidError, StrategyKind};
+use craid_bench::{base_scenario, gen_trace, header_row, print_header, row};
 use craid_raid::{minimal_migration_blocks, ExpansionSchedule};
 use craid_simkit::SimTime;
 use craid_trace::WorkloadId;
 
-fn main() {
+fn main() -> Result<(), CraidError> {
     print_header(
         "Upgrade migration",
         "blocks migrated per upgrade step: CRAID vs restripe vs theoretical minimum (wdev)",
@@ -22,30 +23,36 @@ fn main() {
     let footprint = trace.footprint_blocks();
 
     // CRAID-5+ starting at 10 disks, upgraded at evenly spaced times.
-    let mut config = ArrayConfig::paper(StrategyKind::Craid5Plus, footprint, footprint / 10);
-    config.disks = 10;
-    config.expansion_sets = vec![10];
+    let mut scenario = base_scenario(WorkloadId::Wdev);
+    scenario.name = "upgrade-migration/wdev".to_string();
+    scenario.strategy = StrategyKind::Craid5Plus;
+    scenario.array.pc_fraction = 0.1;
+    scenario.array.disks = Some(10);
+    scenario.array.expansion_sets = Some(vec![10]);
     let span = trace.duration().as_secs();
-    let expansions: Vec<(SimTime, usize)> = schedule
-        .additions()
-        .iter()
-        .enumerate()
-        .map(|(i, &added)| {
-            (
-                SimTime::from_secs(span * (i + 1) as f64 / (schedule.steps() + 1) as f64),
-                added,
-            )
-        })
-        .collect();
-    let (_, reports) = Simulation::new(config).run_with_expansions(&trace, &expansions);
+    for (i, &added) in schedule.additions().iter().enumerate() {
+        let at = SimTime::from_secs(span * (i + 1) as f64 / (schedule.steps() + 1) as f64);
+        scenario
+            .events
+            .push(craid::ScheduledEvent::expand(at, added));
+    }
+    // Reuse the already-generated trace instead of regenerating it.
+    let outcome = scenario.run_on(&trace, &mut craid::NullObserver)?;
+    let reports = &outcome.expansions;
 
     println!(
         "{}",
-        header_row(&["step", "disks", "CRAID blocks", "restripe blocks", "minimal blocks"])
+        header_row(&[
+            "step",
+            "disks",
+            "CRAID blocks",
+            "restripe blocks",
+            "minimal blocks"
+        ])
     );
     let mut craid_total = 0u64;
     let mut restripe_total = 0u64;
-    for ((i, (old, new)), report) in schedule.transitions().enumerate().zip(&reports) {
+    for ((i, (old, new)), report) in schedule.transitions().enumerate().zip(reports) {
         // A round-robin-preserving restripe moves essentially every stored
         // block; the information-theoretic minimum moves added/new of them.
         let restripe = footprint;
@@ -74,4 +81,5 @@ fn main() {
     );
     println!("CRAID's migration is bounded by the cache-partition residency at each upgrade,");
     println!("independent of how much data the archive holds — the paper's headline claim.");
+    Ok(())
 }

@@ -3,8 +3,13 @@
 //! The experiment harness reproducing every table and figure of the CRAID
 //! paper's evaluation (§5). Each `cargo bench` target regenerates one
 //! artifact and prints the same rows or series the paper reports; this
-//! library holds the shared plumbing: workload preparation, strategy sweeps,
-//! parallel execution and table formatting.
+//! library holds the shared plumbing: workload preparation, declarative
+//! sweeps over the paper's experiment matrix, and table formatting.
+//!
+//! Simulation sweeps are expressed as [`Campaign::sweep`]s over
+//! {workloads × cache-partition fractions × strategies}; the engine runs
+//! them in parallel and [`Sweep`] indexes the outcomes for printing. The
+//! bench targets contain no hand-rolled sweep loops.
 //!
 //! The harness runs scaled-down versions of the paper's workloads (the scale
 //! is reported in every header). Absolute numbers therefore differ from the
@@ -15,7 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use craid::{ArrayConfig, Simulation, SimulationReport, StrategyKind};
+use craid::{Campaign, CraidError, Scenario, ScenarioOutcome, SimulationReport, StrategyKind};
 use craid_trace::{SyntheticWorkload, Trace, WorkloadId};
 
 /// Number of client requests each scaled workload is generated with.
@@ -40,6 +45,10 @@ pub const CRAID_STRATEGIES: [StrategyKind; 4] = [
     StrategyKind::Craid5PlusSsd,
 ];
 
+/// The two baselines, run once per workload (their shape does not depend on
+/// the cache-partition size).
+pub const BASELINES: [StrategyKind; 2] = [StrategyKind::Raid5, StrategyKind::Raid5Plus];
+
 /// All seven paper workloads.
 pub fn workloads() -> Vec<WorkloadId> {
     WorkloadId::ALL.to_vec()
@@ -55,41 +64,135 @@ pub fn gen_trace_with(id: WorkloadId, target_requests: u64, seed: u64) -> Trace 
     SyntheticWorkload::paper_scaled_to(id, target_requests).generate(seed)
 }
 
-/// Builds the paper-shaped array configuration for a strategy, with the
-/// cache partition sized to `pc_fraction` of the trace footprint.
-pub fn config_for(strategy: StrategyKind, trace: &Trace, pc_fraction: f64) -> ArrayConfig {
-    let pc_blocks = ((trace.footprint_blocks() as f64 * pc_fraction) as u64).max(64);
-    ArrayConfig::paper(strategy, trace.footprint_blocks(), pc_blocks)
+/// The scenario every bench builds on: the paper's array shape replaying
+/// the harness's scaled workload.
+pub fn base_scenario(id: WorkloadId) -> Scenario {
+    Scenario::builder()
+        .name(format!("bench/{id}"))
+        .workload(id)
+        .requests(TARGET_REQUESTS)
+        .seed(SEED)
+        .paper()
+        .pc_fraction(PC_SWEEP[0])
+        .build()
 }
 
-/// Runs one simulation of `strategy` over `trace`.
-pub fn run_strategy(strategy: StrategyKind, trace: &Trace, pc_fraction: f64) -> SimulationReport {
-    Simulation::new(config_for(strategy, trace, pc_fraction)).run(trace)
+/// A finished {workloads × pc-fractions × strategies} sweep with outcome
+/// lookup by key.
+pub struct Sweep {
+    outcomes: Vec<ScenarioOutcome>,
 }
 
-/// Runs a set of jobs in parallel across threads and returns the results in
-/// input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = items.len().div_ceil(threads).max(1);
-        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-    results.into_iter().map(|r| r.expect("every slot was filled")).collect()
+impl Sweep {
+    /// Declares and runs the cartesian sweep in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error, if any configuration is invalid.
+    pub fn run(
+        workloads: &[WorkloadId],
+        pc_fractions: &[f64],
+        strategies: &[StrategyKind],
+    ) -> Result<Sweep, CraidError> {
+        Sweep::of(
+            &base_scenario(WorkloadId::Wdev),
+            workloads,
+            pc_fractions,
+            strategies,
+        )
+    }
+
+    /// Like [`Sweep::run`] but around an explicit base scenario (request
+    /// count, seeds, and overrides are taken from it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error, if any configuration is invalid.
+    pub fn of(
+        base: &Scenario,
+        workloads: &[WorkloadId],
+        pc_fractions: &[f64],
+        strategies: &[StrategyKind],
+    ) -> Result<Sweep, CraidError> {
+        let outcomes = Campaign::sweep(base, workloads, pc_fractions, strategies).run()?;
+        Ok(Sweep { outcomes })
+    }
+
+    /// Runs an explicit scenario list as one campaign (used by benches that
+    /// combine a CRAID sweep with the partition-independent baselines, so
+    /// every workload trace is generated exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error, if any configuration is invalid.
+    pub fn of_scenarios(scenarios: Vec<Scenario>) -> Result<Sweep, CraidError> {
+        let outcomes = Campaign::new(scenarios).run()?;
+        Ok(Sweep { outcomes })
+    }
+
+    /// The Figure 4/6 shape: a {workloads × fractions × CRAID strategies}
+    /// sweep plus the two partition-independent baselines at the first
+    /// fraction, all as one campaign so every workload trace is generated
+    /// exactly once. Baseline cells are keyed by `pc_fractions[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error, if any configuration is invalid.
+    pub fn with_baselines(
+        workloads: &[WorkloadId],
+        pc_fractions: &[f64],
+        strategies: &[StrategyKind],
+    ) -> Result<Sweep, CraidError> {
+        let base = base_scenario(WorkloadId::Wdev);
+        let mut scenarios = Campaign::sweep(&base, workloads, pc_fractions, strategies)
+            .scenarios()
+            .to_vec();
+        scenarios.extend(
+            Campaign::sweep(&base, workloads, &pc_fractions[..1], &BASELINES)
+                .scenarios()
+                .to_vec(),
+        );
+        Sweep::of_scenarios(scenarios)
+    }
+
+    /// Every outcome, in campaign order (workload-major, then fraction,
+    /// then strategy).
+    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome of one cell of the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not part of the sweep.
+    pub fn outcome(
+        &self,
+        workload: WorkloadId,
+        pc_fraction: f64,
+        strategy: StrategyKind,
+    ) -> &ScenarioOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| {
+                o.workload == workload && o.pc_fraction == pc_fraction && o.strategy == strategy
+            })
+            .unwrap_or_else(|| panic!("sweep has no cell ({workload}, {pc_fraction}, {strategy})"))
+    }
+
+    /// The report of one cell of the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not part of the sweep.
+    pub fn report(
+        &self,
+        workload: WorkloadId,
+        pc_fraction: f64,
+        strategy: StrategyKind,
+    ) -> &SimulationReport {
+        &self.outcome(workload, pc_fraction, strategy).report
+    }
 }
 
 /// Prints a section header shared by every bench target.
@@ -140,26 +243,41 @@ mod tests {
     }
 
     #[test]
-    fn config_for_scales_pc_with_fraction() {
-        let trace = gen_trace(WorkloadId::Webusers);
-        let small = config_for(StrategyKind::Craid5, &trace, 0.05);
-        let large = config_for(StrategyKind::Craid5, &trace, 0.4);
-        assert!(large.pc_capacity_blocks > small.pc_capacity_blocks);
-        assert!(small.validate().is_ok());
+    fn base_scenario_matches_the_harness_trace() {
+        let scenario = base_scenario(WorkloadId::Webusers);
+        let trace = scenario.trace();
+        let direct = gen_trace(WorkloadId::Webusers);
+        assert_eq!(trace.len(), direct.len());
+        assert_eq!(trace.footprint_blocks(), direct.footprint_blocks());
+        let config = scenario.array_config(&trace);
+        assert!(config.validate().is_ok());
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items.clone(), |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn run_strategy_produces_a_report() {
-        let trace = gen_trace_with(WorkloadId::Wdev, 2_000, 1);
-        let report = run_strategy(StrategyKind::Craid5, &trace, 0.2);
+    fn sweep_lookup_finds_every_cell() {
+        let mut base = base_scenario(WorkloadId::Wdev);
+        base.workload.requests = 1_500; // keep the unit test quick
+        let sweep = Sweep::of(
+            &base,
+            &[WorkloadId::Wdev],
+            &[0.1, 0.2],
+            &[StrategyKind::Raid5, StrategyKind::Craid5],
+        )
+        .expect("sweep configuration is valid");
+        assert_eq!(sweep.outcomes().len(), 4);
+        let report = sweep.report(WorkloadId::Wdev, 0.2, StrategyKind::Craid5);
         assert!(report.requests > 0);
         assert!(report.craid.is_some());
+    }
+
+    #[test]
+    fn scenario_overrides_produce_a_report() {
+        let mut scenario = base_scenario(WorkloadId::Wdev);
+        scenario.strategy = StrategyKind::Craid5;
+        scenario.array.pc_fraction = 0.2;
+        scenario.workload.requests = 1_500; // keep the unit test quick
+        let outcome = scenario.run().expect("valid configuration");
+        assert!(outcome.report.requests > 0);
+        assert!(outcome.report.craid.is_some());
     }
 }

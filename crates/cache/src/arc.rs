@@ -146,7 +146,10 @@ impl ReplacementPolicy for ArcPolicy {
                 // B1 is empty and T1 is full: evict the LRU of T1 outright.
                 if let Some(victim) = self.t1.pop_lru() {
                     let dirty = self.dirty.remove(&victim).unwrap_or(false);
-                    evicted = Some(Evicted { block: victim, dirty });
+                    evicted = Some(Evicted {
+                        block: victim,
+                        dirty,
+                    });
                 }
             }
         } else {
@@ -261,7 +264,13 @@ mod tests {
         p.access(2, R);
         p.access(1, R); // promote 1 to the frequency list
         let out = p.access(3, R); // evicts the T1 LRU (block 2) into ghost list B1
-        assert_eq!(out.evicted(), Some(Evicted { block: 2, dirty: false }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 2,
+                dirty: false
+            })
+        );
         assert_eq!(p.len(), 2);
         assert!(p.ghost_len() >= 1);
         // Access the evicted block again: a ghost hit brings it back resident.
@@ -287,7 +296,10 @@ mod tests {
                 p.access(2, R);
             }
         }
-        assert!(p.contains(1) && p.contains(2), "hot blocks evicted by a scan");
+        assert!(
+            p.contains(1) && p.contains(2),
+            "hot blocks evicted by a scan"
+        );
     }
 
     #[test]
@@ -343,7 +355,13 @@ mod tests {
     fn remove_specific_block() {
         let mut p = ArcPolicy::new(4);
         p.access(5, W);
-        assert_eq!(p.remove(5), Some(Evicted { block: 5, dirty: true }));
+        assert_eq!(
+            p.remove(5),
+            Some(Evicted {
+                block: 5,
+                dirty: true
+            })
+        );
         assert_eq!(p.remove(5), None);
     }
 
@@ -363,7 +381,10 @@ mod tests {
         p.access(5, R); // evicts the T1 LRU (3) into B1
         assert!(p.ghost_len() >= 1);
         p.access(3, R); // ghost hit in B1
-        assert!(p.recency_target() > 0, "B1 ghost hit must raise the recency target");
+        assert!(
+            p.recency_target() > 0,
+            "B1 ghost hit must raise the recency target"
+        );
     }
 
     proptest! {

@@ -96,7 +96,10 @@ impl KeyedPolicy {
     fn evict_smallest(&mut self) -> Option<Evicted> {
         let &(OrdF64(key), block) = self.order.iter().next()?;
         self.order.remove(&(OrdF64(key), block));
-        let entry = self.entries.remove(&block).expect("order and entries are in sync");
+        let entry = self
+            .entries
+            .remove(&block)
+            .expect("order and entries are in sync");
         // Dynamic aging: L becomes the evicted key.
         self.age = key;
         Some(Evicted {
@@ -154,7 +157,10 @@ impl KeyedPolicy {
         let out: Vec<Evicted> = self
             .entries
             .iter()
-            .map(|(&block, e)| Evicted { block, dirty: e.dirty })
+            .map(|(&block, e)| Evicted {
+                block,
+                dirty: e.dirty,
+            })
             .collect();
         self.entries.clear();
         self.order.clear();
@@ -303,7 +309,10 @@ mod tests {
                 }
             }
         }
-        assert!(evicted_one, "dynamic aging must eventually evict the stale popular block");
+        assert!(
+            evicted_one,
+            "dynamic aging must eventually evict the stale popular block"
+        );
         assert!(p.age_factor() > 0.0);
     }
 
@@ -344,7 +353,13 @@ mod tests {
         assert!(!p.is_dirty(1));
         p.access(1, W);
         assert!(p.is_dirty(1));
-        assert_eq!(p.remove(1), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(
+            p.remove(1),
+            Some(Evicted {
+                block: 1,
+                dirty: true
+            })
+        );
     }
 
     #[test]

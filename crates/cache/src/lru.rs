@@ -96,7 +96,10 @@ impl LruPolicy {
     fn evict_one(&mut self) -> Option<Evicted> {
         let victim = self.list.pop_lru()?;
         let dirty = self.dirty.remove(&victim).unwrap_or(false);
-        Some(Evicted { block: victim, dirty })
+        Some(Evicted {
+            block: victim,
+            dirty,
+        })
     }
 }
 
@@ -200,7 +203,10 @@ impl WlruPolicy {
     ///
     /// Panics if `capacity` is zero or `w` is outside `[0, 1]`.
     pub fn new(capacity: usize, w: f64) -> Self {
-        assert!((0.0..=1.0).contains(&w), "WLRU weight must be in [0,1], got {w}");
+        assert!(
+            (0.0..=1.0).contains(&w),
+            "WLRU weight must be in [0,1], got {w}"
+        );
         WlruPolicy {
             inner: LruPolicy::new(capacity),
             w,
@@ -248,14 +254,19 @@ impl ReplacementPolicy for WlruPolicy {
             return self.inner.access(block, meta);
         }
         let evicted = if self.inner.len() >= self.inner.capacity() {
-            let victim = self.pick_victim().expect("cache is full, a victim must exist");
+            let victim = self
+                .pick_victim()
+                .expect("cache is full, a victim must exist");
             self.inner.remove(victim)
         } else {
             None
         };
         // Insert through the inner policy (cannot evict again: room was made).
         let inserted = self.inner.access(block, meta);
-        debug_assert!(!inserted.is_replacement(), "room was already made for the insert");
+        debug_assert!(
+            !inserted.is_replacement(),
+            "room was already made for the insert"
+        );
         match evicted {
             Some(e) => AccessOutcome::InsertedWithEviction(e),
             None => AccessOutcome::Inserted,
@@ -302,7 +313,13 @@ mod tests {
         p.access(3, R);
         p.access(1, R); // refresh 1; 2 is now LRU
         let out = p.access(4, R);
-        assert_eq!(out.evicted(), Some(Evicted { block: 2, dirty: false }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 2,
+                dirty: false
+            })
+        );
         assert!(p.contains(1) && p.contains(3) && p.contains(4));
     }
 
@@ -314,7 +331,13 @@ mod tests {
         assert!(p.is_dirty(1));
         assert!(!p.is_dirty(2));
         let out = p.access(3, R);
-        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 1,
+                dirty: true
+            })
+        );
     }
 
     #[test]
@@ -325,7 +348,13 @@ mod tests {
         assert!(!p.is_dirty(1));
         p.access(2, R);
         let out = p.access(3, R);
-        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: false }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 1,
+                dirty: false
+            })
+        );
     }
 
     #[test]
@@ -367,7 +396,13 @@ mod tests {
     fn lru_remove_specific_block() {
         let mut p = LruPolicy::new(3);
         p.access(1, W);
-        assert_eq!(p.remove(1), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(
+            p.remove(1),
+            Some(Evicted {
+                block: 1,
+                dirty: true
+            })
+        );
         assert_eq!(p.remove(1), None);
         assert!(!p.contains(1));
     }
@@ -389,7 +424,13 @@ mod tests {
         p.access(3, W); // dirty
         let out = p.access(4, R);
         // Plain LRU would evict 1 (dirty); WLRU skips it and evicts clean 2.
-        assert_eq!(out.evicted(), Some(Evicted { block: 2, dirty: false }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 2,
+                dirty: false
+            })
+        );
         assert!(p.contains(1) && p.contains(3) && p.contains(4));
     }
 
@@ -400,7 +441,13 @@ mod tests {
         p.access(2, W);
         p.access(3, W);
         let out = p.access(4, R);
-        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 1,
+                dirty: true
+            })
+        );
     }
 
     #[test]
@@ -413,7 +460,13 @@ mod tests {
         p.access(3, R);
         p.access(4, R);
         let out = p.access(5, R);
-        assert_eq!(out.evicted(), Some(Evicted { block: 1, dirty: true }));
+        assert_eq!(
+            out.evicted(),
+            Some(Evicted {
+                block: 1,
+                dirty: true
+            })
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ pub trait ReplacementPolicy: fmt::Debug {
 
 /// Selector for the five policies of the paper, used by experiment configs
 /// and the command-line harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serializes as its display name (`"ARC"`, `"WLRU0.5"`, ...) so scenario
+/// files can name policies the way the paper's tables do; parsing accepts
+/// the same spellings via [`FromStr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// Least Recently Used.
     Lru,
@@ -196,17 +200,35 @@ impl FromStr for PolicyKind {
                     let w = if w.is_empty() {
                         0.5
                     } else {
-                        w.parse::<f64>().map_err(|e| format!("invalid WLRU weight: {e}"))?
+                        w.parse::<f64>()
+                            .map_err(|e| format!("invalid WLRU weight: {e}"))?
                     };
                     if !(0.0..=1.0).contains(&w) {
                         return Err(format!("WLRU weight must be in [0,1], got {w}"));
                     }
                     Ok(PolicyKind::Wlru(w))
                 } else {
-                    Err(format!("unknown policy '{s}' (expected lru, lfuda, gdsf, arc or wlru<w>)"))
+                    Err(format!(
+                        "unknown policy '{s}' (expected lru, lfuda, gdsf, arc or wlru<w>)"
+                    ))
                 }
             }
         }
+    }
+}
+
+impl Serialize for PolicyKind {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for PolicyKind {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("policy name", value))?;
+        s.parse().map_err(serde::Error::custom)
     }
 }
 
@@ -219,7 +241,10 @@ mod tests {
         assert!(AccessOutcome::Hit.is_hit());
         assert!(!AccessOutcome::Hit.is_replacement());
         assert_eq!(AccessOutcome::Hit.evicted(), None);
-        let e = Evicted { block: 7, dirty: true };
+        let e = Evicted {
+            block: 7,
+            dirty: true,
+        };
         let o = AccessOutcome::InsertedWithEviction(e);
         assert!(o.is_replacement());
         assert_eq!(o.evicted(), Some(e));
@@ -230,7 +255,10 @@ mod tests {
     fn policy_kind_parsing() {
         assert_eq!("lru".parse::<PolicyKind>().unwrap(), PolicyKind::Lru);
         assert_eq!("ARC".parse::<PolicyKind>().unwrap(), PolicyKind::Arc);
-        assert_eq!("wlru0.5".parse::<PolicyKind>().unwrap(), PolicyKind::Wlru(0.5));
+        assert_eq!(
+            "wlru0.5".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Wlru(0.5)
+        );
         assert_eq!("wlru".parse::<PolicyKind>().unwrap(), PolicyKind::Wlru(0.5));
         assert!("wlru1.5".parse::<PolicyKind>().is_err());
         assert!("clock".parse::<PolicyKind>().is_err());
@@ -243,6 +271,17 @@ mod tests {
             let parsed: PolicyKind = shown.parse().unwrap();
             assert_eq!(parsed, kind, "{shown} should parse back to {kind:?}");
         }
+    }
+
+    #[test]
+    fn policy_serde_uses_display_names() {
+        for kind in PolicyKind::paper_set() {
+            let v = Serialize::serialize(&kind);
+            assert_eq!(v, serde::Value::Str(kind.to_string()));
+            let back: PolicyKind = Deserialize::deserialize(&v).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert!(PolicyKind::deserialize(&serde::Value::Bool(true)).is_err());
     }
 
     #[test]

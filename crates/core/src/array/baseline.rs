@@ -51,7 +51,11 @@ impl BaselineArray {
     ) -> Result<Partition<ArchiveLayout>, CraidError> {
         let blocks_per_disk = config.pa_blocks_per_hdd();
         let layout = if config.strategy.archive_is_aggregated() {
-            ArchiveLayout::Aggregated(Raid5PlusLayout::new(sets, config.stripe_unit, blocks_per_disk)?)
+            ArchiveLayout::Aggregated(Raid5PlusLayout::new(
+                sets,
+                config.stripe_unit,
+                blocks_per_disk,
+            )?)
         } else {
             ArchiveLayout::Ideal(Raid5Layout::new(
                 disks,
@@ -65,8 +69,12 @@ impl BaselineArray {
 
     /// Fraction of logical blocks whose physical location changes between
     /// two volume layouts, estimated by sampling the used address range.
-    fn restripe_fraction(old: &Partition<ArchiveLayout>, new: &Partition<ArchiveLayout>, used: u64) -> f64 {
-        let probe = used.min(8_192).max(1);
+    fn restripe_fraction(
+        old: &Partition<ArchiveLayout>,
+        new: &Partition<ArchiveLayout>,
+        used: u64,
+    ) -> f64 {
+        let probe = used.clamp(1, 8_192);
         let step = (used / probe).max(1);
         let mut moved = 0u64;
         let mut sampled = 0u64;
@@ -125,7 +133,9 @@ impl StorageArray for BaselineArray {
         let mut report = RequestReport::default();
         let mut finish = now;
         for io in plan {
-            let event = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            let event = self
+                .devices
+                .submit(now, io.disk, io.kind, io.range, io.purpose);
             finish = finish.max(event.finished);
             report.events.push(event);
         }
@@ -142,7 +152,7 @@ impl StorageArray for BaselineArray {
             StrategyKind::Raid5 => {
                 // An ideal RAID-5 stays ideal only by restriping: count how
                 // much of the used dataset has to move.
-                if new_disks % self.config.parity_group != 0 {
+                if !new_disks.is_multiple_of(self.config.parity_group) {
                     return Err(CraidError::InvalidExpansion(format!(
                         "RAID-5 restripe needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
                         self.config.parity_group
@@ -231,7 +241,10 @@ mod tests {
             .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(100, 2))
             .unwrap()
             .response;
-        assert!(report.response > read_resp, "RMW writes cost more than reads");
+        assert!(
+            report.response > read_resp,
+            "RMW writes cost more than reads"
+        );
     }
 
     #[test]
@@ -265,7 +278,9 @@ mod tests {
             report.migrated_blocks
         );
         // The array still serves requests afterwards.
-        assert!(a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4)).is_ok());
+        assert!(a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4))
+            .is_ok());
     }
 
     #[test]
@@ -282,7 +297,10 @@ mod tests {
     fn invalid_expansions_are_rejected() {
         let mut a = array(StrategyKind::Raid5Plus);
         assert!(a.expand(SimTime::ZERO, 0).is_err());
-        assert!(a.expand(SimTime::ZERO, 1).is_err(), "a one-disk RAID-5 set is not valid");
+        assert!(
+            a.expand(SimTime::ZERO, 1).is_err(),
+            "a one-disk RAID-5 set is not valid"
+        );
         let mut a = array(StrategyKind::Raid5);
         assert!(
             a.expand(SimTime::ZERO, 3).is_err(),

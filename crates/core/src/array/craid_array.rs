@@ -85,7 +85,11 @@ impl CraidArray {
         let blocks_per_disk = config.pa_blocks_per_hdd();
         let offset = config.pc_blocks_per_hdd();
         let layout = if config.strategy.archive_is_aggregated() {
-            ArchiveLayout::Aggregated(Raid5PlusLayout::new(sets, config.stripe_unit, blocks_per_disk)?)
+            ArchiveLayout::Aggregated(Raid5PlusLayout::new(
+                sets,
+                config.stripe_unit,
+                blocks_per_disk,
+            )?)
         } else {
             ArchiveLayout::Ideal(Raid5Layout::new(
                 disks,
@@ -107,14 +111,16 @@ impl CraidArray {
         let slots: Vec<u64> = tasks.iter().map(|t| t.pc_slot).collect();
         let pa_blocks: Vec<u64> = tasks.iter().map(|t| t.pa_block).collect();
         for io in self.pc.plan_blocks(IoKind::Read, &slots) {
-            report
-                .events
-                .push(self.devices.submit(now, io.disk, io.kind, io.range, io.purpose));
+            report.events.push(
+                self.devices
+                    .submit(now, io.disk, io.kind, io.range, io.purpose),
+            );
         }
         for io in self.pa.plan_blocks(IoKind::Write, &pa_blocks) {
-            report
-                .events
-                .push(self.devices.submit(now, io.disk, io.kind, io.range, io.purpose));
+            report.events.push(
+                self.devices
+                    .submit(now, io.disk, io.kind, io.range, io.purpose),
+            );
         }
         report.writeback_blocks += tasks.len() as u64;
     }
@@ -175,12 +181,16 @@ impl StorageArray for CraidArray {
         };
         let mut finish = now;
         for io in plan.foreground {
-            let ev = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            let ev = self
+                .devices
+                .submit(now, io.disk, io.kind, io.range, io.purpose);
             finish = finish.max(ev.finished);
             report.events.push(ev);
         }
         for io in plan.background {
-            let ev = self.devices.submit(now, io.disk, io.kind, io.range, io.purpose);
+            let ev = self
+                .devices
+                .submit(now, io.disk, io.kind, io.range, io.purpose);
             report.events.push(ev);
         }
         report.response = finish.saturating_since(now);
@@ -223,7 +233,7 @@ impl StorageArray for CraidArray {
                 ));
             }
             self.expansion_sets.push(added_disks);
-        } else if new_disks % self.config.parity_group != 0 {
+        } else if !new_disks.is_multiple_of(self.config.parity_group) {
             return Err(CraidError::InvalidExpansion(format!(
                 "the ideal RAID-5 archive needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
                 self.config.parity_group
@@ -233,7 +243,7 @@ impl StorageArray for CraidArray {
         if spreads_pc_over_hdds {
             // PC must keep using every disk: it is rebuilt over the new set
             // of spindles and starts refilling immediately.
-            let pc_layout = if new_disks % self.config.parity_group == 0 {
+            let pc_layout = if new_disks.is_multiple_of(self.config.parity_group) {
                 Raid5Layout::new(
                     new_disks,
                     self.config.parity_group,
@@ -254,6 +264,16 @@ impl StorageArray for CraidArray {
             self.monitor.resize(self.pc.capacity());
         }
         Ok(report)
+    }
+
+    fn switch_policy(
+        &mut self,
+        _now: SimTime,
+        policy: craid_cache::PolicyKind,
+    ) -> Result<(), CraidError> {
+        self.monitor.switch_policy(policy);
+        self.config.policy = policy;
+        Ok(())
     }
 
     fn device_stats(&self) -> Vec<DeviceLoadStats> {
@@ -284,7 +304,11 @@ mod tests {
         assert_eq!(r1.admitted_blocks, 4);
         // Second read of the same blocks hits the cache partition.
         let r2 = a
-            .submit(SimTime::from_secs(1.0), IoKind::Read, BlockRange::new(500, 4))
+            .submit(
+                SimTime::from_secs(1.0),
+                IoKind::Read,
+                BlockRange::new(500, 4),
+            )
             .unwrap();
         assert_eq!(r2.cache_hit_blocks, 4);
         assert_eq!(r2.admitted_blocks, 0);
@@ -304,7 +328,11 @@ mod tests {
         let mut warm = SimDuration::ZERO;
         for i in 1..=3 {
             warm = a
-                .submit(SimTime::from_secs(i as f64 * 10.0), IoKind::Read, BlockRange::new(2_000, 4))
+                .submit(
+                    SimTime::from_secs(i as f64 * 10.0),
+                    IoKind::Read,
+                    BlockRange::new(2_000, 4),
+                )
                 .unwrap()
                 .response;
         }
@@ -340,7 +368,11 @@ mod tests {
         );
         // A cold read touches the archive (HDDs) and copies to the SSDs.
         let r = a
-            .submit(SimTime::from_secs(1.0), IoKind::Read, BlockRange::new(5_000, 2))
+            .submit(
+                SimTime::from_secs(1.0),
+                IoKind::Read,
+                BlockRange::new(5_000, 2),
+            )
             .unwrap();
         assert!(r.events.iter().any(|e| e.device < 8));
         assert!(r.events.iter().any(|e| e.device >= 8));
@@ -351,8 +383,12 @@ mod tests {
         let mut a = array(StrategyKind::Craid5Plus);
         // Warm the cache with some dirty blocks.
         for b in 0..40u64 {
-            a.submit(SimTime::from_millis(b as f64), IoKind::Write, BlockRange::new(b * 8, 4))
-                .unwrap();
+            a.submit(
+                SimTime::from_millis(b as f64),
+                IoKind::Write,
+                BlockRange::new(b * 8, 4),
+            )
+            .unwrap();
         }
         let cached_before = a.monitor().cached_blocks();
         assert!(cached_before > 0);
@@ -367,7 +403,11 @@ mod tests {
         assert_eq!(a.monitor().cached_blocks(), 0, "PC starts cold again");
         // The array keeps serving and refilling after the upgrade.
         let r = a
-            .submit(SimTime::from_secs(20.0), IoKind::Read, BlockRange::new(0, 4))
+            .submit(
+                SimTime::from_secs(20.0),
+                IoKind::Read,
+                BlockRange::new(0, 4),
+            )
             .unwrap();
         assert_eq!(r.admitted_blocks, 4);
     }
@@ -376,8 +416,12 @@ mod tests {
     fn expansion_migration_is_bounded_by_pc_residency() {
         let mut a = array(StrategyKind::Craid5Plus);
         for b in 0..100u64 {
-            a.submit(SimTime::from_millis(b as f64), IoKind::Read, BlockRange::new(b * 16, 2))
-                .unwrap();
+            a.submit(
+                SimTime::from_millis(b as f64),
+                IoKind::Read,
+                BlockRange::new(b * 16, 2),
+            )
+            .unwrap();
         }
         let report = a.expand(SimTime::from_secs(5.0), 4).unwrap();
         assert!(report.migrated_blocks <= a.pc_capacity_blocks().max(report.migrated_blocks));
@@ -391,21 +435,31 @@ mod tests {
     fn ssd_cached_expansion_keeps_cache_intact() {
         let mut a = array(StrategyKind::Craid5PlusSsd);
         for b in 0..20u64 {
-            a.submit(SimTime::from_millis(b as f64), IoKind::Write, BlockRange::new(b * 4, 2))
-                .unwrap();
+            a.submit(
+                SimTime::from_millis(b as f64),
+                IoKind::Write,
+                BlockRange::new(b * 4, 2),
+            )
+            .unwrap();
         }
         let cached = a.monitor().cached_blocks();
         let report = a.expand(SimTime::from_secs(2.0), 4).unwrap();
         assert_eq!(report.migrated_blocks, 0);
         assert_eq!(report.writeback_blocks, 0);
-        assert_eq!(a.monitor().cached_blocks(), cached, "the SSD cache survives");
+        assert_eq!(
+            a.monitor().cached_blocks(),
+            cached,
+            "the SSD cache survives"
+        );
     }
 
     #[test]
     fn out_of_range_and_invalid_expansion_are_rejected() {
         let mut a = array(StrategyKind::Craid5);
         let cap = a.capacity_blocks();
-        assert!(a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(cap, 1)).is_err());
+        assert!(a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(cap, 1))
+            .is_err());
         assert!(a.expand(SimTime::ZERO, 0).is_err());
         let mut plus = array(StrategyKind::Craid5Plus);
         assert!(plus.expand(SimTime::ZERO, 1).is_err());

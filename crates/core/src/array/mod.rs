@@ -6,6 +6,7 @@ mod craid_array;
 pub use baseline::BaselineArray;
 pub use craid_array::CraidArray;
 
+use craid_cache::PolicyKind;
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
 use craid_simkit::{SimDuration, SimTime};
 
@@ -89,6 +90,17 @@ pub trait StorageArray {
     /// Returns [`CraidError::InvalidExpansion`] if `added_disks` is zero or
     /// the resulting geometry is unusable for this strategy.
     fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError>;
+
+    /// Switches the I/O monitor's replacement policy at `now`, preserving
+    /// the currently cached blocks (a scenario's `PolicySwitch` event).
+    /// Baseline arrays have no cache partition, so the default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the array cannot apply the switch.
+    fn switch_policy(&mut self, _now: SimTime, _policy: PolicyKind) -> Result<(), CraidError> {
+        Ok(())
+    }
 
     /// Per-device load statistics accumulated so far.
     fn device_stats(&self) -> Vec<DeviceLoadStats>;

@@ -8,7 +8,7 @@ use craid_diskmodel::{HddParameters, SsdParameters};
 use crate::error::CraidError;
 
 /// The six allocation policies compared in the paper's evaluation (Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StrategyKind {
     /// An ideally restriped RAID-5 using every disk (upper baseline).
     Raid5,
@@ -74,6 +74,50 @@ impl StrategyKind {
 impl std::fmt::Display for StrategyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    /// Parses either the paper's figure label (`"CRAID-5+ssd"`) or the
+    /// variant identifier (`"Craid5PlusSsd"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Normalize: drop dashes/underscores, lowercase, and let "plus"
+        // stand in for "+", so every spelling collapses to one key.
+        let key: String = s
+            .trim()
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase()
+            .replace("plus", "+");
+        StrategyKind::ALL
+            .into_iter()
+            .find(|k| k.name().replace('-', "").to_ascii_lowercase() == key)
+            .ok_or_else(|| {
+                format!(
+                    "unknown strategy '{s}' (expected one of: {})",
+                    StrategyKind::ALL.map(|k| k.name()).join(", ")
+                )
+            })
+    }
+}
+
+// Strategies serialize as their figure labels so scenario files can name
+// them the way the paper does (`strategy = "CRAID-5+"`).
+impl Serialize for StrategyKind {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for StrategyKind {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("strategy name", value))?;
+        s.parse().map_err(serde::Error::custom)
     }
 }
 
@@ -243,7 +287,9 @@ impl ArrayConfig {
 
     /// Archive-partition blocks available per mechanical disk.
     pub fn pa_blocks_per_hdd(&self) -> u64 {
-        let remaining = self.hdd_capacity_blocks.saturating_sub(self.pc_blocks_per_hdd());
+        let remaining = self
+            .hdd_capacity_blocks
+            .saturating_sub(self.pc_blocks_per_hdd());
         (remaining / self.stripe_unit) * self.stripe_unit
     }
 
@@ -268,7 +314,7 @@ impl ArrayConfig {
         if self.disks < 2 {
             return fail(format!("need at least 2 disks, got {}", self.disks));
         }
-        if self.parity_group < 2 || self.disks % self.parity_group != 0 {
+        if self.parity_group < 2 || !self.disks.is_multiple_of(self.parity_group) {
             return fail(format!(
                 "parity group {} must be >= 2 and divide the disk count {}",
                 self.parity_group, self.disks
@@ -332,6 +378,35 @@ mod tests {
         assert!(!StrategyKind::Craid5Ssd.archive_is_aggregated());
         assert_eq!(StrategyKind::ALL.len(), 6);
         assert_eq!(StrategyKind::Craid5Plus.to_string(), "CRAID-5+");
+    }
+
+    #[test]
+    fn strategy_names_round_trip_through_strings() {
+        for s in StrategyKind::ALL {
+            // The figure label round-trips...
+            assert_eq!(s.name().parse::<StrategyKind>().unwrap(), s);
+            // ...and so do the variant identifier and sloppy spellings.
+            assert_eq!(format!("{s:?}").parse::<StrategyKind>().unwrap(), s);
+            assert_eq!(s.name().to_lowercase().parse::<StrategyKind>().unwrap(), s);
+        }
+        assert_eq!(
+            "craid-5+ssd".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Craid5PlusSsd
+        );
+        assert!("raid6".parse::<StrategyKind>().is_err());
+        assert!("".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn strategy_serde_uses_figure_labels() {
+        for s in StrategyKind::ALL {
+            let v = Serialize::serialize(&s);
+            assert_eq!(v, serde::Value::Str(s.name().to_string()));
+            let back: StrategyKind = Deserialize::deserialize(&v).unwrap();
+            assert_eq!(back, s);
+        }
+        let err = StrategyKind::deserialize(&serde::Value::Int(3));
+        assert!(err.is_err());
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! * a trace-replay [`Simulation`] driver that measures everything the
 //!   paper's §5 reports: per-request response times, hit/eviction ratios,
 //!   per-second load balance (cv), access sequentiality, queue depths and
-//!   device concurrency, and upgrade migration volumes.
+//!   device concurrency, and upgrade migration volumes;
+//! * a declarative experiment surface ([`scenario`]): serializable
+//!   [`Scenario`]s with [`ScheduledEvent`] timelines (expansions, policy
+//!   switches, phase markers), pluggable [`Observer`]s, and a parallel
+//!   [`Campaign`] runner for whole experiment matrices.
 //!
 //! # Quick start
 //!
@@ -37,6 +41,28 @@
 //! assert!(report.requests > 0);
 //! assert!(report.craid.is_some());
 //! ```
+//!
+//! # Declaring experiments
+//!
+//! ```
+//! use craid::{Campaign, Scenario, StrategyKind};
+//! use craid_trace::WorkloadId;
+//!
+//! let base = Scenario::builder()
+//!     .workload(WorkloadId::Wdev)
+//!     .requests(1_000)
+//!     .small_test()
+//!     .build();
+//! let outcomes = Campaign::sweep(
+//!     &base,
+//!     &[WorkloadId::Wdev],
+//!     &[0.1, 0.2],
+//!     &[StrategyKind::Raid5, StrategyKind::Craid5],
+//! )
+//! .run()
+//! .unwrap();
+//! assert_eq!(outcomes.len(), 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,9 +73,11 @@ pub mod devices;
 pub mod error;
 pub mod mapping;
 pub mod monitor;
+pub mod observer;
 pub mod partition;
 pub mod redirector;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 
 pub use array::{BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray};
@@ -57,6 +85,13 @@ pub use config::{ArrayConfig, DeviceTier, StrategyKind};
 pub use error::CraidError;
 pub use mapping::MappingCache;
 pub use monitor::IoMonitor;
+pub use observer::{
+    MetricsCollector, MultiObserver, NullObserver, Observer, ProgressObserver, RequestOutcome,
+};
 pub use partition::CachePartition;
 pub use report::{CraidStats, SimulationReport};
+pub use scenario::{
+    AppliedEvent, ArrayPreset, ArraySpec, Campaign, ObserverSpec, Scenario, ScenarioBuilder,
+    ScenarioOutcome, ScheduledEvent, WorkloadSource,
+};
 pub use sim::{policy_quality, DatasetMapper, PolicyQuality, Simulation};

@@ -177,10 +177,28 @@ mod tests {
         m.insert(200, 1, true);
         assert_eq!(m.len(), 2);
         assert!(m.contains(100));
-        assert_eq!(m.lookup(100), Some(Mapping { pc_block: 0, dirty: false }));
-        assert_eq!(m.lookup(200), Some(Mapping { pc_block: 1, dirty: true }));
+        assert_eq!(
+            m.lookup(100),
+            Some(Mapping {
+                pc_block: 0,
+                dirty: false
+            })
+        );
+        assert_eq!(
+            m.lookup(200),
+            Some(Mapping {
+                pc_block: 1,
+                dirty: true
+            })
+        );
         assert_eq!(m.lookup(300), None);
-        assert_eq!(m.remove(100), Some(Mapping { pc_block: 0, dirty: false }));
+        assert_eq!(
+            m.remove(100),
+            Some(Mapping {
+                pc_block: 0,
+                dirty: false
+            })
+        );
         assert_eq!(m.remove(100), None);
         assert_eq!(m.len(), 1);
     }
@@ -201,7 +219,13 @@ mod tests {
         let mut m = MappingCache::new();
         m.insert(7, 1, true);
         m.insert(7, 42, false);
-        assert_eq!(m.lookup(7), Some(Mapping { pc_block: 42, dirty: false }));
+        assert_eq!(
+            m.lookup(7),
+            Some(Mapping {
+                pc_block: 42,
+                dirty: false
+            })
+        );
         assert_eq!(m.len(), 1);
     }
 
@@ -213,7 +237,10 @@ mod tests {
         m.insert(20, 1, false);
         let drained = m.drain();
         assert!(m.is_empty());
-        assert_eq!(drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub struct MonitorStats {
 impl MonitorStats {
     /// Overall hit ratio across reads and writes, in `[0, 1]`.
     pub fn hit_ratio(&self) -> f64 {
-        ratio(self.read_hits + self.write_hits, self.read_accesses + self.write_accesses)
+        ratio(
+            self.read_hits + self.write_hits,
+            self.read_accesses + self.write_accesses,
+        )
     }
 
     /// Hit ratio of read block accesses.
@@ -232,9 +235,7 @@ impl IoMonitor {
                 if dirty {
                     self.stats.dirty_evictions += 1;
                 }
-                let slot = pc
-                    .allocate()
-                    .expect("the eviction just freed a slot");
+                let slot = pc.allocate().expect("the eviction just freed a slot");
                 self.mapping.insert(pa_block, slot, kind.is_write());
                 (
                     BlockDecision::Admitted { slot },
@@ -268,6 +269,34 @@ impl IoMonitor {
             }
         }
         tasks
+    }
+
+    /// Swaps the replacement policy mid-run (a scenario's `PolicySwitch`
+    /// event), preserving the resident set and its dirty bits.
+    ///
+    /// The new policy is rebuilt by re-inserting every cached block in
+    /// ascending block order, so the handover is deterministic; recency /
+    /// frequency history beyond residency is not carried over (the new
+    /// policy starts with one access per resident block).
+    pub fn switch_policy(&mut self, kind: PolicyKind) {
+        let mut resident: Vec<(u64, bool)> =
+            self.mapping.iter().map(|(pa, m)| (pa, m.dirty)).collect();
+        resident.sort_unstable();
+        let mut fresh = kind.build(self.policy.capacity());
+        for (pa_block, dirty) in resident {
+            let meta = if dirty {
+                AccessMeta::write(1)
+            } else {
+                AccessMeta::read(1)
+            };
+            let outcome = fresh.access(pa_block, meta);
+            debug_assert!(
+                !outcome.is_replacement(),
+                "rebuilding at equal capacity cannot evict"
+            );
+        }
+        self.policy = fresh;
+        self.policy_kind = kind;
     }
 
     /// Adjusts the policy's capacity after the cache partition was rebuilt
@@ -339,7 +368,11 @@ mod tests {
         let (d, ev) = m.access(4, IoKind::Read, 1, &mut pc);
         assert!(matches!(d, BlockDecision::Admitted { .. }));
         assert_eq!(ev.len(), 1);
-        assert_eq!(ev[0].pc_slot, d.slot(), "the freed slot is reused immediately");
+        assert_eq!(
+            ev[0].pc_slot,
+            d.slot(),
+            "the freed slot is reused immediately"
+        );
         assert_eq!(m.cached_blocks(), 3);
         assert_eq!(pc.free_slots(), 0);
         assert_eq!(m.stats().read_evictions, 1);

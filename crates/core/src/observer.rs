@@ -1,0 +1,380 @@
+//! Pluggable observation of a running simulation.
+//!
+//! The replay engine in [`crate::sim`] drives a trace and an event schedule
+//! against an array; everything that *watches* the replay — the metrics
+//! trackers that build the [`SimulationReport`], progress printers, future
+//! streaming sinks — is an [`Observer`]. Observers receive a hook per client
+//! request and per applied [`ScheduledEvent`], plus start/finish hooks, so
+//! new consumers can be added without touching the engine's run loop.
+//!
+//! The paper's measurement pipeline itself is implemented as an observer:
+//! [`MetricsCollector`] owns the response-time summaries, quantile sketches,
+//! load-balance / sequentiality / concurrency trackers, and assembles the
+//! final [`SimulationReport`].
+
+use craid_diskmodel::IoKind;
+use craid_metrics::{
+    ConcurrencyTracker, LoadBalanceTracker, Quantiles, SequentialityTracker, StreamingSummary,
+};
+use craid_trace::{Trace, TraceRecord};
+
+use crate::array::{ExpansionReport, RequestReport};
+use crate::config::ArrayConfig;
+use crate::report::{CraidStats, LoadBalanceSummary, ResponseSummary, SimulationReport};
+use crate::scenario::ScheduledEvent;
+
+/// Everything the engine observed while serving one client request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The slowest of the request's mapped sub-range responses, in
+    /// milliseconds — the per-request response time the paper reports.
+    pub worst_ms: f64,
+    /// Per-mapped-sub-range completion reports (device events, cache hits,
+    /// admissions, evictions).
+    pub reports: Vec<RequestReport>,
+}
+
+impl RequestOutcome {
+    /// Blocks of this request served from an existing cache-partition copy.
+    pub fn cache_hit_blocks(&self) -> u64 {
+        self.reports.iter().map(|r| r.cache_hit_blocks).sum()
+    }
+}
+
+/// Hooks into the replay engine. All methods have empty defaults; implement
+/// only what you need.
+pub trait Observer {
+    /// Called once before the first request, with the resolved
+    /// configuration and the trace about to be replayed.
+    fn on_start(&mut self, _config: &ArrayConfig, _trace: &Trace) {}
+
+    /// Called after each client request completes.
+    fn on_request(&mut self, _record: &TraceRecord, _outcome: &RequestOutcome) {}
+
+    /// Called after each scheduled event is applied. `expansion` carries the
+    /// upgrade report when the event was an [`ScheduledEvent::Expand`].
+    fn on_event(&mut self, _event: &ScheduledEvent, _expansion: Option<&ExpansionReport>) {}
+
+    /// Called once with the finished report.
+    fn on_finish(&mut self, _report: &SimulationReport) {}
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Fans hooks out to several owned observers, in order.
+#[derive(Default)]
+pub struct MultiObserver {
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl MultiObserver {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        MultiObserver::default()
+    }
+
+    /// Adds an observer to the fan-out.
+    pub fn push(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// True if no observers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl Observer for MultiObserver {
+    fn on_start(&mut self, config: &ArrayConfig, trace: &Trace) {
+        for o in &mut self.observers {
+            o.on_start(config, trace);
+        }
+    }
+
+    fn on_request(&mut self, record: &TraceRecord, outcome: &RequestOutcome) {
+        for o in &mut self.observers {
+            o.on_request(record, outcome);
+        }
+    }
+
+    fn on_event(&mut self, event: &ScheduledEvent, expansion: Option<&ExpansionReport>) {
+        for o in &mut self.observers {
+            o.on_event(event, expansion);
+        }
+    }
+
+    fn on_finish(&mut self, report: &SimulationReport) {
+        for o in &mut self.observers {
+            o.on_finish(report);
+        }
+    }
+}
+
+/// Prints one progress line to stderr every `every` requests, plus a line
+/// per applied event. The built-in observer behind
+/// [`crate::scenario::ObserverSpec::Progress`].
+#[derive(Debug, Clone)]
+pub struct ProgressObserver {
+    every: u64,
+    seen: u64,
+    label: String,
+}
+
+impl ProgressObserver {
+    /// Reports every `every` requests (0 is treated as "only events").
+    pub fn new(label: impl Into<String>, every: u64) -> Self {
+        ProgressObserver {
+            every,
+            seen: 0,
+            label: label.into(),
+        }
+    }
+}
+
+impl Observer for ProgressObserver {
+    fn on_request(&mut self, record: &TraceRecord, _outcome: &RequestOutcome) {
+        self.seen += 1;
+        if self.every > 0 && self.seen.is_multiple_of(self.every) {
+            eprintln!(
+                "[{}] {} requests replayed (t = {:.1}s)",
+                self.label,
+                self.seen,
+                record.time.as_secs()
+            );
+        }
+    }
+
+    fn on_event(&mut self, event: &ScheduledEvent, expansion: Option<&ExpansionReport>) {
+        match expansion {
+            Some(report) => eprintln!(
+                "[{}] t = {:.1}s: {} (migrated {} blocks, wrote back {})",
+                self.label,
+                event.at().as_secs(),
+                event.describe(),
+                report.migrated_blocks,
+                report.writeback_blocks
+            ),
+            None => eprintln!(
+                "[{}] t = {:.1}s: {}",
+                self.label,
+                event.at().as_secs(),
+                event.describe()
+            ),
+        }
+    }
+}
+
+/// The paper's measurement pipeline as an observer: response-time summaries
+/// and quantiles per I/O kind, per-second load balance, sequentiality, and
+/// device concurrency. [`MetricsCollector::finish`] assembles the
+/// [`SimulationReport`].
+pub struct MetricsCollector {
+    read_summary: StreamingSummary,
+    write_summary: StreamingSummary,
+    read_quantiles: Quantiles,
+    write_quantiles: Quantiles,
+    load: LoadBalanceTracker,
+    seq: SequentialityTracker,
+    conc: ConcurrencyTracker,
+    requests: u64,
+    /// Once closed (the last trace record was served), trailing events no
+    /// longer contribute device traffic to the measurement window.
+    closed: bool,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for an array that will grow to `device_slots`
+    /// devices over the run (initial devices plus every scheduled addition).
+    pub fn new(device_slots: usize) -> Self {
+        MetricsCollector {
+            read_summary: StreamingSummary::new(),
+            write_summary: StreamingSummary::new(),
+            read_quantiles: Quantiles::new(),
+            write_quantiles: Quantiles::new(),
+            load: LoadBalanceTracker::new(device_slots),
+            seq: SequentialityTracker::new(),
+            conc: ConcurrencyTracker::new(),
+            requests: 0,
+            closed: false,
+        }
+    }
+
+    /// Ends the measurement window: events applied after the last request
+    /// still execute but no longer count into the trackers (matching the
+    /// paper's methodology, which measures while the workload runs).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    fn record_device_events(&mut self, reports: &[RequestReport]) {
+        for report in reports {
+            for ev in &report.events {
+                self.load.record(ev.submitted, ev.device, ev.bytes());
+                self.seq
+                    .record(ev.submitted, ev.device, ev.start_block, ev.blocks);
+                self.conc.record(ev.submitted, ev.device, ev.queue_depth);
+            }
+        }
+    }
+
+    /// Consumes the trackers and builds the report. `craid` carries the
+    /// array's cache-partition statistics (None for baselines).
+    pub fn finish(
+        mut self,
+        strategy: &str,
+        workload: &str,
+        craid: Option<CraidStats>,
+        device_bytes: Vec<u64>,
+    ) -> SimulationReport {
+        let sequential_fraction = self.seq.overall_sequential_fraction();
+        let mut seq_samples = self.seq.finish();
+        let overall_cv = self.load.overall_cv();
+        let mut cv_samples = self.load.finish();
+        let (ioq, cdev) = self.conc.finish();
+
+        SimulationReport {
+            strategy: strategy.to_string(),
+            workload: workload.to_string(),
+            requests: self.requests,
+            read: summarize_response(&self.read_summary, &mut self.read_quantiles),
+            write: summarize_response(&self.write_summary, &mut self.write_quantiles),
+            sequentiality_cdf: seq_samples.cdf_points(20),
+            sequential_fraction,
+            load_balance: LoadBalanceSummary {
+                cv_cdf: cv_samples.cdf_points(20),
+                mean_cv: cv_samples.mean().unwrap_or(0.0),
+                p95_cv: cv_samples.quantile(0.95).unwrap_or(0.0),
+                overall_cv,
+            },
+            ioq,
+            cdev,
+            craid,
+            device_bytes,
+        }
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn on_request(&mut self, record: &TraceRecord, outcome: &RequestOutcome) {
+        self.requests += 1;
+        self.record_device_events(&outcome.reports);
+        match record.kind {
+            IoKind::Read => {
+                self.read_summary.record(outcome.worst_ms);
+                self.read_quantiles.record(outcome.worst_ms);
+            }
+            IoKind::Write => {
+                self.write_summary.record(outcome.worst_ms);
+                self.write_quantiles.record(outcome.worst_ms);
+            }
+        }
+    }
+
+    fn on_event(&mut self, _event: &ScheduledEvent, expansion: Option<&ExpansionReport>) {
+        if self.closed {
+            return;
+        }
+        if let Some(report) = expansion {
+            for ev in &report.events {
+                self.load.record(ev.submitted, ev.device, ev.bytes());
+                self.seq
+                    .record(ev.submitted, ev.device, ev.start_block, ev.blocks);
+                self.conc.record(ev.submitted, ev.device, ev.queue_depth);
+            }
+        }
+    }
+}
+
+fn summarize_response(summary: &StreamingSummary, quantiles: &mut Quantiles) -> ResponseSummary {
+    ResponseSummary {
+        count: summary.count(),
+        mean_ms: summary.mean(),
+        ci95_ms: summary.ci95_half_width(),
+        p50_ms: quantiles.quantile(0.5).unwrap_or(0.0),
+        p95_ms: quantiles.quantile(0.95).unwrap_or(0.0),
+        p99_ms: quantiles.quantile(0.99).unwrap_or(0.0),
+        max_ms: quantiles.max().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craid_simkit::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct Counting {
+        requests: u64,
+        events: u64,
+        finished: bool,
+    }
+
+    struct Shared(Rc<RefCell<Counting>>);
+
+    impl Observer for Shared {
+        fn on_request(&mut self, _r: &TraceRecord, _o: &RequestOutcome) {
+            self.0.borrow_mut().requests += 1;
+        }
+        fn on_event(&mut self, _e: &ScheduledEvent, _x: Option<&ExpansionReport>) {
+            self.0.borrow_mut().events += 1;
+        }
+        fn on_finish(&mut self, _r: &SimulationReport) {
+            self.0.borrow_mut().finished = true;
+        }
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let a = Rc::new(RefCell::new(Counting::default()));
+        let b = Rc::new(RefCell::new(Counting::default()));
+        let mut multi = MultiObserver::new();
+        multi.push(Box::new(Shared(a.clone())));
+        multi.push(Box::new(Shared(b.clone())));
+        assert_eq!(multi.len(), 2);
+
+        let record = TraceRecord::new(SimTime::ZERO, IoKind::Read, 0, 8);
+        let outcome = RequestOutcome {
+            worst_ms: 1.0,
+            reports: Vec::new(),
+        };
+        multi.on_request(&record, &outcome);
+        let event = ScheduledEvent::expand(SimTime::ZERO, 2);
+        multi.on_event(&event, None);
+        multi.on_finish(&SimulationReport::default());
+
+        for c in [a, b] {
+            let c = c.borrow();
+            assert_eq!((c.requests, c.events), (1, 1));
+            assert!(c.finished);
+        }
+    }
+
+    #[test]
+    fn metrics_collector_counts_requests_and_closes() {
+        let mut m = MetricsCollector::new(4);
+        let record = TraceRecord::new(SimTime::ZERO, IoKind::Write, 0, 8);
+        let outcome = RequestOutcome {
+            worst_ms: 2.5,
+            reports: Vec::new(),
+        };
+        m.on_request(&record, &outcome);
+        m.close();
+        let report = m.finish("RAID-5", "wdev", None, vec![0; 4]);
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.write.count, 1);
+        assert_eq!(report.write.mean_ms, 2.5);
+        assert_eq!(report.read.count, 0);
+        assert_eq!(report.strategy, "RAID-5");
+    }
+}

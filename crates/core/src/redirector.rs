@@ -83,32 +83,30 @@ pub fn plan_request(
     match kind {
         IoKind::Read => {
             // Cached blocks are read from PC, missing blocks from PA.
-            plan.foreground.extend(pc.plan_blocks(IoKind::Read, &hit_slots));
-            plan
-                .foreground
+            plan.foreground
+                .extend(pc.plan_blocks(IoKind::Read, &hit_slots));
+            plan.foreground
                 .extend(pa.plan_blocks(IoKind::Read, &admitted_pa_blocks));
             // Copying the admitted blocks into their new PC slots happens in
             // the background (B.1 in the paper's control-flow figure).
-            plan
-                .background
+            plan.background
                 .extend(pc.plan_blocks(IoKind::Write, &admitted_slots));
         }
         IoKind::Write => {
             // Writes are always absorbed by the cache partition.
             let mut all_slots = hit_slots;
             all_slots.extend(&admitted_slots);
-            plan.foreground.extend(pc.plan_blocks(IoKind::Write, &all_slots));
+            plan.foreground
+                .extend(pc.plan_blocks(IoKind::Write, &all_slots));
         }
     }
 
     // Dirty evictions: read the stale copy back from PC and rewrite the
     // original data (and its parity) in the archive — the "4 additional
     // I/Os" of §5.1.
-    plan
-        .background
+    plan.background
         .extend(pc.plan_blocks(IoKind::Read, &writeback_slots));
-    plan
-        .background
+    plan.background
         .extend(pa.plan_blocks(IoKind::Write, &writeback_pa_blocks));
 
     plan
@@ -132,7 +130,13 @@ mod tests {
     #[test]
     fn cold_read_fetches_from_archive_and_copies_to_cache() {
         let (mut monitor, mut pc, pa) = setup(4);
-        let plan = plan_request(&mut monitor, &mut pc, &pa, IoKind::Read, BlockRange::new(10, 2));
+        let plan = plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Read,
+            BlockRange::new(10, 2),
+        );
         assert_eq!(plan.cache_hit_blocks, 0);
         assert_eq!(plan.admitted_blocks, 2);
         assert_eq!(plan.evictions, 0);
@@ -162,10 +166,21 @@ mod tests {
     #[test]
     fn writes_go_to_the_cache_partition_with_parity() {
         let (mut monitor, mut pc, pa) = setup(4);
-        let plan = plan_request(&mut monitor, &mut pc, &pa, IoKind::Write, BlockRange::new(50, 3));
+        let plan = plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Write,
+            BlockRange::new(50, 3),
+        );
         assert_eq!(plan.admitted_blocks, 3);
-        assert!(plan.foreground.iter().all(|io| io.kind == IoKind::Write || io.purpose == IoPurpose::OldDataRead || io.purpose == IoPurpose::ParityRead));
-        assert!(plan.foreground.iter().any(|io| io.purpose == IoPurpose::ParityWrite));
+        assert!(plan.foreground.iter().all(|io| io.kind == IoKind::Write
+            || io.purpose == IoPurpose::OldDataRead
+            || io.purpose == IoPurpose::ParityRead));
+        assert!(plan
+            .foreground
+            .iter()
+            .any(|io| io.purpose == IoPurpose::ParityWrite));
         // Nothing touches the archive partition for a write that fits in PC.
         assert!(plan.foreground.iter().all(|io| io.range.start() < 8));
     }
@@ -173,7 +188,13 @@ mod tests {
     #[test]
     fn consecutive_admissions_get_contiguous_slots_and_coalesce() {
         let (mut monitor, mut pc, pa) = setup(8);
-        let plan = plan_request(&mut monitor, &mut pc, &pa, IoKind::Write, BlockRange::new(100, 4));
+        let plan = plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Write,
+            BlockRange::new(100, 4),
+        );
         // 4 blocks admitted into slots 0..4 → 2-block stripe units on
         // consecutive disks; data writes must be coalesced to 2-block I/Os.
         let data_writes: Vec<_> = plan
@@ -192,15 +213,30 @@ mod tests {
         assert_eq!(pc.capacity(), 6);
         // Fill the cache with dirty blocks.
         for b in 0..6 {
-            plan_request(&mut monitor, &mut pc, &pa, IoKind::Write, BlockRange::new(b, 1));
+            plan_request(
+                &mut monitor,
+                &mut pc,
+                &pa,
+                IoKind::Write,
+                BlockRange::new(b, 1),
+            );
         }
         // The next write must evict a dirty victim and write it back to PA.
-        let plan = plan_request(&mut monitor, &mut pc, &pa, IoKind::Write, BlockRange::new(100, 1));
+        let plan = plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Write,
+            BlockRange::new(100, 1),
+        );
         assert!(plan.evictions >= 1);
         assert_eq!(plan.dirty_writebacks, plan.evictions);
         // Background contains a PC read of the victim and a PA write with
         // parity maintenance (reads + writes beyond the data write itself).
-        assert!(plan.background.iter().any(|io| io.kind == IoKind::Read && io.range.start() < 2));
+        assert!(plan
+            .background
+            .iter()
+            .any(|io| io.kind == IoKind::Read && io.range.start() < 2));
         assert!(plan
             .background
             .iter()
@@ -211,8 +247,20 @@ mod tests {
     fn multi_block_requests_are_split_across_partitions() {
         let (mut monitor, mut pc, pa) = setup(4);
         // Warm up only the first block of a later 2-block request.
-        plan_request(&mut monitor, &mut pc, &pa, IoKind::Read, BlockRange::new(20, 1));
-        let plan = plan_request(&mut monitor, &mut pc, &pa, IoKind::Read, BlockRange::new(20, 2));
+        plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Read,
+            BlockRange::new(20, 1),
+        );
+        let plan = plan_request(
+            &mut monitor,
+            &mut pc,
+            &pa,
+            IoKind::Read,
+            BlockRange::new(20, 2),
+        );
         assert_eq!(plan.cache_hit_blocks, 1);
         assert_eq!(plan.admitted_blocks, 1);
         // Foreground mixes a PC read (offset < 8) and a PA read (offset >= 8).

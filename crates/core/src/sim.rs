@@ -17,14 +17,15 @@
 
 use craid_cache::{AccessMeta, PolicyKind};
 use craid_diskmodel::{BlockRange, IoKind};
-use craid_metrics::{ConcurrencyTracker, LoadBalanceTracker, Quantiles, SequentialityTracker, StreamingSummary};
 use craid_simkit::SimTime;
 use craid_trace::Trace;
 
 use crate::array::{build_array, ExpansionReport};
 use crate::config::ArrayConfig;
 use crate::error::CraidError;
-use crate::report::{CraidStats, LoadBalanceSummary, ResponseSummary, SimulationReport};
+use crate::observer::{MetricsCollector, NullObserver, Observer, RequestOutcome};
+use crate::report::{CraidStats, SimulationReport};
+use crate::scenario::{AppliedEvent, ScheduledEvent};
 
 /// Scatter granularity of the dataset mapper: large enough that almost every
 /// client request stays contiguous after mapping, small enough to spread the
@@ -48,7 +49,10 @@ impl DatasetMapper {
     ///
     /// Panics if the dataset does not fit in the target capacity.
     pub fn new(dataset_blocks: u64, target_capacity: u64, seed: u64) -> Self {
-        assert!(dataset_blocks > 0, "dataset must contain at least one block");
+        assert!(
+            dataset_blocks > 0,
+            "dataset must contain at least one block"
+        );
         assert!(
             target_capacity >= dataset_blocks,
             "dataset ({dataset_blocks} blocks) does not fit in the volume ({target_capacity} blocks)"
@@ -87,7 +91,10 @@ impl DatasetMapper {
                 } else {
                     let split = (first_extent + 1) * MAP_EXTENT_BLOCKS;
                     vec![
-                        self.map_within_extent(BlockRange::new(chunk.start(), split - chunk.start())),
+                        self.map_within_extent(BlockRange::new(
+                            chunk.start(),
+                            split - chunk.start(),
+                        )),
                         self.map_within_extent(BlockRange::new(split, chunk.end() - split)),
                     ]
                 }
@@ -136,20 +143,33 @@ impl Simulation {
     /// Panics if the configuration is invalid (use [`Simulation::try_run`]
     /// for a fallible variant).
     pub fn run(&self, trace: &Trace) -> SimulationReport {
-        self.try_run(trace).expect("simulation configuration is valid")
+        self.try_run(trace)
+            .expect("simulation configuration is valid")
     }
 
     /// Replays `trace`, applying each `(time, added_disks)` expansion when
     /// the replay clock passes its time.
     ///
+    /// Legacy tuple API: new code should express the timeline as
+    /// [`ScheduledEvent`]s — either through
+    /// [`Scenario`](crate::scenario::Scenario) /
+    /// [`Campaign`](crate::scenario::Campaign) or directly via
+    /// [`Simulation::try_run_events`].
+    ///
     /// # Panics
     ///
     /// Panics if the configuration or an expansion is invalid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "express the timeline as ScheduledEvents and use Scenario/Campaign \
+                or Simulation::try_run_events"
+    )]
     pub fn run_with_expansions(
         &self,
         trace: &Trace,
         expansions: &[(SimTime, usize)],
     ) -> (SimulationReport, Vec<ExpansionReport>) {
+        #[allow(deprecated)]
         self.try_run_with_expansions(trace, expansions)
             .expect("simulation configuration and expansions are valid")
     }
@@ -160,20 +180,61 @@ impl Simulation {
     ///
     /// Returns a [`CraidError`] if the configuration is inconsistent.
     pub fn try_run(&self, trace: &Trace) -> Result<SimulationReport, CraidError> {
-        self.try_run_with_expansions(trace, &[]).map(|(report, _)| report)
+        self.try_run_events(trace, &[], &mut NullObserver)
+            .map(|(report, _, _)| report)
     }
 
-    /// Fallible variant of [`Simulation::run_with_expansions`].
+    /// Fallible variant of [`Simulation::run_with_expansions`] (legacy
+    /// tuple API; see the deprecation note there).
+    ///
+    /// Note one semantic difference from the seed implementation: the
+    /// engine stable-sorts the schedule by time, so an *out-of-order*
+    /// expansion list is applied in time order rather than strictly in
+    /// list order. Sorted lists (every caller in this repository) behave
+    /// identically.
     ///
     /// # Errors
     ///
     /// Returns a [`CraidError`] if the configuration or an expansion is
     /// inconsistent.
+    #[deprecated(
+        since = "0.2.0",
+        note = "express the timeline as ScheduledEvents and use Scenario/Campaign \
+                or Simulation::try_run_events"
+    )]
     pub fn try_run_with_expansions(
         &self,
         trace: &Trace,
         expansions: &[(SimTime, usize)],
     ) -> Result<(SimulationReport, Vec<ExpansionReport>), CraidError> {
+        let events: Vec<ScheduledEvent> = expansions
+            .iter()
+            .map(|&(at, added_disks)| ScheduledEvent::Expand { at, added_disks })
+            .collect();
+        self.try_run_events(trace, &events, &mut NullObserver)
+            .map(|(report, expansions, _)| (report, expansions))
+    }
+
+    /// Replays `trace` while driving a [`ScheduledEvent`] timeline, with
+    /// every hook delivered to `observer` (pass
+    /// [`NullObserver`] when nothing needs to watch).
+    ///
+    /// The schedule is stable-sorted by time, so events at equal times
+    /// apply in declaration order. Events scheduled after the last request
+    /// still execute, but outside the measurement window (their device
+    /// traffic does not count into the report's trackers, matching the
+    /// paper's methodology of measuring while the workload runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration or an event is
+    /// invalid.
+    pub fn try_run_events(
+        &self,
+        trace: &Trace,
+        events: &[ScheduledEvent],
+        observer: &mut dyn Observer,
+    ) -> Result<(SimulationReport, Vec<ExpansionReport>, Vec<AppliedEvent>), CraidError> {
         let mut config = self.config.clone();
         config.dataset_blocks = config.dataset_blocks.max(trace.footprint_blocks());
         let mut array = build_array(&config)?;
@@ -183,67 +244,74 @@ impl Simulation {
             config.seed,
         );
 
-        let mut read_summary = StreamingSummary::new();
-        let mut write_summary = StreamingSummary::new();
-        let mut read_quantiles = Quantiles::new();
-        let mut write_quantiles = Quantiles::new();
-        let mut load = LoadBalanceTracker::new(array.device_count() + total_added(expansions));
-        let mut seq = SequentialityTracker::new();
-        let mut conc = ConcurrencyTracker::new();
+        // Stable sort: equal times keep declaration order.
+        let mut schedule: Vec<&ScheduledEvent> = events.iter().collect();
+        schedule.sort_by_key(|e| e.at());
+        let mut pending = schedule.into_iter().peekable();
+
+        let total_added: usize = events
+            .iter()
+            .map(|e| match e {
+                ScheduledEvent::Expand { added_disks, .. } => *added_disks,
+                _ => 0,
+            })
+            .sum();
+        let mut metrics = MetricsCollector::new(array.device_count() + total_added);
+        observer.on_start(&config, trace);
 
         let mut expansion_reports = Vec::new();
-        let mut pending_expansions = expansions.iter().copied().peekable();
+        let mut applied_events = Vec::new();
 
         for record in trace {
-            // Apply any upgrade whose time has come.
-            while let Some(&(when, added)) = pending_expansions.peek() {
-                if when <= record.time {
-                    let report = array.expand(when, added)?;
-                    for ev in &report.events {
-                        load.record(ev.submitted, ev.device, ev.bytes());
-                        seq.record(ev.submitted, ev.device, ev.start_block, ev.blocks);
-                        conc.record(ev.submitted, ev.device, ev.queue_depth);
-                    }
-                    expansion_reports.push(report);
-                    pending_expansions.next();
-                } else {
+            // Apply every event whose time has come.
+            while let Some(event) = pending.peek() {
+                if event.at() > record.time {
                     break;
+                }
+                let event = pending.next().expect("peeked event exists");
+                let expansion = apply_event(array.as_mut(), event)?;
+                metrics.on_event(event, expansion.as_ref());
+                observer.on_event(event, expansion.as_ref());
+                applied_events.push(AppliedEvent {
+                    at: event.at(),
+                    description: event.describe(),
+                    during_replay: true,
+                });
+                if let Some(report) = expansion {
+                    expansion_reports.push(report);
                 }
             }
 
             let ranges = mapper.map(BlockRange::new(record.offset, record.length));
-            let mut worst_response = 0.0f64;
+            let mut outcome = RequestOutcome {
+                worst_ms: 0.0,
+                reports: Vec::with_capacity(ranges.len()),
+            };
             for range in ranges {
                 let report = array.submit(record.time, record.kind, range)?;
-                worst_response = worst_response.max(report.response.as_millis());
-                for ev in &report.events {
-                    load.record(ev.submitted, ev.device, ev.bytes());
-                    seq.record(ev.submitted, ev.device, ev.start_block, ev.blocks);
-                    conc.record(ev.submitted, ev.device, ev.queue_depth);
-                }
+                outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
+                outcome.reports.push(report);
             }
-            match record.kind {
-                IoKind::Read => {
-                    read_summary.record(worst_response);
-                    read_quantiles.record(worst_response);
-                }
-                IoKind::Write => {
-                    write_summary.record(worst_response);
-                    write_quantiles.record(worst_response);
-                }
-            }
+            metrics.on_request(record, &outcome);
+            observer.on_request(record, &outcome);
         }
 
-        // Any expansion scheduled after the last request still executes.
-        for (when, added) in pending_expansions {
-            expansion_reports.push(array.expand(when, added)?);
+        // Events scheduled after the last request still execute, outside
+        // the measurement window.
+        metrics.close();
+        for event in pending {
+            let expansion = apply_event(array.as_mut(), event)?;
+            metrics.on_event(event, expansion.as_ref());
+            observer.on_event(event, expansion.as_ref());
+            applied_events.push(AppliedEvent {
+                at: event.at(),
+                description: event.describe(),
+                during_replay: false,
+            });
+            if let Some(report) = expansion {
+                expansion_reports.push(report);
+            }
         }
-
-        let sequential_fraction = seq.overall_sequential_fraction();
-        let mut seq_samples = seq.finish();
-        let overall_cv = load.overall_cv();
-        let mut cv_samples = load.finish();
-        let (ioq, cdev) = conc.finish();
 
         let craid = array.monitor_stats().map(|m| CraidStats {
             pc_capacity_blocks: array.pc_capacity_blocks(),
@@ -256,43 +324,26 @@ impl Simulation {
             write_eviction_ratio: m.write_eviction_ratio(),
             dirty_evictions: m.dirty_evictions,
         });
-
-        let report = SimulationReport {
-            strategy: config.strategy.name().to_string(),
-            workload: trace.name().to_string(),
-            requests: trace.len() as u64,
-            read: summarize_response(&read_summary, &mut read_quantiles),
-            write: summarize_response(&write_summary, &mut write_quantiles),
-            sequentiality_cdf: seq_samples.cdf_points(20),
-            sequential_fraction,
-            load_balance: LoadBalanceSummary {
-                cv_cdf: cv_samples.cdf_points(20),
-                mean_cv: cv_samples.mean().unwrap_or(0.0),
-                p95_cv: cv_samples.quantile(0.95).unwrap_or(0.0),
-                overall_cv,
-            },
-            ioq,
-            cdev,
-            craid,
-            device_bytes: array.device_stats().iter().map(|s| s.bytes).collect(),
-        };
-        Ok((report, expansion_reports))
+        let device_bytes = array.device_stats().iter().map(|s| s.bytes).collect();
+        let report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
+        observer.on_finish(&report);
+        Ok((report, expansion_reports, applied_events))
     }
 }
 
-fn total_added(expansions: &[(SimTime, usize)]) -> usize {
-    expansions.iter().map(|&(_, added)| added).sum()
-}
-
-fn summarize_response(summary: &StreamingSummary, quantiles: &mut Quantiles) -> ResponseSummary {
-    ResponseSummary {
-        count: summary.count(),
-        mean_ms: summary.mean(),
-        ci95_ms: summary.ci95_half_width(),
-        p50_ms: quantiles.quantile(0.5).unwrap_or(0.0),
-        p95_ms: quantiles.quantile(0.95).unwrap_or(0.0),
-        p99_ms: quantiles.quantile(0.99).unwrap_or(0.0),
-        max_ms: quantiles.max().unwrap_or(0.0),
+/// Applies one scheduled event to the array, returning the expansion report
+/// when the event was an upgrade.
+fn apply_event(
+    array: &mut dyn crate::array::StorageArray,
+    event: &ScheduledEvent,
+) -> Result<Option<ExpansionReport>, CraidError> {
+    match event {
+        ScheduledEvent::Expand { at, added_disks } => array.expand(*at, *added_disks).map(Some),
+        ScheduledEvent::PolicySwitch { at, policy } => {
+            array.switch_policy(*at, *policy)?;
+            Ok(None)
+        }
+        ScheduledEvent::WorkloadPhase { .. } => Ok(None),
     }
 }
 
@@ -341,7 +392,11 @@ pub fn policy_quality(policy: PolicyKind, trace: &Trace, capacity_fraction: f64)
         }
     }
     PolicyQuality {
-        hit_ratio: if accesses == 0 { 0.0 } else { hits as f64 / accesses as f64 },
+        hit_ratio: if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        },
         replacement_ratio: if accesses == 0 {
             0.0
         } else {
@@ -358,7 +413,9 @@ mod tests {
     use craid_trace::{SyntheticWorkload, WorkloadId};
 
     fn tiny_trace() -> Trace {
-        SyntheticWorkload::paper(WorkloadId::Wdev).scale(400_000).generate(3)
+        SyntheticWorkload::paper(WorkloadId::Wdev)
+            .scale(400_000)
+            .generate(3)
     }
 
     #[test]
@@ -379,7 +436,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for extent in 0..(4_096 / MAP_EXTENT_BLOCKS) {
             let mapped = mapper.map(BlockRange::new(extent * MAP_EXTENT_BLOCKS, 1));
-            assert!(seen.insert(mapped[0].start()), "two extents mapped to the same place");
+            assert!(
+                seen.insert(mapped[0].start()),
+                "two extents mapped to the same place"
+            );
         }
     }
 
@@ -400,7 +460,10 @@ mod tests {
         assert!(report.read.count + report.write.count == report.requests);
         assert!(report.write.mean_ms > 0.0);
         let craid = report.craid.expect("CRAID run must report cache stats");
-        assert!(craid.hit_ratio > 0.0, "a skewed workload must produce cache hits");
+        assert!(
+            craid.hit_ratio > 0.0,
+            "a skewed workload must produce cache hits"
+        );
         assert!(!report.device_bytes.is_empty());
         assert!(!report.load_balance.cv_cdf.is_empty());
     }
@@ -419,11 +482,59 @@ mod tests {
         let trace = tiny_trace();
         let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, trace.footprint_blocks());
         let half_time = SimTime::from_secs(trace.duration().as_secs() / 2.0);
-        let (report, expansions) =
-            Simulation::new(config).run_with_expansions(&trace, &[(half_time, 4)]);
+        let events = [ScheduledEvent::expand(half_time, 4)];
+        let (report, expansions, applied) = Simulation::new(config)
+            .try_run_events(&trace, &events, &mut NullObserver)
+            .unwrap();
         assert_eq!(expansions.len(), 1);
         assert_eq!(expansions[0].added_disks, 4);
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].during_replay);
         assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn legacy_tuple_api_matches_the_event_schedule() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, trace.footprint_blocks());
+        let half_time = SimTime::from_secs(trace.duration().as_secs() / 2.0);
+        #[allow(deprecated)]
+        let (legacy_report, legacy_expansions) =
+            Simulation::new(config.clone()).run_with_expansions(&trace, &[(half_time, 4)]);
+        let events = [ScheduledEvent::expand(half_time, 4)];
+        let (report, expansions, _) = Simulation::new(config)
+            .try_run_events(&trace, &events, &mut NullObserver)
+            .unwrap();
+        assert_eq!(report, legacy_report);
+        assert_eq!(expansions.len(), legacy_expansions.len());
+        assert_eq!(
+            expansions[0].migrated_blocks,
+            legacy_expansions[0].migrated_blocks
+        );
+    }
+
+    #[test]
+    fn policy_switch_and_phase_events_apply() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Craid5, trace.footprint_blocks());
+        let quarter = SimTime::from_secs(trace.duration().as_secs() / 4.0);
+        let half = SimTime::from_secs(trace.duration().as_secs() / 2.0);
+        let events = [
+            ScheduledEvent::workload_phase(quarter, "warm"),
+            ScheduledEvent::policy_switch(half, craid_cache::PolicyKind::Arc),
+        ];
+        let (report, expansions, applied) = Simulation::new(config)
+            .try_run_events(&trace, &events, &mut NullObserver)
+            .unwrap();
+        assert!(expansions.is_empty(), "neither event expands the array");
+        assert_eq!(applied.len(), 2);
+        assert!(applied[0].description.contains("warm"));
+        assert!(applied[1].description.contains("ARC"));
+        let craid = report.craid.expect("CRAID stats survive a policy switch");
+        assert!(
+            craid.hit_ratio > 0.0,
+            "cache keeps hitting after the switch"
+        );
     }
 
     #[test]

@@ -149,11 +149,16 @@ impl SegmentedCache {
     }
 
     fn install(&mut self, range: BlockRange, kind: IoKind) {
-        let extra = if kind.is_read() { self.readahead_blocks } else { 0 };
+        let extra = if kind.is_read() {
+            self.readahead_blocks
+        } else {
+            0
+        };
         let len = (range.len() + extra).min(self.segment_blocks.max(range.len()));
         let seg = BlockRange::new(range.start(), len.max(1));
         // Drop any older segment fully shadowed by the new one.
-        self.segments.retain(|s| !seg.contains(s.start()) || !seg.contains(s.end() - 1));
+        self.segments
+            .retain(|s| !seg.contains(s.start()) || !seg.contains(s.end() - 1));
         if self.segments.len() >= self.max_segments {
             self.segments.remove(0);
         }
@@ -194,18 +199,33 @@ mod tests {
     #[test]
     fn readahead_serves_sequential_follow_up() {
         let mut c = small_cache();
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(0, 4)), CacheOutcome::Miss);
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(0, 4)),
+            CacheOutcome::Miss
+        );
         // Read-ahead of 8 blocks covers [0, 12); the next sequential read hits.
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(4, 4)), CacheOutcome::Hit);
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(4, 4)),
+            CacheOutcome::Hit
+        );
     }
 
     #[test]
     fn writes_install_but_get_no_readahead() {
         let mut c = small_cache();
-        assert_eq!(c.access(IoKind::Write, BlockRange::new(50, 4)), CacheOutcome::Miss);
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(50, 4)), CacheOutcome::Hit);
+        assert_eq!(
+            c.access(IoKind::Write, BlockRange::new(50, 4)),
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(50, 4)),
+            CacheOutcome::Hit
+        );
         // Beyond the written extent there is no read-ahead.
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(54, 4)), CacheOutcome::Miss);
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(54, 4)),
+            CacheOutcome::Miss
+        );
     }
 
     #[test]
@@ -215,9 +235,15 @@ mod tests {
             c.access(IoKind::Read, BlockRange::new(i * 1_000, 2));
         }
         // Segment for the first extent (around block 0) should be gone.
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(0, 2)), CacheOutcome::Miss);
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(0, 2)),
+            CacheOutcome::Miss
+        );
         // The most recent extents are still resident.
-        assert_eq!(c.access(IoKind::Read, BlockRange::new(4_000, 2)), CacheOutcome::Hit);
+        assert_eq!(
+            c.access(IoKind::Read, BlockRange::new(4_000, 2)),
+            CacheOutcome::Hit
+        );
         assert!(c.resident_segments() <= 4);
     }
 
@@ -261,6 +287,9 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 700, "narrow working set should mostly hit, got {hits}");
+        assert!(
+            hits > 700,
+            "narrow working set should mostly hit, got {hits}"
+        );
     }
 }

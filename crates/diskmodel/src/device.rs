@@ -278,13 +278,20 @@ mod tests {
     use crate::hdd::{HddModel, HddParameters};
 
     fn hdd_device() -> StorageDevice<HddModel> {
-        StorageDevice::new(3, HddModel::new(HddParameters::cheetah_15k5_scaled(262_144)))
+        StorageDevice::new(
+            3,
+            HddModel::new(HddParameters::cheetah_15k5_scaled(262_144)),
+        )
     }
 
     #[test]
     fn instant_model_has_zero_latency() {
         let mut dev = StorageDevice::new(0, InstantModel::new(1_000));
-        let c = dev.submit_detailed(SimTime::from_millis(5.0), IoKind::Read, BlockRange::new(0, 4));
+        let c = dev.submit_detailed(
+            SimTime::from_millis(5.0),
+            IoKind::Read,
+            BlockRange::new(0, 4),
+        );
         assert_eq!(c.finished, SimTime::from_millis(5.0));
         assert_eq!(c.breakdown.total(), SimDuration::ZERO);
     }
@@ -296,7 +303,10 @@ mod tests {
         let b = dev.submit_detailed(SimTime::ZERO, IoKind::Read, BlockRange::new(200_000, 8));
         assert_eq!(a.queue_depth, 0);
         assert_eq!(b.queue_depth, 1);
-        assert!(b.started >= a.finished, "second request waits for the first");
+        assert!(
+            b.started >= a.finished,
+            "second request waits for the first"
+        );
         assert!(dev.stats().queued > SimDuration::ZERO);
         assert_eq!(dev.stats().requests, 2);
         assert_eq!(dev.stats().queue_depth_max, 1);
@@ -307,7 +317,11 @@ mod tests {
         let mut dev = hdd_device();
         dev.submit(SimTime::ZERO, IoKind::Read, 1_000, 8);
         // Arrive long after the first completed.
-        let c = dev.submit_detailed(SimTime::from_secs(10.0), IoKind::Read, BlockRange::new(2_000, 8));
+        let c = dev.submit_detailed(
+            SimTime::from_secs(10.0),
+            IoKind::Read,
+            BlockRange::new(2_000, 8),
+        );
         assert_eq!(c.queue_depth, 0);
         assert_eq!(c.started, SimTime::from_secs(10.0));
     }
@@ -332,7 +346,10 @@ mod tests {
         }
         let elapsed = dev.next_free().saturating_since(SimTime::ZERO);
         let u = dev.stats().utilisation(elapsed);
-        assert!(u > 0.9 && u <= 1.0, "device saturated by back-to-back work, got {u}");
+        assert!(
+            u > 0.9 && u <= 1.0,
+            "device saturated by back-to-back work, got {u}"
+        );
         assert_eq!(dev.stats().utilisation(SimDuration::ZERO), 0.0);
     }
 

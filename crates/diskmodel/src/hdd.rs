@@ -149,7 +149,11 @@ impl HddModel {
         let cache = if params.cache_bytes == 0 {
             SegmentedCache::disabled()
         } else {
-            SegmentedCache::new(params.cache_bytes, params.cache_segments, params.readahead_blocks)
+            SegmentedCache::new(
+                params.cache_bytes,
+                params.cache_segments,
+                params.readahead_blocks,
+            )
         };
         HddModel {
             params,
@@ -230,8 +234,11 @@ impl DeviceModel for HddModel {
 
         // Probe the internal cache first; hits avoid all mechanical latency.
         if self.cache.access(kind, range) == CacheOutcome::Hit {
-            let transfer =
-                self.transfer_time(range.start(), range.bytes(), Some(self.params.interface_rate_mib_s));
+            let transfer = self.transfer_time(
+                range.start(),
+                range.bytes(),
+                Some(self.params.interface_rate_mib_s),
+            );
             // The head does not move on a buffer hit; positional state is kept.
             return ServiceBreakdown {
                 overhead,
@@ -300,7 +307,10 @@ mod tests {
             prev = t;
         }
         assert_eq!(m.seek_time(1), m.params().track_to_track_seek);
-        assert_eq!(m.seek_time(m.params().cylinders - 1), m.params().full_stroke_seek);
+        assert_eq!(
+            m.seek_time(m.params().cylinders - 1),
+            m.params().full_stroke_seek
+        );
     }
 
     #[test]
@@ -332,7 +342,11 @@ mod tests {
         let second = m.service(IoKind::Read, BlockRange::new(100_008, 200));
         assert!(first.rotation > SimDuration::ZERO);
         if !second.cache_hit {
-            assert_eq!(second.rotation, SimDuration::ZERO, "sequential follow-up pays no rotation");
+            assert_eq!(
+                second.rotation,
+                SimDuration::ZERO,
+                "sequential follow-up pays no rotation"
+            );
             assert_eq!(second.seek, SimDuration::ZERO);
         }
     }
@@ -345,7 +359,12 @@ mod tests {
         let hit = m.service(IoKind::Read, r);
         assert!(!miss.cache_hit);
         assert!(hit.cache_hit);
-        assert!(hit.total() < miss.total() / 4, "hit {} vs miss {}", hit.total(), miss.total());
+        assert!(
+            hit.total() < miss.total() / 4,
+            "hit {} vs miss {}",
+            hit.total(),
+            miss.total()
+        );
         assert!(m.internal_cache_hit_ratio() > 0.0);
     }
 
@@ -359,12 +378,18 @@ mod tests {
         let mut scattered = HddModel::new(HddParameters::cheetah_15k5_scaled(capacity));
         let accesses = 500u64;
         let narrow_total: SimDuration = (0..accesses)
-            .map(|i| narrow.service(IoKind::Read, BlockRange::new((i * 37) % 2_048, 8)).total())
+            .map(|i| {
+                narrow
+                    .service(IoKind::Read, BlockRange::new((i * 37) % 2_048, 8))
+                    .total()
+            })
             .sum();
         let scattered_total: SimDuration = (0..accesses)
             .map(|i| {
                 let blk = (i * 104_729) % (capacity - 8);
-                scattered.service(IoKind::Read, BlockRange::new(blk, 8)).total()
+                scattered
+                    .service(IoKind::Read, BlockRange::new(blk, 8))
+                    .total()
             })
             .sum();
         assert!(

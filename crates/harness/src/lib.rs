@@ -1,0 +1,10 @@
+//! Umbrella package for the CRAID reproduction workspace.
+//!
+//! The real library code lives in the `crates/` workspace members; this
+//! package only hosts the cross-crate integration tests under `tests/` and
+//! the runnable examples under `examples/`. It re-exports the main library
+//! crate so documentation readers land in the right place.
+
+#![forbid(unsafe_code)]
+
+pub use craid;

@@ -76,7 +76,8 @@ impl ConcurrencyTracker {
 
     fn roll_over(&mut self) {
         if !self.active_this_second.is_empty() {
-            self.concurrent_devices.record(self.active_this_second.len() as f64);
+            self.concurrent_devices
+                .record(self.active_this_second.len() as f64);
         }
         self.active_this_second.clear();
     }
@@ -85,7 +86,10 @@ impl ConcurrencyTracker {
     /// summary)` — the two halves of the paper's Table 5 row.
     pub fn finish(mut self) -> (ConcurrencySummary, ConcurrencySummary) {
         self.roll_over();
-        (summarize(&mut self.queue_depths), summarize(&mut self.concurrent_devices))
+        (
+            summarize(&mut self.queue_depths),
+            summarize(&mut self.concurrent_devices),
+        )
     }
 }
 
@@ -152,7 +156,10 @@ mod tests {
         let (f_ioq, f_cdev) = funneled.finish();
         let (s_ioq, s_cdev) = spread.finish();
         assert!(f_ioq.mean > s_ioq.mean, "funneled queues must be deeper");
-        assert!(f_cdev.mean < s_cdev.mean, "spread traffic keeps more devices active");
+        assert!(
+            f_cdev.mean < s_cdev.mean,
+            "spread traffic keeps more devices active"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::quantiles::Quantiles;
 ///
 /// Panics if `loads` is empty.
 pub fn coefficient_of_variation(loads: &[f64]) -> f64 {
-    assert!(!loads.is_empty(), "cannot compute cv of an empty load vector");
+    assert!(
+        !loads.is_empty(),
+        "cannot compute cv of an empty load vector"
+    );
     let n = loads.len() as f64;
     let mean = loads.iter().sum::<f64>() / n;
     if mean == 0.0 {
@@ -94,7 +97,8 @@ impl LoadBalanceTracker {
 
     fn roll_over(&mut self) {
         if self.any_traffic_this_second {
-            self.cv_samples.record(coefficient_of_variation(&self.current_loads));
+            self.cv_samples
+                .record(coefficient_of_variation(&self.current_loads));
         }
         self.current_loads.iter_mut().for_each(|l| *l = 0.0);
         self.any_traffic_this_second = false;

@@ -116,7 +116,12 @@ mod tests {
     fn random_stream_scores_low() {
         let mut t = SequentialityTracker::new();
         for i in 0..100u64 {
-            t.record(SimTime::from_millis(i as f64), 0, (i * 104_729) % 100_000, 8);
+            t.record(
+                SimTime::from_millis(i as f64),
+                0,
+                (i * 104_729) % 100_000,
+                8,
+            );
         }
         assert!(t.overall_sequential_fraction() < 0.05);
     }
@@ -127,7 +132,12 @@ mod tests {
         // Interleaved streams that are each sequential on their own device.
         for i in 0..50u64 {
             t.record(SimTime::from_millis(i as f64 * 2.0), 0, i * 4, 4);
-            t.record(SimTime::from_millis(i as f64 * 2.0 + 1.0), 1, 1_000 + i * 4, 4);
+            t.record(
+                SimTime::from_millis(i as f64 * 2.0 + 1.0),
+                1,
+                1_000 + i * 4,
+                4,
+            );
         }
         // All but the first access on each device are sequential.
         assert!((t.overall_sequential_fraction() - 98.0 / 100.0).abs() < 1e-9);

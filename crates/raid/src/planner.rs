@@ -100,20 +100,25 @@ impl<L: Layout> IoPlanner<L> {
     }
 
     fn plan_reads(&self, logical_blocks: &[u64]) -> Vec<PlannedIo> {
-        let locs: Vec<DiskBlock> = logical_blocks.iter().map(|&b| self.layout.locate(b)).collect();
+        let locs: Vec<DiskBlock> = logical_blocks
+            .iter()
+            .map(|&b| self.layout.locate(b))
+            .collect();
         coalesce(locs, IoKind::Read, IoPurpose::Data)
     }
 
     fn plan_writes(&self, logical_blocks: &[u64]) -> Vec<PlannedIo> {
         // Data writes.
-        let data_locs: Vec<DiskBlock> = logical_blocks.iter().map(|&b| self.layout.locate(b)).collect();
+        let data_locs: Vec<DiskBlock> = logical_blocks
+            .iter()
+            .map(|&b| self.layout.locate(b))
+            .collect();
         let mut plan = coalesce(data_locs.clone(), IoKind::Write, IoPurpose::Data);
 
         // Parity maintenance. Group the written blocks by the parity block
         // that protects them.
-        let per_parity_block = (self.layout.data_blocks_per_parity_stripe()
-            / self.layout.stripe_unit())
-        .max(1);
+        let per_parity_block =
+            (self.layout.data_blocks_per_parity_stripe() / self.layout.stripe_unit()).max(1);
         let mut groups: BTreeMap<DiskBlock, Vec<DiskBlock>> = BTreeMap::new();
         for (&logical, &loc) in logical_blocks.iter().zip(&data_locs) {
             if let Some(parity) = self.layout.parity_for(logical) {
@@ -136,9 +141,17 @@ impl<L: Layout> IoPlanner<L> {
             }
             parity_writes.push(parity);
         }
-        plan.extend(coalesce(old_data_reads, IoKind::Read, IoPurpose::OldDataRead));
+        plan.extend(coalesce(
+            old_data_reads,
+            IoKind::Read,
+            IoPurpose::OldDataRead,
+        ));
         plan.extend(coalesce(parity_reads, IoKind::Read, IoPurpose::ParityRead));
-        plan.extend(coalesce(parity_writes, IoKind::Write, IoPurpose::ParityWrite));
+        plan.extend(coalesce(
+            parity_writes,
+            IoKind::Write,
+            IoPurpose::ParityWrite,
+        ));
         plan
     }
 }
@@ -218,11 +231,26 @@ mod tests {
     fn small_write_pays_the_four_io_penalty() {
         let p = raid5_planner();
         let plan = p.plan(IoKind::Write, BlockRange::new(0, 1));
-        let data_writes = plan.iter().filter(|io| io.purpose == IoPurpose::Data).count();
-        let old_reads = plan.iter().filter(|io| io.purpose == IoPurpose::OldDataRead).count();
-        let parity_reads = plan.iter().filter(|io| io.purpose == IoPurpose::ParityRead).count();
-        let parity_writes = plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite).count();
-        assert_eq!((data_writes, old_reads, parity_reads, parity_writes), (1, 1, 1, 1));
+        let data_writes = plan
+            .iter()
+            .filter(|io| io.purpose == IoPurpose::Data)
+            .count();
+        let old_reads = plan
+            .iter()
+            .filter(|io| io.purpose == IoPurpose::OldDataRead)
+            .count();
+        let parity_reads = plan
+            .iter()
+            .filter(|io| io.purpose == IoPurpose::ParityRead)
+            .count();
+        let parity_writes = plan
+            .iter()
+            .filter(|io| io.purpose == IoPurpose::ParityWrite)
+            .count();
+        assert_eq!(
+            (data_writes, old_reads, parity_reads, parity_writes),
+            (1, 1, 1, 1)
+        );
     }
 
     #[test]
@@ -233,7 +261,9 @@ mod tests {
         assert!(plan.iter().all(|io| io.purpose != IoPurpose::OldDataRead));
         assert!(plan.iter().all(|io| io.purpose != IoPurpose::ParityRead));
         assert_eq!(
-            plan.iter().filter(|io| io.purpose == IoPurpose::ParityWrite).count(),
+            plan.iter()
+                .filter(|io| io.purpose == IoPurpose::ParityWrite)
+                .count(),
             1
         );
     }

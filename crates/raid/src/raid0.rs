@@ -43,12 +43,17 @@ impl Raid0Layout {
     /// of the stripe unit.
     pub fn new(disks: usize, stripe_unit: u64, blocks_per_disk: u64) -> Result<Self, LayoutError> {
         if disks < 2 {
-            return Err(LayoutError::NotEnoughDisks { got: disks, need: 2 });
+            return Err(LayoutError::NotEnoughDisks {
+                got: disks,
+                need: 2,
+            });
         }
         if stripe_unit == 0 {
-            return Err(LayoutError::InvalidGeometry("stripe unit must be positive".into()));
+            return Err(LayoutError::InvalidGeometry(
+                "stripe unit must be positive".into(),
+            ));
         }
-        if blocks_per_disk == 0 || blocks_per_disk % stripe_unit != 0 {
+        if blocks_per_disk == 0 || !blocks_per_disk.is_multiple_of(stripe_unit) {
             return Err(LayoutError::InvalidGeometry(format!(
                 "blocks per disk ({blocks_per_disk}) must be a positive multiple of the stripe unit ({stripe_unit})"
             )));
@@ -151,7 +156,10 @@ mod tests {
             Err(LayoutError::NotEnoughDisks { .. })
         ));
         assert!(Raid0Layout::new(2, 0, 8).is_err());
-        assert!(Raid0Layout::new(2, 3, 8).is_err(), "8 is not a multiple of 3");
+        assert!(
+            Raid0Layout::new(2, 3, 8).is_err(),
+            "8 is not a multiple of 3"
+        );
         assert!(Raid0Layout::new(2, 2, 0).is_err());
     }
 

@@ -59,20 +59,25 @@ impl Raid5Layout {
         blocks_per_disk: u64,
     ) -> Result<Self, LayoutError> {
         if disks < 2 {
-            return Err(LayoutError::NotEnoughDisks { got: disks, need: 2 });
+            return Err(LayoutError::NotEnoughDisks {
+                got: disks,
+                need: 2,
+            });
         }
         if group < 2 {
             return Err(LayoutError::InvalidGeometry(
                 "parity group needs at least 2 disks".into(),
             ));
         }
-        if disks % group != 0 {
+        if !disks.is_multiple_of(group) {
             return Err(LayoutError::UnalignedParityGroup { disks, group });
         }
         if stripe_unit == 0 {
-            return Err(LayoutError::InvalidGeometry("stripe unit must be positive".into()));
+            return Err(LayoutError::InvalidGeometry(
+                "stripe unit must be positive".into(),
+            ));
         }
-        if blocks_per_disk == 0 || blocks_per_disk % stripe_unit != 0 {
+        if blocks_per_disk == 0 || !blocks_per_disk.is_multiple_of(stripe_unit) {
             return Err(LayoutError::InvalidGeometry(format!(
                 "blocks per disk ({blocks_per_disk}) must be a positive multiple of the stripe unit ({stripe_unit})"
             )));
@@ -87,8 +92,17 @@ impl Raid5Layout {
 
     /// A layout matching the paper's stand-alone RAID-5 baseline: all `disks`
     /// devices, parity groups of `group`, 128 KiB stripe unit.
-    pub fn paper_baseline(disks: usize, group: usize, blocks_per_disk: u64) -> Result<Self, LayoutError> {
-        Self::new(disks, group, crate::types::STRIPE_UNIT_BLOCKS_128K, blocks_per_disk)
+    pub fn paper_baseline(
+        disks: usize,
+        group: usize,
+        blocks_per_disk: u64,
+    ) -> Result<Self, LayoutError> {
+        Self::new(
+            disks,
+            group,
+            crate::types::STRIPE_UNIT_BLOCKS_128K,
+            blocks_per_disk,
+        )
     }
 
     /// Parity group width.
@@ -231,7 +245,10 @@ mod tests {
         for b in 0..l.data_capacity() {
             let d = l.locate(b);
             let p = l.parity_for(b).unwrap();
-            assert_ne!(d.disk, p.disk, "data and parity on the same disk for block {b}");
+            assert_ne!(
+                d.disk, p.disk,
+                "data and parity on the same disk for block {b}"
+            );
             // Parity lives in the same group as the data it protects.
             assert_eq!(d.disk / 4, p.disk / 4);
             // And at the same row offset.
@@ -269,7 +286,11 @@ mod tests {
         assert_eq!(l.locate(0), DiskBlock::new(0, 0));
         assert_eq!(l.locate(2), DiskBlock::new(1, 0));
         assert_eq!(l.locate(4), DiskBlock::new(2, 0));
-        assert_eq!(l.locate(6), DiskBlock::new(4, 0), "disk 3 is parity in row 0");
+        assert_eq!(
+            l.locate(6),
+            DiskBlock::new(4, 0),
+            "disk 3 is parity in row 0"
+        );
         assert_eq!(l.parity_for(0).unwrap(), DiskBlock::new(3, 0));
         assert_eq!(l.parity_for(6).unwrap(), DiskBlock::new(7, 0));
     }

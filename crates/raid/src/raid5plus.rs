@@ -58,9 +58,15 @@ impl Raid5PlusLayout {
     ///
     /// Returns [`LayoutError`] if any set has fewer than 2 disks or the
     /// geometry parameters are invalid.
-    pub fn new(set_sizes: &[usize], stripe_unit: u64, blocks_per_disk: u64) -> Result<Self, LayoutError> {
+    pub fn new(
+        set_sizes: &[usize],
+        stripe_unit: u64,
+        blocks_per_disk: u64,
+    ) -> Result<Self, LayoutError> {
         if set_sizes.is_empty() {
-            return Err(LayoutError::InvalidGeometry("at least one RAID set is required".into()));
+            return Err(LayoutError::InvalidGeometry(
+                "at least one RAID set is required".into(),
+            ));
         }
         let mut sets = Vec::with_capacity(set_sizes.len());
         let mut first_disk = 0usize;

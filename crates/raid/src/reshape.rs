@@ -32,7 +32,11 @@ use crate::layout::Layout;
 /// # Panics
 ///
 /// Panics if `used_blocks` exceeds the data capacity of either layout.
-pub fn round_robin_migration_blocks<A: Layout, B: Layout>(old: &A, new: &B, used_blocks: u64) -> u64 {
+pub fn round_robin_migration_blocks<A: Layout, B: Layout>(
+    old: &A,
+    new: &B,
+    used_blocks: u64,
+) -> u64 {
     assert!(
         used_blocks <= old.data_capacity() && used_blocks <= new.data_capacity(),
         "used_blocks ({used_blocks}) exceeds a layout capacity (old {}, new {})",
@@ -59,7 +63,7 @@ pub fn minimal_migration_blocks(used_blocks: u64, old_disks: usize, new_disks: u
     let added = (new_disks - old_disks) as u64;
     // Round up: a fractional block still requires one block worth of movement.
     used_blocks * added / new_disks as u64
-        + u64::from((used_blocks * added) % new_disks as u64 != 0)
+        + u64::from(!(used_blocks * added).is_multiple_of(new_disks as u64))
 }
 
 /// A sequence of array sizes describing successive upgrade operations.

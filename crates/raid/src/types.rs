@@ -105,11 +105,19 @@ mod tests {
 
     #[test]
     fn disk_block_ordering_is_by_disk_then_block() {
-        let mut v = vec![DiskBlock::new(1, 5), DiskBlock::new(0, 9), DiskBlock::new(1, 2)];
+        let mut v = vec![
+            DiskBlock::new(1, 5),
+            DiskBlock::new(0, 9),
+            DiskBlock::new(1, 2),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![DiskBlock::new(0, 9), DiskBlock::new(1, 2), DiskBlock::new(1, 5)]
+            vec![
+                DiskBlock::new(0, 9),
+                DiskBlock::new(1, 2),
+                DiskBlock::new(1, 5)
+            ]
         );
     }
 
@@ -125,7 +133,10 @@ mod tests {
     fn layout_error_messages() {
         let e = LayoutError::NotEnoughDisks { got: 1, need: 3 };
         assert!(e.to_string().contains("at least 3"));
-        let e = LayoutError::UnalignedParityGroup { disks: 50, group: 7 };
+        let e = LayoutError::UnalignedParityGroup {
+            disks: 50,
+            group: 7,
+        };
         assert!(e.to_string().contains("does not divide"));
         let e = LayoutError::InvalidGeometry("stripe unit is zero".into());
         assert!(e.to_string().contains("stripe unit"));

@@ -1,0 +1,567 @@
+//! A workspace-local stand-in for the `serde` crate.
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace vendors the small slice of serde it actually needs: a
+//! self-describing value tree ([`Value`]), [`Serialize`] / [`Deserialize`]
+//! traits over it, and `#[derive(Serialize, Deserialize)]` for plain data
+//! structs and enums (externally-tagged, like real serde). The `serde_json`
+//! and `toml` shims are front-ends that print and parse [`Value`] trees.
+//!
+//! The surface is intentionally tiny; if the real serde ever becomes
+//! available, the derives and trait bounds in the workspace are
+//! source-compatible with it.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing value: the data model every (de)serializer works on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced by deserialization (and by the format front-ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a value of the wrong kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Error for a missing struct field.
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from the value data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// What an *absent* struct field deserializes to. Only types with a
+    /// natural "nothing" — `Option` (`None`) and collections (empty) —
+    /// override this; everything else reports the missing field. This is
+    /// deliberately distinct from deserializing an explicit `null` (e.g.
+    /// `f64` accepts `null` as NaN for round-tripping non-finite floats,
+    /// but a *missing* `f64` field is still an error, as in real serde).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] unless the type has an absent-value default.
+    fn deserialize_missing() -> Result<Self, Error> {
+        Err(Error::custom("missing value"))
+    }
+}
+
+/// Deserializes a struct field from a map, treating a missing key the way
+/// real serde does: `Option` fields default to `None` (and collections to
+/// empty) via [`Deserialize::deserialize_missing`]; every other type
+/// reports a missing-field error.
+pub fn field<T: Deserialize>(map: &Value, name: &str) -> Result<T, Error> {
+    match map.get(name) {
+        Some(v) => T::deserialize(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::deserialize_missing().map_err(|_| Error::missing_field(name)),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) {
+                    Value::Int(i)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let out = match *value {
+                    Value::Int(i) => <$ty>::try_from(i).ok(),
+                    Value::UInt(u) => <$ty>::try_from(u).ok(),
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 2e18 => {
+                        <$ty>::try_from(f as i64).ok()
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::expected(stringify!($ty), value))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Int(i) => u64::try_from(i).map_err(|_| Error::expected("u64", value)),
+            Value::UInt(u) => Ok(u),
+            Value::Float(f) if f.fract() == 0.0 && (0.0..2e18).contains(&f) => Ok(f as u64),
+            _ => Err(Error::expected("u64", value)),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        // Large enough for every counter in this workspace; saturate rather
+        // than extend the data model.
+        u64::try_from(*self).map_or(Value::UInt(u64::MAX), |u| u.serialize())
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            // Non-finite floats serialize as null (as in real serde_json).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("f64", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        f64::from(*self).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+
+    // Documents can omit empty arrays entirely (TOML has no way to express
+    // them per-table otherwise).
+    fn deserialize_missing() -> Result<Self, Error> {
+        Ok(Vec::new())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::expected("tuple", value))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {expected} elements, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys, which the data model stores as strings.
+pub trait MapKey: Sized {
+    /// The key rendered as a map-entry string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from its string form.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($ty:ty),*) => {$(
+        impl MapKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse()
+                    .map_err(|_| Error::custom(format!("invalid map key `{key}`")))
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0)); // deterministic output regardless of hash order
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort(); // deterministic output regardless of hash order
+        Value::Seq(items.into_iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u64> = None;
+        assert_eq!(opt.serialize(), Value::Null);
+        let back: Option<u64> = Deserialize::deserialize(&Value::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn field_lookup_handles_missing_keys() {
+        let map = Value::Map(vec![("a".into(), Value::Int(1))]);
+        let a: u64 = field(&map, "a").unwrap();
+        assert_eq!(a, 1);
+        let missing: Option<u64> = field(&map, "b").unwrap();
+        assert_eq!(missing, None);
+        let empty: Vec<u64> = field(&map, "b").unwrap();
+        assert!(empty.is_empty());
+        assert!(field::<u64>(&map, "b").is_err());
+        // A *missing* f64 is an error even though an explicit null is NaN.
+        assert!(field::<f64>(&map, "b").is_err());
+        let nulled = Value::Map(vec![("b".into(), Value::Null)]);
+        assert!(field::<f64>(&nulled, "b").unwrap().is_nan());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.serialize(), Value::Null);
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,619 @@
+//! TOML printing and parsing for the workspace-local serde shim.
+//!
+//! Implements the subset of TOML that declarative scenario files use:
+//! `key = value` pairs, `[tables]`, `[[arrays of tables]]`, dotted headers,
+//! basic strings, integers, floats, booleans, arrays, and inline tables.
+//! Dates, multi-line strings, and literal strings are not supported.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` as a TOML document. The top level must be a map.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the value tree does not form a valid TOML
+/// document (e.g. the top level is not a map).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let root = value.serialize();
+    let Value::Map(_) = &root else {
+        return Err(Error::custom("TOML documents must be maps at top level"));
+    };
+    let mut out = String::new();
+    write_table(&mut out, &root, &mut Vec::new())?;
+    Ok(out)
+}
+
+/// Parses a TOML document and deserializes it into `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed TOML or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_document(text)?;
+    T::deserialize(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+/// True when the value can appear on the right-hand side of `key = ...`.
+fn is_inline(value: &Value) -> bool {
+    match value {
+        Value::Map(_) => false,
+        Value::Seq(items) => items.iter().all(is_inline_in_array),
+        _ => true,
+    }
+}
+
+/// Inside arrays everything is written inline (inline tables for maps),
+/// except arrays of maps which become `[[...]]` tables.
+fn is_inline_in_array(value: &Value) -> bool {
+    !matches!(value, Value::Map(_))
+}
+
+fn write_table(out: &mut String, table: &Value, path: &mut Vec<String>) -> Result<(), Error> {
+    let entries = table
+        .as_map()
+        .ok_or_else(|| Error::custom("expected a map"))?;
+
+    // Scalars and inline arrays first, then sub-tables, then table arrays —
+    // the order TOML requires to avoid re-opening headers.
+    for (key, value) in entries.iter().filter(|(_, v)| v.kind() != "null") {
+        if is_inline(value) {
+            out.push_str(&format!("{} = ", bare_key(key)));
+            write_inline(out, value)?;
+            out.push('\n');
+        }
+    }
+    for (key, value) in entries {
+        match value {
+            Value::Map(_) => {
+                path.push(key.clone());
+                out.push_str(&format!("\n[{}]\n", path_key(path)));
+                write_table(out, value, path)?;
+                path.pop();
+            }
+            Value::Seq(items) if !is_inline(value) => {
+                for item in items {
+                    path.push(key.clone());
+                    out.push_str(&format!("\n[[{}]]\n", path_key(path)));
+                    write_table(out, item, path)?;
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn write_inline(out: &mut String, value: &Value) -> Result<(), Error> {
+    match value {
+        Value::Null => return Err(Error::custom("null has no TOML representation")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            let text = f.to_string();
+            out.push_str(&text);
+            if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push_str("{ ");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{} = ", bare_key(k)));
+                write_inline(out, v)?;
+            }
+            out.push_str(" }");
+        }
+    }
+    Ok(())
+}
+
+fn bare_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        format!("{key:?}")
+    }
+}
+
+fn path_key(path: &[String]) -> String {
+    path.iter()
+        .map(|k| bare_key(k))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_document(text: &str) -> Result<Value, Error> {
+    let mut root = Value::Map(Vec::new());
+    // Path of the table currently being filled (empty = root).
+    let mut current: Vec<String> = Vec::new();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::custom(format!("line {}: {msg}", lineno + 1));
+
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let path = parse_header_path(header).map_err(|e| err(&e))?;
+            push_table_array(&mut root, &path).map_err(|e| err(&e))?;
+            current = path;
+            current.push(String::new()); // marker: inside the last array element
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let path = parse_header_path(header).map_err(|e| err(&e))?;
+            ensure_table(&mut root, &path).map_err(|e| err(&e))?;
+            current = path;
+        } else {
+            // A key = value line; values may span lines for arrays.
+            let mut full = line;
+            while needs_continuation(&full) {
+                match lines.next() {
+                    Some((_, next)) => {
+                        full.push(' ');
+                        full.push_str(strip_comment(next).trim());
+                    }
+                    None => return Err(err("unterminated value")),
+                }
+            }
+            let (key, rest) = full
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`"))?;
+            let key = parse_key(key.trim()).map_err(|e| err(&e))?;
+            let mut cursor = Cursor::new(rest.trim());
+            let value = cursor.value().map_err(|e| err(&e))?;
+            cursor.skip_ws();
+            if !cursor.done() {
+                return Err(err("trailing characters after value"));
+            }
+            insert_at(&mut root, &current, &key, value).map_err(|e| err(&e))?;
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// True while an array value still has unbalanced brackets.
+fn needs_continuation(line: &str) -> bool {
+    let Some((_, rest)) = line.split_once('=') else {
+        return false;
+    };
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in rest.chars() {
+        match c {
+            '\\' if in_str => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth > 0
+}
+
+fn parse_header_path(header: &str) -> Result<Vec<String>, String> {
+    header
+        .split('.')
+        .map(|part| parse_key(part.trim()))
+        .collect()
+}
+
+fn parse_key(key: &str) -> Result<String, String> {
+    if let Some(quoted) = key.strip_prefix('"').and_then(|k| k.strip_suffix('"')) {
+        return Ok(quoted.to_string());
+    }
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(key.to_string())
+    } else {
+        Err(format!("invalid key `{key}`"))
+    }
+}
+
+/// Walks `path` from the root, creating tables as needed, and returns the
+/// target table. A path segment that lands on an array of tables descends
+/// into the array's last element.
+fn descend<'a>(root: &'a mut Value, path: &[String]) -> Result<&'a mut Value, String> {
+    let mut node = root;
+    for seg in path {
+        if seg.is_empty() {
+            continue; // the inside-array marker from `[[...]]`
+        }
+        // Insert the key if absent.
+        let entries = match node {
+            Value::Map(entries) => entries,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(entries)) => entries,
+                _ => return Err("array of tables contains a non-table".into()),
+            },
+            _ => return Err(format!("`{seg}` is not a table")),
+        };
+        if !entries.iter().any(|(k, _)| k == seg) {
+            entries.push((seg.clone(), Value::Map(Vec::new())));
+        }
+        let (_, next) = entries
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .expect("just inserted");
+        node = next;
+    }
+    // Land inside the last array element if the path ends on an array.
+    if let Value::Seq(items) = node {
+        node = items
+            .last_mut()
+            .ok_or_else(|| "empty array of tables".to_string())?;
+    }
+    Ok(node)
+}
+
+fn ensure_table(root: &mut Value, path: &[String]) -> Result<(), String> {
+    descend(root, path).map(|_| ())
+}
+
+fn push_table_array(root: &mut Value, path: &[String]) -> Result<(), String> {
+    let (last, parent_path) = path.split_last().ok_or("empty table-array header")?;
+    let parent = descend(root, parent_path)?;
+    let entries = match parent {
+        Value::Map(entries) => entries,
+        _ => return Err("parent of an array of tables must be a table".into()),
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Seq(items))) => items.push(Value::Map(Vec::new())),
+        Some(_) => return Err(format!("key `{last}` is not an array of tables")),
+        None => entries.push((last.clone(), Value::Seq(vec![Value::Map(Vec::new())]))),
+    }
+    Ok(())
+}
+
+fn insert_at(root: &mut Value, table: &[String], key: &str, value: Value) -> Result<(), String> {
+    let node = descend(root, table)?;
+    let entries = match node {
+        Value::Map(entries) => entries,
+        _ => return Err("cannot insert into a non-table".into()),
+    };
+    if entries.iter().any(|(k, _)| k == key) {
+        return Err(format!("duplicate key `{key}`"));
+    }
+    entries.push((key.to_string(), value));
+    Ok(())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(b) if b == b'-' || b == b'+' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?}", other.map(|b| b as char))),
+        }
+    }
+
+    fn boolean(&mut self) -> Result<Value, String> {
+        for (kw, v) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                return Ok(Value::Bool(v));
+            }
+        }
+        Err("invalid boolean".into())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8")?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err("expected ',' or ']' in array".into()),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, String> {
+        self.pos += 1; // {
+        let mut entries = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'=' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let key = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid UTF-8")?
+                .trim()
+                .to_string();
+            let key = parse_key(&key)?;
+            if self.peek() != Some(b'=') {
+                return Err("expected '=' in inline table".into());
+            }
+            self.pos += 1;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err("expected ',' or '}' in inline table".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8")?
+            .replace('_', "");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| format!("invalid float `{text}`"))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            Err(format!("invalid integer `{text}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_and_parses_nested_tables() {
+        let value = Value::Map(vec![
+            ("name".into(), Value::Str("demo".into())),
+            ("count".into(), Value::Int(3)),
+            (
+                "inner".into(),
+                Value::Map(vec![("flag".into(), Value::Bool(true))]),
+            ),
+            (
+                "events".into(),
+                Value::Seq(vec![
+                    Value::Map(vec![("at".into(), Value::Float(0.5))]),
+                    Value::Map(vec![("at".into(), Value::Float(1.5))]),
+                ]),
+            ),
+        ]);
+        let text = to_string(&value).unwrap();
+        assert!(text.contains("[inner]"));
+        assert!(text.contains("[[events]]"));
+        let back = parse_document(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn parses_handwritten_documents() {
+        let text = r#"
+            # a scenario-ish document
+            name = "hand written"
+            fractions = [0.05, 0.1,
+                         0.2]
+            mixed = { kind = "Wlru", w = 0.5 }
+
+            [array]
+            disks = 50
+
+            [[events]]
+            at = 100.0
+            added = 3
+
+            [[events]]
+            at = 200.0
+            added = 4
+        "#;
+        let doc = parse_document(text).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str().unwrap(), "hand written");
+        assert_eq!(doc.get("fractions").unwrap().as_seq().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("array").unwrap().get("disks").unwrap(),
+            &Value::Int(50)
+        );
+        let events = doc.get("events").unwrap().as_seq().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].get("added").unwrap(), &Value::Int(4));
+        assert_eq!(
+            doc.get("mixed").unwrap().get("kind").unwrap().as_str(),
+            Some("Wlru")
+        );
+    }
+
+    #[test]
+    fn strings_with_hashes_and_quotes_survive() {
+        let value = Value::Map(vec![(
+            "s".into(),
+            Value::Str("a # not-a-comment \"quoted\"".into()),
+        )]);
+        let text = to_string(&value).unwrap();
+        let back = parse_document(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(parse_document("a = 1\na = 2").is_err());
+    }
+}

@@ -79,7 +79,10 @@ impl Zipf {
     /// Draws a rank in `[0, n)`; rank 0 is the most popular.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

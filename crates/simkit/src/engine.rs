@@ -147,7 +147,8 @@ mod tests {
     #[test]
     fn drains_empty_queue_immediately() {
         let mut queue: EventQueue<()> = EventQueue::new();
-        let reason = EventLoop::new().run(&mut queue, |_, _, _: &mut EventQueue<()>| Flow::Continue);
+        let reason =
+            EventLoop::new().run(&mut queue, |_, _, _: &mut EventQueue<()>| Flow::Continue);
         assert_eq!(reason, StopReason::Drained);
     }
 

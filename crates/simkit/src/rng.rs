@@ -155,7 +155,10 @@ mod tests {
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
         let mean = sum / n as f64;
-        assert!((mean - 5.0).abs() < 0.2, "empirical mean {mean} too far from 5.0");
+        assert!(
+            (mean - 5.0).abs() < 0.2,
+            "empirical mean {mean} too far from 5.0"
+        );
     }
 
     #[test]

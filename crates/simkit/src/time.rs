@@ -31,7 +31,9 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// let t = SimTime::from_millis(1.5) + SimDuration::from_micros(250.0);
 /// assert_eq!(t.as_millis(), 1.75);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in nanoseconds.
@@ -43,7 +45,9 @@ pub struct SimTime(u64);
 /// let service = SimDuration::from_millis(4.2) + SimDuration::from_millis(0.8);
 /// assert_eq!(service.as_millis(), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -11,7 +11,10 @@ use serde::{Deserialize, Serialize};
 use craid_diskmodel::BLOCK_SIZE_BYTES;
 
 /// Identifier of one of the paper's seven traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as the paper's lower-case trace name (`"wdev"`, `"cello99"`,
+/// ...) so scenario files read naturally; parsing accepts the same names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadId {
     /// HP Labs research cluster, 1999.
     Cello99,
@@ -69,6 +72,21 @@ impl std::str::FromStr for WorkloadId {
             .into_iter()
             .find(|id| id.name() == s.trim().to_ascii_lowercase())
             .ok_or_else(|| format!("unknown workload '{s}'"))
+    }
+}
+
+impl Serialize for WorkloadId {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for WorkloadId {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("workload name", value))?;
+        s.parse().map_err(serde::Error::custom)
     }
 }
 
@@ -211,7 +229,8 @@ impl WorkloadSpec {
 
     /// Number of distinct 4 KiB blocks the workload touches over the week.
     pub fn footprint_blocks(&self) -> u64 {
-        (((self.unique_read_gb + self.unique_write_gb) * GB) / BLOCK_SIZE_BYTES as f64).ceil() as u64
+        (((self.unique_read_gb + self.unique_write_gb) * GB) / BLOCK_SIZE_BYTES as f64).ceil()
+            as u64
     }
 
     /// Number of client requests over the week implied by the traffic volume
@@ -246,7 +265,8 @@ impl WorkloadSpec {
         if self.avg_request_blocks == 0 {
             return Err("average request size must be positive".into());
         }
-        if self.unique_read_gb > self.read_gb + 1e-9 || self.unique_write_gb > self.write_gb + 1e-9 {
+        if self.unique_read_gb > self.read_gb + 1e-9 || self.unique_write_gb > self.write_gb + 1e-9
+        {
             return Err("unique volume cannot exceed total volume".into());
         }
         Ok(())
@@ -276,7 +296,11 @@ mod tests {
         assert!((proj.total_gb() - 2519.79).abs() < 0.1);
         assert!(proj.rw_ratio() > 5.0);
         let webresearch = WorkloadSpec::paper(WorkloadId::Webresearch);
-        assert_eq!(webresearch.read_fraction(), 0.0, "webresearch is write-only");
+        assert_eq!(
+            webresearch.read_fraction(),
+            0.0,
+            "webresearch is write-only"
+        );
     }
 
     #[test]
@@ -296,6 +320,17 @@ mod tests {
             assert_eq!(parsed, id);
         }
         assert!("nosuchtrace".parse::<WorkloadId>().is_err());
+    }
+
+    #[test]
+    fn workload_serde_uses_table_names() {
+        for id in WorkloadId::ALL {
+            let v = Serialize::serialize(&id);
+            assert_eq!(v, serde::Value::Str(id.name().to_string()));
+            let back: WorkloadId = Deserialize::deserialize(&v).unwrap();
+            assert_eq!(back, id);
+        }
+        assert!(WorkloadId::deserialize(&serde::Value::Null).is_err());
     }
 
     #[test]

@@ -185,7 +185,10 @@ fn mean(v: &[f64]) -> f64 {
 ///
 /// Panics if `days < 2`.
 pub fn overlap_series(trace: &Trace, days: usize) -> OverlapSeries {
-    assert!(days >= 2, "need at least two day buckets to compute overlap");
+    assert!(
+        days >= 2,
+        "need at least two day buckets to compute overlap"
+    );
     if trace.is_empty() {
         return OverlapSeries {
             overlap_all: Vec::new(),
@@ -276,7 +279,9 @@ mod tests {
 
     #[test]
     fn frequency_cdf_is_monotone_and_ends_at_one() {
-        let t = SyntheticWorkload::paper(WorkloadId::Wdev).scale(50_000).generate(1);
+        let t = SyntheticWorkload::paper(WorkloadId::Wdev)
+            .scale(50_000)
+            .generate(1);
         let cdf = frequency_cdf(&t, None);
         assert!(!cdf.points.is_empty());
         for w in cdf.points.windows(2) {
@@ -301,7 +306,10 @@ mod tests {
         assert_eq!(reads.points, vec![(1, 1.0)]);
         assert_eq!(writes.points, vec![(1, 1.0)]);
         assert_eq!(both.points, vec![(1, 1.0)]);
-        assert_eq!(frequency_cdf(&Trace::new("e", 1, vec![]), None).points, vec![]);
+        assert_eq!(
+            frequency_cdf(&Trace::new("e", 1, vec![]), None).points,
+            vec![]
+        );
     }
 
     #[test]
@@ -345,7 +353,10 @@ mod tests {
         let deasna = SyntheticWorkload::paper_scaled_to(WorkloadId::Deasna, 8_000).generate(5);
         let o_wdev = overlap_series(&wdev, 7);
         let o_deasna = overlap_series(&deasna, 7);
-        assert!(o_wdev.mean_all() > 0.25, "wdev working set should be stable");
+        assert!(
+            o_wdev.mean_all() > 0.25,
+            "wdev working set should be stable"
+        );
         assert!(o_wdev.mean_top20() > 0.35);
         assert!(
             o_deasna.mean_top20() > o_deasna.mean_all() + 0.15,
@@ -357,7 +368,10 @@ mod tests {
 
     #[test]
     fn synthetic_top20_share_tracks_spec() {
-        for (id, scale) in [(WorkloadId::Deasna, 200_000u64), (WorkloadId::Webresearch, 100)] {
+        for (id, scale) in [
+            (WorkloadId::Deasna, 200_000u64),
+            (WorkloadId::Webresearch, 100),
+        ] {
             let spec_share = crate::WorkloadSpec::paper(id).top20_share;
             let t = SyntheticWorkload::paper(id).scale(scale).generate(11);
             let measured = summarize(&t).top20_access_share;

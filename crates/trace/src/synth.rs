@@ -200,7 +200,11 @@ impl SyntheticWorkload {
             // which is what makes stripe width and load balance matter for
             // response times (the effect behind the paper's Figs. 4 and 6).
             let dt = arrivals.exponential(mean_interarrival);
-            now += if arrivals.chance(0.8) { dt * 0.04 } else { dt * 4.84 };
+            now += if arrivals.chance(0.8) {
+                dt * 0.04
+            } else {
+                dt * 4.84
+            };
             let day = (now / day_secs) as u64;
 
             let rank = zipf.sample(&mut popularity) as u64;

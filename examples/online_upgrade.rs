@@ -3,7 +3,8 @@
 //!
 //! This is the scenario CRAID was designed for (paper §1/§3): a conventional
 //! restripe moves (nearly) the whole dataset on every upgrade, while CRAID
-//! only invalidates and refills its small cache partition.
+//! only invalidates and refills its small cache partition. The upgrade
+//! schedule is declared as a `Scenario` timeline of `Expand` events.
 //!
 //! Run with:
 //!
@@ -11,15 +12,39 @@
 //! cargo run --release --example online_upgrade
 //! ```
 
-use craid::{ArrayConfig, Simulation, StrategyKind};
+use craid::{CraidError, Scenario, StrategyKind};
 use craid_raid::{minimal_migration_blocks, ExpansionSchedule};
 use craid_simkit::SimTime;
-use craid_trace::{SyntheticWorkload, WorkloadId};
+use craid_trace::WorkloadId;
 
-fn main() {
-    let trace = SyntheticWorkload::paper_scaled_to(WorkloadId::Webusers, 5_000).generate(7);
-    let footprint = trace.footprint_blocks();
+fn main() -> Result<(), CraidError> {
     let schedule = ExpansionSchedule::paper();
+
+    // A CRAID-5+ array that starts at 10 disks and is upgraded six times
+    // while serving the workload, at evenly spaced times.
+    let mut builder = Scenario::builder()
+        .name("online-upgrade")
+        .strategy(StrategyKind::Craid5Plus)
+        .workload(WorkloadId::Webusers)
+        .requests(5_000)
+        .seed(7)
+        .paper()
+        .pc_fraction(0.1)
+        .disks(10)
+        .expansion_sets(vec![10]);
+
+    // Spacing the upgrades needs the trace's duration, which is itself a
+    // function of the declared workload.
+    let span = builder.clone().build().trace().duration().as_secs();
+    for (i, &added) in schedule.additions().iter().enumerate() {
+        let when = SimTime::from_secs(span * (i + 1) as f64 / (schedule.steps() + 1) as f64);
+        builder = builder.expand_at(when, added);
+    }
+    let scenario = builder.build();
+
+    // Generate the workload once and reuse it for printing and the run.
+    let trace = scenario.trace();
+    let footprint = trace.footprint_blocks();
     println!(
         "workload: {} ({} requests, {} block footprint)",
         trace.name(),
@@ -28,30 +53,18 @@ fn main() {
     );
     println!("expansion schedule: {:?} disks", schedule.sizes());
 
-    // A CRAID-5+ array that starts at 10 disks and is upgraded six times
-    // while serving the workload.
-    let mut config = ArrayConfig::paper(StrategyKind::Craid5Plus, footprint, footprint / 10);
-    config.disks = 10;
-    config.expansion_sets = vec![10];
-
-    let span = trace.duration().as_secs();
-    let expansions: Vec<(SimTime, usize)> = schedule
-        .additions()
-        .iter()
-        .enumerate()
-        .map(|(i, &added)| {
-            let when = SimTime::from_secs(span * (i + 1) as f64 / (schedule.steps() + 1) as f64);
-            (when, added)
-        })
-        .collect();
-
-    let (report, upgrades) = Simulation::new(config).run_with_expansions(&trace, &expansions);
+    let outcome = scenario.run_on(&trace, &mut craid::NullObserver)?;
+    let report = &outcome.report;
+    let upgrades = &outcome.expansions;
 
     println!();
     println!("per-upgrade migration (blocks):");
-    println!("{:>10} {:>12} {:>12} {:>16} {:>14}", "step", "disks", "CRAID", "full restripe", "minimal");
+    println!(
+        "{:>10} {:>12} {:>12} {:>16} {:>14}",
+        "step", "disks", "CRAID", "full restripe", "minimal"
+    );
     let mut craid_total = 0;
-    for ((i, (old, new)), upgrade) in schedule.transitions().enumerate().zip(&upgrades) {
+    for ((i, (old, new)), upgrade) in schedule.transitions().enumerate().zip(upgrades) {
         let minimal = minimal_migration_blocks(footprint, old, new);
         craid_total += upgrade.migrated_blocks;
         println!(
@@ -78,4 +91,5 @@ fn main() {
         report.write.mean_ms,
         report.craid.map(|c| c.hit_ratio * 100.0).unwrap_or(0.0)
     );
+    Ok(())
 }

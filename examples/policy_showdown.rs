@@ -1,6 +1,7 @@
 //! Policy showdown: compare the five replacement policies the CRAID I/O
 //! monitor supports, first in isolation (hit/replacement ratios, as in the
-//! paper's Tables 2-3) and then end to end inside a CRAID-5 array.
+//! paper's Tables 2-3) and then end to end inside a CRAID-5 array — the
+//! end-to-end comparison declared as a `Campaign` and run in parallel.
 //!
 //! Run with:
 //!
@@ -11,11 +12,11 @@
 //! where `workload` is one of `cello99`, `deasna`, `home02`, `webresearch`,
 //! `webusers`, `wdev` (default) or `proj`.
 
-use craid::{policy_quality, ArrayConfig, Simulation, StrategyKind};
+use craid::{policy_quality, Campaign, CraidError, Scenario, StrategyKind};
 use craid_cache::PolicyKind;
 use craid_trace::{SyntheticWorkload, WorkloadId};
 
-fn main() {
+fn main() -> Result<(), CraidError> {
     let workload: WorkloadId = std::env::args()
         .nth(1)
         .map(|arg| arg.parse().unwrap_or_else(|e| panic!("{e}")))
@@ -45,14 +46,25 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12} {:>14}",
         "policy", "read ms", "write ms", "hit ratio", "dirty evicts"
     );
-    for policy in PolicyKind::paper_set() {
-        let config = ArrayConfig::paper(
-            StrategyKind::Craid5,
-            trace.footprint_blocks(),
-            trace.footprint_blocks() / 10,
-        )
-        .with_policy(policy);
-        let report = Simulation::new(config).run(&trace);
+    let policies = PolicyKind::paper_set();
+    let scenarios = policies
+        .iter()
+        .map(|&policy| {
+            Scenario::builder()
+                .name(format!("showdown/{policy}"))
+                .strategy(StrategyKind::Craid5)
+                .workload(workload)
+                .requests(6_000)
+                .seed(11)
+                .paper()
+                .pc_fraction(0.1)
+                .policy(policy)
+                .build()
+        })
+        .collect();
+    let outcomes = Campaign::new(scenarios).run()?;
+    for (policy, outcome) in policies.iter().zip(&outcomes) {
+        let report = &outcome.report;
         let craid = report.craid.expect("CRAID strategy reports cache stats");
         println!(
             "{:>10} {:>12.2} {:>12.2} {:>11.1}% {:>14}",
@@ -66,4 +78,5 @@ fn main() {
     println!();
     println!("The paper picks WLRU(0.5): hit ratios on par with ARC/LRU but fewer dirty");
     println!("evictions, i.e. fewer 4-I/O parity write-backs to the archive partition.");
+    Ok(())
 }

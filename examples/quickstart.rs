@@ -1,5 +1,6 @@
-//! Quick start: simulate a CRAID-5 array serving a scaled-down version of
-//! the MSR `wdev` workload and print the headline measurements.
+//! Quick start: declare a scenario — a CRAID-5 array serving a scaled-down
+//! version of the MSR `wdev` workload — run it, and print the headline
+//! measurements.
 //!
 //! Run with:
 //!
@@ -7,14 +8,25 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use craid::{ArrayConfig, Simulation, StrategyKind};
-use craid_trace::{SyntheticWorkload, WorkloadId};
+use craid::{CraidError, Scenario, StrategyKind};
+use craid_trace::WorkloadId;
 
-fn main() {
-    // 1. Generate a synthetic week of the wdev test-server workload, heavily
-    //    scaled down so this example runs in well under a second.
-    let workload = SyntheticWorkload::paper_scaled_to(WorkloadId::Wdev, 5_000);
-    let trace = workload.generate(42);
+fn main() -> Result<(), CraidError> {
+    // 1. Declare the experiment: the paper's 50-disk testbed, a cache
+    //    partition at 10% of the workload footprint, and a synthetic week
+    //    of the wdev test-server workload scaled down so this example runs
+    //    in well under a second.
+    let scenario = Scenario::builder()
+        .name("quickstart")
+        .strategy(StrategyKind::Craid5)
+        .workload(WorkloadId::Wdev)
+        .requests(5_000)
+        .seed(42)
+        .paper()
+        .pc_fraction(0.1)
+        .build();
+
+    let trace = scenario.trace();
     println!(
         "workload: {} — {} requests over {:.0}s, footprint {} blocks",
         trace.name(),
@@ -22,11 +34,7 @@ fn main() {
         trace.duration().as_secs(),
         trace.footprint_blocks()
     );
-
-    // 2. Describe the array: the paper's 50-disk testbed with a cache
-    //    partition sized at 10% of the workload footprint.
-    let pc_blocks = trace.footprint_blocks() / 10;
-    let config = ArrayConfig::paper(StrategyKind::Craid5, trace.footprint_blocks(), pc_blocks);
+    let config = scenario.array_config(&trace);
     println!(
         "array: {} disks, stripe unit {} blocks, cache partition {} blocks ({:.4}% of each disk)",
         config.disks,
@@ -35,12 +43,23 @@ fn main() {
         config.pc_percent_per_disk()
     );
 
-    // 3. Replay the workload and look at what CRAID did.
-    let report = Simulation::new(config).run(&trace);
+    // 2. Run it. `Scenario::run` is fallible: configuration mistakes come
+    //    back as a `CraidError` instead of a panic.
+    let outcome = scenario.run_on(&trace, &mut craid::NullObserver)?;
+    let report = &outcome.report;
+
     println!();
-    println!("read  response: mean {:.2} ms (p99 {:.2} ms) over {} requests", report.read.mean_ms, report.read.p99_ms, report.read.count);
-    println!("write response: mean {:.2} ms (p99 {:.2} ms) over {} requests", report.write.mean_ms, report.write.p99_ms, report.write.count);
-    let craid = report.craid.expect("a CRAID strategy always reports cache statistics");
+    println!(
+        "read  response: mean {:.2} ms (p99 {:.2} ms) over {} requests",
+        report.read.mean_ms, report.read.p99_ms, report.read.count
+    );
+    println!(
+        "write response: mean {:.2} ms (p99 {:.2} ms) over {} requests",
+        report.write.mean_ms, report.write.p99_ms, report.write.count
+    );
+    let craid = report
+        .craid
+        .expect("a CRAID strategy always reports cache statistics");
     println!(
         "cache partition: hit ratio {:.1}% (reads {:.1}%, writes {:.1}%), {} dirty evictions",
         craid.hit_ratio * 100.0,
@@ -54,6 +73,10 @@ fn main() {
         report.sequential_fraction * 100.0
     );
     println!();
+    println!("Scenarios are plain data: `scenario.to_toml()` prints this experiment as a");
+    println!("version-controllable file (see examples/scenario_file.rs), and Campaign::sweep");
+    println!("runs whole {{strategy x workload x partition}} matrices in parallel.");
     println!("For the paper's full evaluation, run the bench targets in crates/bench");
     println!("(e.g. `cargo bench -p craid-bench --bench figure4_read_response`).");
+    Ok(())
 }

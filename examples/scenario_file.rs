@@ -1,0 +1,74 @@
+//! Run an experiment declared in a TOML scenario file.
+//!
+//! Scenarios are plain data: the file names a strategy, a workload, an
+//! array shape, and a timeline of scheduled events. This example loads
+//! `examples/scenarios/upgrade_drill.toml` (or a path given as the first
+//! argument), runs it, and prints the outcome.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scenario_file [path/to/scenario.toml]
+//! ```
+
+use craid::Scenario;
+
+const DEFAULT_SCENARIO: &str = include_str!("scenarios/upgrade_drill.toml");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)?,
+        None => DEFAULT_SCENARIO.to_string(),
+    };
+    let scenario = Scenario::from_toml(&text)?;
+    println!(
+        "scenario '{}': {} on {} ({} requests, seed {})",
+        scenario.name,
+        scenario.strategy,
+        scenario.workload.id,
+        scenario.workload.requests,
+        scenario.workload.seed
+    );
+    println!("timeline:");
+    for event in &scenario.events {
+        println!("  t = {:>8.1}s  {}", event.at().as_secs(), event.describe());
+    }
+
+    let outcome = scenario.run()?;
+    let report = &outcome.report;
+    println!();
+    println!("applied {} events:", outcome.applied_events.len());
+    for applied in &outcome.applied_events {
+        println!(
+            "  t = {:>8.1}s  {}{}",
+            applied.at.as_secs(),
+            applied.description,
+            if applied.during_replay {
+                ""
+            } else {
+                "  (after the last request)"
+            }
+        );
+    }
+    for (i, upgrade) in outcome.expansions.iter().enumerate() {
+        println!(
+            "upgrade {}: +{} disks, migrated {} blocks, wrote back {}",
+            i + 1,
+            upgrade.added_disks,
+            upgrade.migrated_blocks,
+            upgrade.writeback_blocks
+        );
+    }
+    println!();
+    println!(
+        "read {:.2} ms / write {:.2} ms over {} requests; hit ratio {:.1}%",
+        report.read.mean_ms,
+        report.write.mean_ms,
+        report.requests,
+        report.craid.map(|c| c.hit_ratio * 100.0).unwrap_or(0.0)
+    );
+    println!();
+    println!("The same scenario serializes back with `scenario.to_toml()`; edit the file,");
+    println!("rerun, and the engine replays the identical workload against the new timeline.");
+    Ok(())
+}

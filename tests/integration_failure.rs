@@ -21,7 +21,9 @@ fn mapping_cache_crash_recovery_preserves_exactly_the_dirty_blocks() {
     let recovered = MappingCache::recover_from_log(&log);
     assert_eq!(recovered.len(), 250);
     for entry in &log {
-        let m = recovered.lookup(entry.pa_block).expect("dirty block survived the crash");
+        let m = recovered
+            .lookup(entry.pa_block)
+            .expect("dirty block survived the crash");
         assert!(m.dirty);
         assert_eq!(m.pc_block, entry.pc_block);
     }
@@ -58,7 +60,10 @@ fn invalid_configurations_fail_fast_with_descriptive_errors() {
     assert!(config.validate().is_err());
 
     let config = ArrayConfig::paper(StrategyKind::Craid5, 10_000, 0);
-    assert!(matches!(config.validate(), Err(CraidError::InvalidConfig(_))));
+    assert!(matches!(
+        config.validate(),
+        Err(CraidError::InvalidConfig(_))
+    ));
 }
 
 #[test]
@@ -70,7 +75,11 @@ fn malformed_traces_are_rejected_at_construction() {
     assert!(result.is_err());
     // Records beyond the declared footprint.
     let result = std::panic::catch_unwind(|| {
-        Trace::new("bad", 4, vec![TraceRecord::new(SimTime::ZERO, IoKind::Read, 2, 8)])
+        Trace::new(
+            "bad",
+            4,
+            vec![TraceRecord::new(SimTime::ZERO, IoKind::Read, 2, 8)],
+        )
     });
     assert!(result.is_err());
 }
@@ -82,10 +91,50 @@ fn expansion_errors_leave_the_simulation_usable() {
     // Adding a single disk cannot form a RAID-5 set: the fallible API
     // reports the error instead of corrupting the run.
     let sim = Simulation::new(config);
-    let result = sim.try_run_with_expansions(&trace, &[(SimTime::from_secs(1.0), 1)]);
+    let events = [craid::ScheduledEvent::expand(SimTime::from_secs(1.0), 1)];
+    let result = sim.try_run_events(&trace, &events, &mut craid::NullObserver);
     assert!(matches!(result, Err(CraidError::InvalidExpansion(_))));
     // A plain run with the same driver still works.
     assert!(sim.try_run(&trace).is_ok());
+}
+
+#[test]
+fn malformed_scenario_documents_are_rejected_with_context() {
+    // Unknown strategy names, bad event kinds and type mismatches must all
+    // surface as errors, not panics or silent defaults.
+    let bad_strategy = r#"
+        name = "bad"
+        strategy = "RAID-6"
+        [workload]
+        id = "wdev"
+        requests = 100
+        seed = 1
+        [array]
+        preset = "paper"
+        pc_fraction = 0.1
+    "#;
+    let err = craid::Scenario::from_toml(bad_strategy).unwrap_err();
+    assert!(err.to_string().contains("unknown strategy"), "{err}");
+
+    let bad_event = r#"
+        name = "bad"
+        strategy = "CRAID-5"
+        [workload]
+        id = "wdev"
+        requests = 100
+        seed = 1
+        [array]
+        preset = "paper"
+        pc_fraction = 0.1
+        [[events]]
+        kind = "disk-melt"
+        at_secs = 1.0
+    "#;
+    let err = craid::Scenario::from_toml(bad_event).unwrap_err();
+    assert!(err.to_string().contains("unknown event kind"), "{err}");
+
+    let err = craid::Scenario::from_toml("strategy = 5").unwrap_err();
+    assert!(!err.to_string().is_empty());
 }
 
 #[test]
@@ -99,7 +148,13 @@ fn every_policy_survives_pathological_single_block_thrashing() {
     let trace = Trace::new("thrash", 5_000, records);
     for policy in PolicyKind::paper_set() {
         let q = craid::policy_quality(policy, &trace, 0.01);
-        assert_eq!(q.hit_ratio, 0.0, "{policy}: nothing repeats, nothing can hit");
-        assert!(q.replacement_ratio > 0.9, "{policy}: almost every miss must replace");
+        assert_eq!(
+            q.hit_ratio, 0.0,
+            "{policy}: nothing repeats, nothing can hit"
+        );
+        assert!(
+            q.replacement_ratio > 0.9,
+            "{policy}: almost every miss must replace"
+        );
     }
 }

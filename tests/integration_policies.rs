@@ -34,7 +34,11 @@ fn skewed_workloads_hit_more_than_uniform_pressure_would_suggest() {
     // deasna is the paper's most skewed workload: even a 5% cache captures
     // well over half the accesses.
     let q = policy_quality(PolicyKind::Wlru(0.5), &trace(WorkloadId::Deasna), 0.05);
-    assert!(q.hit_ratio > 0.5, "deasna hit ratio {} too low", q.hit_ratio);
+    assert!(
+        q.hit_ratio > 0.5,
+        "deasna hit ratio {} too low",
+        q.hit_ratio
+    );
 }
 
 #[test]

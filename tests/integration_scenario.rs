@@ -1,0 +1,247 @@
+//! Integration tests for the declarative Scenario/Campaign API: the golden
+//! equivalence against the legacy tuple API, file-driven scenarios, campaign
+//! determinism, and event-schedule semantics.
+
+use craid::{Campaign, Scenario, Simulation, StrategyKind};
+use craid_simkit::SimTime;
+use craid_trace::WorkloadId;
+
+/// Acceptance criterion: a scenario written in TOML (strategy, workload, pc
+/// fraction, two scheduled expansions) loads, executes via `Campaign`, and
+/// produces a `SimulationReport` identical to the equivalent legacy
+/// `run_with_expansions` call.
+///
+/// Honesty note: `run_with_expansions` is now a thin shim over the same
+/// `try_run_events` engine, so what this pins is the full declarative path
+/// (TOML parse → config resolution → tuple-to-event conversion → campaign
+/// threading) against the direct programmatic call — not the seed's
+/// original loop, which no longer exists. The seed-vs-engine equivalence
+/// was established by line-by-line comparison during the refactor; any
+/// future drift between the two call paths (e.g. a config override lost in
+/// `array_config`, or campaign threading perturbing determinism) fails
+/// here.
+#[test]
+fn toml_scenario_matches_legacy_run_with_expansions() {
+    let text = r#"
+        name = "golden"
+        strategy = "CRAID-5+"
+
+        [workload]
+        id = "webusers"
+        requests = 2500
+        seed = 9
+
+        [array]
+        preset = "small-test"
+        pc_fraction = 0.2
+        disks = 4
+        expansion_sets = [4]
+
+        [[events]]
+        kind = "expand"
+        at_secs = 2000.0
+        added_disks = 2
+
+        [[events]]
+        kind = "expand"
+        at_secs = 4000.0
+        added_disks = 2
+    "#;
+    let scenario = Scenario::from_toml(text).expect("scenario parses");
+
+    // The new path: executed through a Campaign.
+    let outcomes = Campaign::new(vec![scenario.clone()])
+        .run()
+        .expect("campaign runs");
+    assert_eq!(outcomes.len(), 1);
+    let outcome = &outcomes[0];
+
+    // The legacy path: the same experiment through the deprecated tuple API.
+    let trace = scenario.trace();
+    let config = scenario.array_config(&trace);
+    #[allow(deprecated)]
+    let (legacy_report, legacy_expansions) = Simulation::new(config).run_with_expansions(
+        &trace,
+        &[
+            (SimTime::from_secs(2000.0), 2),
+            (SimTime::from_secs(4000.0), 2),
+        ],
+    );
+
+    assert_eq!(
+        outcome.report, legacy_report,
+        "the scenario engine must reproduce the legacy report bit for bit"
+    );
+    assert_eq!(outcome.expansions.len(), legacy_expansions.len());
+    for (new, old) in outcome.expansions.iter().zip(&legacy_expansions) {
+        assert_eq!(new.added_disks, old.added_disks);
+        assert_eq!(new.migrated_blocks, old.migrated_blocks);
+        assert_eq!(new.writeback_blocks, old.writeback_blocks);
+    }
+}
+
+#[test]
+fn scenario_survives_toml_and_json_round_trips() {
+    let scenario = Scenario::builder()
+        .name("round trip")
+        .strategy(StrategyKind::Craid5Ssd)
+        .workload(WorkloadId::Home02)
+        .requests(1_000)
+        .seed(5)
+        .small_test()
+        .pc_fraction(0.25)
+        .policy(craid_cache::PolicyKind::Wlru(0.5))
+        .stripe_unit(8)
+        .expand_at(SimTime::from_secs(10.5), 3)
+        .phase_at(SimTime::from_secs(20.0), "phase two")
+        .switch_policy_at(SimTime::from_secs(30.0), craid_cache::PolicyKind::Arc)
+        .observe(craid::ObserverSpec::Progress { every: 500 })
+        .build();
+
+    let toml_text = scenario.to_toml().expect("serializes to TOML");
+    assert_eq!(Scenario::from_toml(&toml_text).expect("parses"), scenario);
+
+    let json_text = scenario.to_json().expect("serializes to JSON");
+    assert_eq!(Scenario::from_json(&json_text).expect("parses"), scenario);
+}
+
+#[test]
+fn campaign_same_seed_produces_identical_reports() {
+    let scenario = Scenario::builder()
+        .name("determinism")
+        .strategy(StrategyKind::Craid5)
+        .workload(WorkloadId::Wdev)
+        .requests(1_500)
+        .seed(77)
+        .small_test()
+        .pc_fraction(0.2)
+        .build();
+    let first = Campaign::new(vec![scenario.clone()]).run().expect("runs");
+    let second = Campaign::new(vec![scenario.clone()]).run().expect("runs");
+    assert_eq!(first[0].report, second[0].report);
+
+    // A different workload seed must actually change the replay.
+    let mut reseeded = scenario;
+    reseeded.workload.seed = 78;
+    let third = Campaign::new(vec![reseeded]).run().expect("runs");
+    assert_ne!(
+        first[0].report, third[0].report,
+        "different seeds must produce different traffic"
+    );
+}
+
+#[test]
+fn equal_time_events_apply_in_declaration_order_even_after_sorting() {
+    let at = SimTime::from_secs(3_000.0);
+    let early = SimTime::from_secs(1_000.0);
+    // Deliberately declare a later-timed event first: the engine sorts by
+    // time (stable), so `early` applies first, then the two `at` events in
+    // declaration order.
+    let scenario = Scenario::builder()
+        .name("ordering")
+        .strategy(StrategyKind::Craid5Plus)
+        .workload(WorkloadId::Webusers)
+        .requests(2_000)
+        .seed(9)
+        .small_test()
+        .pc_fraction(0.2)
+        .disks(4)
+        .expansion_sets(vec![4])
+        .expand_at(at, 4)
+        .expand_at(at, 2)
+        .phase_at(early, "early marker")
+        .build();
+    let outcome = scenario.run().expect("valid scenario");
+    let descriptions: Vec<&str> = outcome
+        .applied_events
+        .iter()
+        .map(|e| e.description.as_str())
+        .collect();
+    assert_eq!(descriptions.len(), 3);
+    assert!(descriptions[0].contains("early marker"));
+    assert!(descriptions[1].contains("4 disks"));
+    assert!(descriptions[2].contains("2 disks"));
+    let added: Vec<usize> = outcome.expansions.iter().map(|e| e.added_disks).collect();
+    assert_eq!(added, vec![4, 2]);
+}
+
+#[test]
+fn campaign_sweep_covers_the_matrix_in_input_order() {
+    let base = Scenario::builder()
+        .name("sweep base")
+        .workload(WorkloadId::Wdev)
+        .requests(800)
+        .seed(3)
+        .small_test()
+        .build();
+    let outcomes = Campaign::sweep(
+        &base,
+        &[WorkloadId::Wdev, WorkloadId::Webusers],
+        &[0.1, 0.3],
+        &[StrategyKind::Raid5, StrategyKind::Craid5],
+    )
+    .run()
+    .expect("sweep runs");
+    assert_eq!(outcomes.len(), 8);
+    // Workload-major, then fraction, then strategy.
+    assert_eq!(outcomes[0].workload, WorkloadId::Wdev);
+    assert_eq!(outcomes[0].pc_fraction, 0.1);
+    assert_eq!(outcomes[0].strategy, StrategyKind::Raid5);
+    assert_eq!(outcomes[3].pc_fraction, 0.3);
+    assert_eq!(outcomes[3].strategy, StrategyKind::Craid5);
+    assert_eq!(outcomes[4].workload, WorkloadId::Webusers);
+    // Baselines never report CRAID stats; CRAID cells always do.
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.report.craid.is_some(),
+            outcome.strategy.is_craid(),
+            "{}",
+            outcome.name
+        );
+    }
+}
+
+#[test]
+fn scenarios_with_broken_knobs_fail_instead_of_running_nonsense() {
+    // A TOML document that omits pc_fraction must be rejected at parse
+    // time, not run with a garbage cache size.
+    let missing_fraction = r#"
+        name = "no fraction"
+        strategy = "CRAID-5"
+        [workload]
+        id = "wdev"
+        requests = 100
+        seed = 1
+        [array]
+        preset = "paper"
+    "#;
+    let err = Scenario::from_toml(missing_fraction).unwrap_err();
+    assert!(err.to_string().contains("pc_fraction"), "{err}");
+
+    // Programmatically-built nonsense is caught by validation at run time.
+    let mut scenario = Scenario::builder().requests(100).build();
+    scenario.array.pc_fraction = -0.2;
+    assert!(matches!(
+        scenario.run(),
+        Err(craid::CraidError::InvalidConfig(_))
+    ));
+    scenario.array.pc_fraction = f64::NAN;
+    assert!(scenario.run().is_err());
+    scenario.array.pc_fraction = 0.1;
+    scenario.workload.requests = 0;
+    assert!(scenario.run().is_err());
+}
+
+#[test]
+fn checked_in_example_scenario_parses_and_runs() {
+    let text = include_str!("../examples/scenarios/upgrade_drill.toml");
+    let mut scenario = Scenario::from_toml(text).expect("the example scenario parses");
+    assert_eq!(scenario.strategy, StrategyKind::Craid5Plus);
+    assert!(scenario.events.len() >= 3);
+    // Scale it down and silence observers to keep the test fast and quiet.
+    scenario.workload.requests = 1_000;
+    scenario.observers.clear();
+    let outcome = scenario.run().expect("the example scenario runs");
+    assert_eq!(outcome.expansions.len(), 2);
+    assert!(outcome.report.requests > 0);
+}

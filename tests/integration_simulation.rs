@@ -14,10 +14,15 @@ fn every_strategy_completes_a_replay_and_reports_sane_numbers() {
     let t = trace(WorkloadId::Wdev, 2_000, 1);
     for strategy in StrategyKind::ALL {
         let config = ArrayConfig::small_test(strategy, t.footprint_blocks());
-        let report = Simulation::new(config).run(&t);
+        let report = Simulation::new(config)
+            .try_run(&t)
+            .expect("valid configuration");
         assert_eq!(report.requests, t.len() as u64, "{strategy}");
         assert_eq!(report.read.count + report.write.count, report.requests);
-        assert!(report.write.mean_ms > 0.0, "{strategy}: writes must take time");
+        assert!(
+            report.write.mean_ms > 0.0,
+            "{strategy}: writes must take time"
+        );
         assert!(report.write.p99_ms >= report.write.p50_ms);
         assert_eq!(report.craid.is_some(), strategy.is_craid());
         let moved: u64 = report.device_bytes.iter().sum();
@@ -29,7 +34,9 @@ fn every_strategy_completes_a_replay_and_reports_sane_numbers() {
 fn craid_cache_absorbs_the_hot_set() {
     let t = trace(WorkloadId::Home02, 3_000, 2);
     let config = ArrayConfig::small_test(StrategyKind::Craid5, t.footprint_blocks());
-    let report = Simulation::new(config).run(&t);
+    let report = Simulation::new(config)
+        .try_run(&t)
+        .expect("valid configuration");
     let craid = report.craid.unwrap();
     assert!(
         craid.hit_ratio > 0.3,
@@ -46,10 +53,17 @@ fn larger_cache_partitions_do_not_hurt_and_raise_hit_ratios() {
         .with_pc_capacity(t.footprint_blocks() / 20);
     let large_cfg = ArrayConfig::small_test(StrategyKind::Craid5, t.footprint_blocks())
         .with_pc_capacity(t.footprint_blocks() / 2);
-    let small = Simulation::new(small_cfg).run(&t);
-    let large = Simulation::new(large_cfg).run(&t);
+    let small = Simulation::new(small_cfg)
+        .try_run(&t)
+        .expect("valid configuration");
+    let large = Simulation::new(large_cfg)
+        .try_run(&t)
+        .expect("valid configuration");
     let (s, l) = (small.craid.unwrap(), large.craid.unwrap());
-    assert!(l.hit_ratio >= s.hit_ratio, "hit ratio must not drop with a larger PC");
+    assert!(
+        l.hit_ratio >= s.hit_ratio,
+        "hit ratio must not drop with a larger PC"
+    );
     assert!(
         l.replacement_ratio <= s.replacement_ratio,
         "a larger PC must not evict more"
@@ -63,12 +77,14 @@ fn craid_write_latency_beats_the_plain_baselines() {
         StrategyKind::Craid5,
         t.footprint_blocks(),
     ))
-    .run(&t);
+    .try_run(&t)
+    .expect("valid configuration");
     let raid5 = Simulation::new(ArrayConfig::small_test(
         StrategyKind::Raid5,
         t.footprint_blocks(),
     ))
-    .run(&t);
+    .try_run(&t)
+    .expect("valid configuration");
     assert!(
         craid.write.mean_ms < raid5.write.mean_ms,
         "CRAID writes ({}) should beat RAID-5 writes ({})",
@@ -84,12 +100,14 @@ fn craid_plus_tracks_craid_despite_the_aggregated_archive() {
         StrategyKind::Craid5,
         t.footprint_blocks(),
     ))
-    .run(&t);
+    .try_run(&t)
+    .expect("valid configuration");
     let craid5p = Simulation::new(ArrayConfig::small_test(
         StrategyKind::Craid5Plus,
         t.footprint_blocks(),
     ))
-    .run(&t);
+    .try_run(&t)
+    .expect("valid configuration");
     assert!(
         craid5p.write.mean_ms <= craid5.write.mean_ms * 1.5,
         "the archive layout should barely matter once PC absorbs the hot set"
@@ -103,17 +121,28 @@ fn load_balance_orderings_match_the_paper() {
     // aggregation schedule, so it runs on the paper-shaped 50-disk array.
     let t = trace(WorkloadId::Wdev, 3_000, 6);
     let run = |s| {
-        Simulation::new(ArrayConfig::paper(s, t.footprint_blocks(), t.footprint_blocks() / 5))
-            .run(&t)
-            .load_balance
-            .overall_cv
+        Simulation::new(ArrayConfig::paper(
+            s,
+            t.footprint_blocks(),
+            t.footprint_blocks() / 5,
+        ))
+        .try_run(&t)
+        .expect("valid configuration")
+        .load_balance
+        .overall_cv
     };
     let raid5 = run(StrategyKind::Raid5);
     let raid5p = run(StrategyKind::Raid5Plus);
     let craid5p = run(StrategyKind::Craid5Plus);
     let craid5ssd = run(StrategyKind::Craid5Ssd);
-    assert!(raid5p > raid5, "aggregated sets distribute load worse than ideal RAID-5");
-    assert!(craid5p < raid5p, "CRAID rebalances the aggregated archive's load");
+    assert!(
+        raid5p > raid5,
+        "aggregated sets distribute load worse than ideal RAID-5"
+    );
+    assert!(
+        craid5p < raid5p,
+        "CRAID rebalances the aggregated archive's load"
+    );
     assert!(
         craid5ssd > craid5p,
         "funnelling the cache into dedicated SSDs concentrates the load"
@@ -127,14 +156,18 @@ fn reports_serialize_to_json() {
         StrategyKind::Craid5Plus,
         t.footprint_blocks(),
     ))
-    .run(&t);
+    .try_run(&t)
+    .expect("valid configuration");
     let json = report.to_json();
     let back: craid::SimulationReport = serde_json::from_str(&json).unwrap();
     // Full float equality is not preserved by JSON's shortest-representation
     // printing; compare the fields the harness actually consumes.
     assert_eq!(back.strategy, report.strategy);
     assert_eq!(back.requests, report.requests);
-    assert_eq!(back.craid.unwrap().dirty_evictions, report.craid.unwrap().dirty_evictions);
+    assert_eq!(
+        back.craid.unwrap().dirty_evictions,
+        report.craid.unwrap().dirty_evictions
+    );
     assert!((back.write.mean_ms - report.write.mean_ms).abs() < 1e-9);
     assert_eq!(back.device_bytes, report.device_bytes);
 }

@@ -1,27 +1,44 @@
 //! Integration tests for online upgrades: the headline CRAID claim that
-//! adding disks only redistributes the cache partition.
+//! adding disks only redistributes the cache partition. Upgrades are
+//! declared as `ScheduledEvent` timelines on `Scenario`s.
 
-use craid::{ArrayConfig, Simulation, StrategyKind};
+use craid::{Scenario, StrategyKind};
 use craid_raid::{minimal_migration_blocks, ExpansionSchedule};
 use craid_simkit::SimTime;
-use craid_trace::{SyntheticWorkload, WorkloadId};
+use craid_trace::WorkloadId;
 
-fn trace() -> craid_trace::Trace {
-    SyntheticWorkload::paper_scaled_to(WorkloadId::Webusers, 3_000).generate(9)
+/// The shared base: a 4-disk test array on the webusers workload.
+fn base(strategy: StrategyKind) -> Scenario {
+    Scenario::builder()
+        .name("upgrade-test")
+        .strategy(strategy)
+        .workload(WorkloadId::Webusers)
+        .requests(3_000)
+        .seed(9)
+        .small_test()
+        .pc_fraction(0.2)
+        .disks(4)
+        .expansion_sets(vec![4])
+        .build()
+}
+
+fn trace_span_secs() -> f64 {
+    base(StrategyKind::Craid5Plus).trace().duration().as_secs()
 }
 
 #[test]
 fn craid_migrates_orders_of_magnitude_less_than_a_restripe() {
-    let t = trace();
-    let footprint = t.footprint_blocks();
-    let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, footprint);
-    config.disks = 4;
-    config.expansion_sets = vec![4];
-    let mid = SimTime::from_secs(t.duration().as_secs() / 2.0);
-    let (_, upgrades) = Simulation::new(config).run_with_expansions(&t, &[(mid, 4)]);
-    assert_eq!(upgrades.len(), 1);
-    let craid_migrated = upgrades[0].migrated_blocks;
-    assert!(craid_migrated > 0, "a warm cache partition has something to refill");
+    let mut scenario = base(StrategyKind::Craid5Plus);
+    let footprint = scenario.trace().footprint_blocks();
+    let mid = SimTime::from_secs(trace_span_secs() / 2.0);
+    scenario.events.push(craid::ScheduledEvent::expand(mid, 4));
+    let outcome = scenario.run().expect("valid upgrade scenario");
+    assert_eq!(outcome.expansions.len(), 1);
+    let craid_migrated = outcome.expansions[0].migrated_blocks;
+    assert!(
+        craid_migrated > 0,
+        "a warm cache partition has something to refill"
+    );
     assert!(
         craid_migrated < footprint / 3,
         "CRAID migration ({craid_migrated}) must be a small fraction of the dataset ({footprint})"
@@ -32,24 +49,34 @@ fn craid_migrates_orders_of_magnitude_less_than_a_restripe() {
 
 #[test]
 fn service_continues_through_a_whole_expansion_schedule() {
-    let t = trace();
-    let footprint = t.footprint_blocks();
-    let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, footprint);
-    config.disks = 4;
-    config.expansion_sets = vec![4];
-    let span = t.duration().as_secs();
-    let expansions: Vec<(SimTime, usize)> = [2usize, 2, 4]
-        .iter()
-        .enumerate()
-        .map(|(i, &added)| (SimTime::from_secs(span * (i + 1) as f64 / 4.0), added))
-        .collect();
-    let (report, upgrades) = Simulation::new(config).run_with_expansions(&t, &expansions);
-    assert_eq!(upgrades.len(), 3);
-    assert_eq!(report.requests, t.len() as u64, "no request is dropped during upgrades");
+    let span = trace_span_secs();
+    let mut builder = Scenario::builder()
+        .name("upgrade-schedule")
+        .strategy(StrategyKind::Craid5Plus)
+        .workload(WorkloadId::Webusers)
+        .requests(3_000)
+        .seed(9)
+        .small_test()
+        .pc_fraction(0.2)
+        .disks(4)
+        .expansion_sets(vec![4]);
+    for (i, added) in [2usize, 2, 4].iter().enumerate() {
+        builder = builder.expand_at(SimTime::from_secs(span * (i + 1) as f64 / 4.0), *added);
+    }
+    let scenario = builder.build();
+    let expected_requests = scenario.trace().len() as u64;
+    let outcome = scenario.run().expect("valid upgrade scenario");
+    assert_eq!(outcome.expansions.len(), 3);
+    assert_eq!(outcome.applied_events.len(), 3);
+    assert!(outcome.applied_events.iter().all(|e| e.during_replay));
+    assert_eq!(
+        outcome.report.requests, expected_requests,
+        "no request is dropped during upgrades"
+    );
     // Dirty blocks written back during invalidation show up as upgrade I/O.
-    assert!(upgrades.iter().any(|u| u.writeback_blocks > 0));
+    assert!(outcome.expansions.iter().any(|u| u.writeback_blocks > 0));
     // The array keeps hitting its (rebuilt) cache after the upgrades.
-    assert!(report.craid.unwrap().hit_ratio > 0.1);
+    assert!(outcome.report.craid.unwrap().hit_ratio > 0.1);
 }
 
 #[test]
@@ -71,13 +98,14 @@ fn baseline_restripe_cost_dwarfs_craid_on_the_paper_schedule() {
 
 #[test]
 fn ssd_cached_craid_keeps_serving_without_invalidation() {
-    let t = trace();
-    let mut config = ArrayConfig::small_test(StrategyKind::Craid5PlusSsd, t.footprint_blocks());
-    config.disks = 4;
-    config.expansion_sets = vec![4];
-    let mid = SimTime::from_secs(t.duration().as_secs() / 2.0);
-    let (report, upgrades) = Simulation::new(config).run_with_expansions(&t, &[(mid, 4)]);
-    assert_eq!(upgrades[0].migrated_blocks, 0, "the SSD cache tier is unaffected");
-    assert_eq!(upgrades[0].writeback_blocks, 0);
-    assert!(report.craid.unwrap().hit_ratio > 0.1);
+    let mid = SimTime::from_secs(trace_span_secs() / 2.0);
+    let mut scenario = base(StrategyKind::Craid5PlusSsd);
+    scenario.events.push(craid::ScheduledEvent::expand(mid, 4));
+    let outcome = scenario.run().expect("valid upgrade scenario");
+    assert_eq!(
+        outcome.expansions[0].migrated_blocks, 0,
+        "the SSD cache tier is unaffected"
+    );
+    assert_eq!(outcome.expansions[0].writeback_blocks, 0);
+    assert!(outcome.report.craid.unwrap().hit_ratio > 0.1);
 }
