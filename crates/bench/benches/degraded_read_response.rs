@@ -1,0 +1,118 @@
+//! Degraded-mode read response across strategies.
+//!
+//! RAID evaluations report how an array serves clients *while* a disk is
+//! failed and rebuilding — the canonical reliability axis the paper's
+//! parity-group layouts bound. For every strategy this bench replays the
+//! same workload twice, healthy and with a disk-failure → hot-spare-repair
+//! timeline injected over the middle third of the run, and prints the mean
+//! read response of both runs plus the fault subsystem's counters
+//! (degraded reads, reconstruction fan-out, rebuild traffic, MTTR).
+//!
+//! Shapes to look for: every strategy pays for degraded service; the
+//! parity-group fan-out (G − 1 reconstruction reads per lost block) is
+//! visible in the reconstruction-I/O column; CRAID variants soften the
+//! degradation on read-hot workloads because cache-partition hits dodge
+//! the failed spindle's archive stripes.
+
+use craid::{Campaign, CraidError, Scenario, ScheduledEvent, StrategyKind};
+use craid_bench::{base_scenario, f2, header_row, print_header, row};
+use craid_simkit::SimTime;
+use craid_trace::WorkloadId;
+
+const FAILED_DISK: usize = 0;
+
+fn with_failure(base: &Scenario, t1: SimTime, t2: SimTime) -> Scenario {
+    let mut scenario = base.clone();
+    scenario.name = format!("{}/degraded", scenario.name);
+    scenario
+        .events
+        .push(ScheduledEvent::disk_failure(t1, FAILED_DISK));
+    scenario
+        .events
+        .push(ScheduledEvent::disk_repair(t2, FAILED_DISK));
+    scenario
+}
+
+fn main() -> Result<(), CraidError> {
+    print_header(
+        "Degraded reads",
+        "mean read response, healthy vs. failed-disk run, ms",
+    );
+    let workload = WorkloadId::Wdev;
+    let mut base = base_scenario(workload);
+    base.array.pc_fraction = 0.2;
+    let duration = base.trace().duration().as_secs();
+    let t1 = SimTime::from_secs(duration / 3.0);
+    let t2 = SimTime::from_secs(2.0 * duration / 3.0);
+    println!(
+        "[{workload}]  disk {FAILED_DISK} fails at t = {:.0}s, hot spare at t = {:.0}s",
+        t1.as_secs(),
+        t2.as_secs()
+    );
+
+    // One campaign holds both runs of every strategy; the engine
+    // parallelises and shares the generated trace.
+    let mut scenarios = Vec::new();
+    for strategy in StrategyKind::ALL {
+        let mut healthy = base.clone();
+        healthy.strategy = strategy;
+        healthy.name = format!("{workload}/{strategy}");
+        scenarios.push(with_failure(&healthy, t1, t2));
+        scenarios.push(healthy);
+    }
+    let outcomes = Campaign::new(scenarios).run()?;
+
+    println!(
+        "{}",
+        header_row(&[
+            "strategy",
+            "healthy ms",
+            "degraded-run ms",
+            "degraded reads",
+            "reconstruction I/Os",
+            "rebuild blocks",
+            "MTTR s",
+        ])
+    );
+    for pair in outcomes.chunks(2) {
+        let (degraded, healthy) = (&pair[0], &pair[1]);
+        let fault = degraded.report.fault;
+        assert!(
+            fault.degraded_reads > 0,
+            "{}: the failure window must degrade some reads",
+            degraded.name
+        );
+        assert!(
+            fault.reconstruction_ios >= fault.degraded_reads,
+            "{}: every degraded read fans out",
+            degraded.name
+        );
+        assert!(healthy.report.fault == Default::default());
+        println!(
+            "{}",
+            row(&[
+                healthy.strategy.name().to_string(),
+                f2(healthy.report.read.mean_ms),
+                f2(degraded.report.read.mean_ms),
+                fault.degraded_reads.to_string(),
+                fault.reconstruction_ios.to_string(),
+                (fault.rebuild_read_blocks + fault.rebuild_write_blocks).to_string(),
+                f2(fault.mttr_secs()),
+            ])
+        );
+    }
+
+    // The baselines have no cache partition to dodge the failed spindle:
+    // the ideal RAID-5's reads must get slower in the failure run.
+    let raid5_degraded = &outcomes[0];
+    let raid5_healthy = &outcomes[1];
+    assert_eq!(raid5_healthy.strategy, StrategyKind::Raid5);
+    assert!(
+        raid5_degraded.report.read.mean_ms > raid5_healthy.report.read.mean_ms,
+        "RAID-5 degraded run must be slower: {} vs {} ms",
+        raid5_degraded.report.read.mean_ms,
+        raid5_healthy.report.read.mean_ms
+    );
+    println!("\nshape checks passed");
+    Ok(())
+}

@@ -5,10 +5,12 @@ use craid_raid::{Layout, Raid5Layout, Raid5PlusLayout};
 use craid_simkit::{SimDuration, SimTime};
 
 use crate::config::{ArrayConfig, StrategyKind};
-use crate::devices::DeviceSet;
+use crate::devices::{DeviceSet, DiskState};
 use crate::error::CraidError;
+use crate::fault::{self, RebuildEngine};
 use crate::monitor::MonitorStats;
 use crate::partition::{ArchiveLayout, Partition};
+use crate::report::FaultStats;
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
@@ -22,6 +24,8 @@ pub struct BaselineArray {
     volume: Partition<ArchiveLayout>,
     disks: usize,
     expansion_sets: Vec<usize>,
+    rebuild: Option<RebuildEngine>,
+    fault_stats: FaultStats,
 }
 
 impl BaselineArray {
@@ -41,6 +45,8 @@ impl BaselineArray {
             config,
             devices,
             volume,
+            rebuild: None,
+            fault_stats: FaultStats::default(),
         })
     }
 
@@ -129,8 +135,27 @@ impl StorageArray for BaselineArray {
             });
         }
         let blocks: Vec<u64> = range.blocks().collect();
-        let plan = self.volume.plan_blocks(kind, &blocks);
+        let mut plan = self.volume.plan_blocks(kind, &blocks);
         let mut report = RequestReport::default();
+        // Interleave one catch-up batch of background rebuild traffic ahead
+        // of the client I/O.
+        fault::step_rebuild(
+            &mut self.rebuild,
+            now,
+            &mut self.devices,
+            &mut report.events,
+            &mut self.fault_stats,
+        );
+        if let Some((failed, state)) = self.devices.degraded_disk() {
+            let layout = self.volume.layout();
+            plan = fault::degrade_plan(
+                plan,
+                failed,
+                state == DiskState::Rebuilding,
+                |io| layout.reconstruction_peers(io.disk),
+                &mut self.fault_stats,
+            );
+        }
         let mut finish = now;
         for io in plan {
             let event = self
@@ -144,11 +169,22 @@ impl StorageArray for BaselineArray {
     }
 
     fn expand(&mut self, _now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
+        // Transactional, like `CraidArray::expand`: every precondition is
+        // checked and the new volume is built before any field mutates, so
+        // a rejected expansion leaves the array untouched.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
+        if let Some((disk, state)) = self.devices.degraded_disk() {
+            // A failed disk has no data to restripe over; a rebuilding one
+            // has an engine pacing itself against the pre-expansion
+            // geometry. Both must resolve before the geometry changes.
+            return Err(CraidError::InvalidExpansion(format!(
+                "disk {disk} is {state:?}; wait until the array is healthy before expanding"
+            )));
+        }
         let new_disks = self.disks + added_disks;
-        let migrated = match self.config.strategy {
+        let (new_volume, new_sets, migrated) = match self.config.strategy {
             StrategyKind::Raid5 => {
                 // An ideal RAID-5 stays ideal only by restriping: count how
                 // much of the used dataset has to move.
@@ -161,8 +197,8 @@ impl StorageArray for BaselineArray {
                 let new_volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
                 let used = self.config.dataset_blocks;
                 let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
-                self.volume = new_volume;
-                (fraction * used as f64).round() as u64
+                let migrated = (fraction * used as f64).round() as u64;
+                (new_volume, self.expansion_sets.clone(), migrated)
             }
             StrategyKind::Raid5Plus => {
                 // Aggregation: the new disks form a fresh RAID-5 set, nothing
@@ -172,12 +208,17 @@ impl StorageArray for BaselineArray {
                         "a new RAID-5 set needs at least 2 disks".into(),
                     ));
                 }
-                self.expansion_sets.push(added_disks);
-                self.volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
-                0
+                let mut new_sets = self.expansion_sets.clone();
+                new_sets.push(added_disks);
+                let new_volume = Self::build_volume(&self.config, new_disks, &new_sets)?;
+                (new_volume, new_sets, 0)
             }
             _ => unreachable!("baseline arrays only implement the two baseline strategies"),
         };
+
+        // Validation complete — commit the upgrade.
+        self.volume = new_volume;
+        self.expansion_sets = new_sets;
         self.devices.add_hdds(added_disks);
         self.disks = new_disks;
         Ok(ExpansionReport {
@@ -186,6 +227,37 @@ impl StorageArray for BaselineArray {
             writeback_blocks: 0,
             events: Vec::new(),
         })
+    }
+
+    fn fail_disk(&mut self, _now: SimTime, disk: usize) -> Result<(), CraidError> {
+        self.devices.fail_disk(disk)?;
+        self.fault_stats.disk_failures += 1;
+        Ok(())
+    }
+
+    fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError> {
+        let peers = self.volume.layout().reconstruction_peers(disk);
+        // Rebuild only the live stripes: the volume's share of the dataset,
+        // parity overhead included via the physical-to-logical ratio.
+        let live = fault::live_blocks(
+            self.volume.layout().blocks_per_disk(),
+            self.volume.data_capacity(),
+            self.config.dataset_blocks,
+        );
+        fault::start_rebuild(
+            &mut self.rebuild,
+            &mut self.devices,
+            now,
+            disk,
+            peers,
+            live,
+            self.config.rebuild_rate_blocks_per_sec,
+            &mut self.fault_stats,
+        )
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     fn device_stats(&self) -> Vec<DeviceLoadStats> {
@@ -306,6 +378,81 @@ mod tests {
             a.expand(SimTime::ZERO, 3).is_err(),
             "restripe must keep the parity group alignment"
         );
+    }
+
+    #[test]
+    fn rejected_expansion_leaves_the_baseline_bit_identical() {
+        for (strategy, bad_added) in [(StrategyKind::Raid5, 3), (StrategyKind::Raid5Plus, 1)] {
+            let mut touched = array(strategy);
+            let mut pristine = array(strategy);
+            for b in 0..30u64 {
+                for a in [&mut touched, &mut pristine] {
+                    a.submit(
+                        SimTime::from_millis(b as f64 * 7.0),
+                        IoKind::Write,
+                        BlockRange::new(b * 32 % 9_000, 2),
+                    )
+                    .unwrap();
+                }
+            }
+            assert!(touched.expand(SimTime::from_secs(1.0), bad_added).is_err());
+            assert_eq!(touched.disk_count(), pristine.disk_count(), "{strategy}");
+            assert_eq!(touched.capacity_blocks(), pristine.capacity_blocks());
+            assert_eq!(touched.expansion_sets, pristine.expansion_sets);
+            assert_eq!(touched.device_stats(), pristine.device_stats());
+            // Subsequent traffic behaves byte-identically on both arrays.
+            let now = SimTime::from_secs(2.0);
+            let got = touched
+                .submit(now, IoKind::Read, BlockRange::new(123, 5))
+                .unwrap();
+            let want = pristine
+                .submit(now, IoKind::Read, BlockRange::new(123, 5))
+                .unwrap();
+            assert_eq!(got, want, "{strategy} diverged after the failed expand");
+            // A valid expansion still succeeds afterwards.
+            assert!(touched.expand(SimTime::from_secs(3.0), 4).is_ok());
+        }
+    }
+
+    #[test]
+    fn degraded_reads_fan_out_within_the_owning_raid5plus_set() {
+        use craid_raid::IoPurpose as P;
+        let mut a = array(StrategyKind::Raid5Plus); // sets [4, 4]
+        a.fail_disk(SimTime::ZERO, 1).unwrap();
+        // A low address lives in set 0 (disks 0..4): its degraded read is
+        // reconstructed from that set only.
+        let report = a
+            .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 8))
+            .unwrap();
+        let recon: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| e.purpose == P::ReconstructRead)
+            .collect();
+        assert!(!recon.is_empty(), "disk 1 held part of the range");
+        assert!(recon.iter().all(|e| e.device < 4 && e.device != 1));
+        assert!(report.events.iter().all(|e| e.device != 1));
+        assert!(a.fault_stats().degraded_reads > 0);
+        // Expansion is refused while degraded...
+        assert!(matches!(
+            a.expand(SimTime::from_secs(1.0), 4),
+            Err(CraidError::InvalidExpansion(_))
+        ));
+        // ...and allowed again once the spare is in and rebuilt.
+        let mut cfg = ArrayConfig::small_test(StrategyKind::Raid5Plus, 10_000);
+        cfg.rebuild_rate_blocks_per_sec = 10_000_000.0;
+        let mut b = BaselineArray::new(cfg).unwrap();
+        b.fail_disk(SimTime::ZERO, 1).unwrap();
+        b.repair_disk(SimTime::from_secs(1.0), 1).unwrap();
+        let mut t = 2.0;
+        while b.fault_stats().rebuilds_completed == 0 && t < 50.0 {
+            b.submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 2))
+                .unwrap();
+            t += 1.0;
+        }
+        assert_eq!(b.fault_stats().rebuilds_completed, 1);
+        assert!(b.fault_stats().rebuild_read_blocks > 0);
+        assert!(b.expand(SimTime::from_secs(t), 4).is_ok());
     }
 
     #[test]

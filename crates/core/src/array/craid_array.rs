@@ -1,15 +1,17 @@
 //! The CRAID array: cache partition + archive partition + control path.
 
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
-use craid_raid::{Raid5Layout, Raid5PlusLayout};
+use craid_raid::{Layout, Raid5Layout, Raid5PlusLayout};
 use craid_simkit::SimTime;
 
 use crate::config::{ArrayConfig, StrategyKind};
-use crate::devices::DeviceSet;
+use crate::devices::{DeviceSet, DiskState};
 use crate::error::CraidError;
+use crate::fault::{self, RebuildEngine};
 use crate::monitor::{IoMonitor, MonitorStats};
 use crate::partition::{ArchiveLayout, CachePartition, Partition};
 use crate::redirector;
+use crate::report::FaultStats;
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
@@ -25,6 +27,8 @@ pub struct CraidArray {
     pa: Partition<ArchiveLayout>,
     disks: usize,
     expansion_sets: Vec<usize>,
+    rebuild: Option<RebuildEngine>,
+    fault_stats: FaultStats,
 }
 
 impl CraidArray {
@@ -53,6 +57,8 @@ impl CraidArray {
             monitor,
             pc,
             pa,
+            rebuild: None,
+            fault_stats: FaultStats::default(),
         })
     }
 
@@ -125,6 +131,20 @@ impl CraidArray {
         report.writeback_blocks += tasks.len() as u64;
     }
 
+    /// Physical blocks per mechanical disk that actually hold data or
+    /// parity — the live region a rebuild must reconstruct: the PC rows
+    /// plus the archive's share of the scattered dataset (parity overhead
+    /// included via the physical-to-logical ratio). Rebuilding only live
+    /// stripes is the data-aware counterpart of CRAID's upgrade story.
+    fn live_blocks_per_hdd(&self) -> u64 {
+        let pa_live = fault::live_blocks(
+            self.pa.layout().blocks_per_disk(),
+            self.pa.data_capacity(),
+            self.config.dataset_blocks,
+        );
+        self.config.pc_blocks_per_hdd() + pa_live
+    }
+
     /// Read access to the cache partition (examples and tests).
     pub fn cache_partition(&self) -> &CachePartition {
         &self.pc
@@ -170,7 +190,8 @@ impl StorageArray for CraidArray {
                 capacity: self.pa.data_capacity(),
             });
         }
-        let plan = redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range);
+        let mut plan =
+            redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range);
 
         let mut report = RequestReport {
             cache_hit_blocks: plan.cache_hit_blocks,
@@ -179,6 +200,47 @@ impl StorageArray for CraidArray {
             dirty_writebacks: plan.dirty_writebacks,
             ..RequestReport::default()
         };
+        // Interleave one catch-up batch of background rebuild traffic ahead
+        // of the client I/O (it occupies devices but the client does not
+        // wait on it).
+        fault::step_rebuild(
+            &mut self.rebuild,
+            now,
+            &mut self.devices,
+            &mut report.events,
+            &mut self.fault_stats,
+        );
+        if let Some((failed, state)) = self.devices.degraded_disk() {
+            // Degraded mode: reads of the lost disk are reconstructed from
+            // its parity-group peers — the PC and PA layouts group disks
+            // differently, so the peer set depends on which per-disk region
+            // the I/O falls in.
+            let pc_limit = self.config.pc_blocks_per_hdd();
+            let pc_layout = self.pc.layout();
+            let pa_layout = self.pa.layout();
+            let peers_for = |io: &crate::partition::PartitionIo| {
+                if io.range.start() < pc_limit {
+                    pc_layout.reconstruction_peers(io.disk)
+                } else {
+                    pa_layout.reconstruction_peers(io.disk)
+                }
+            };
+            let accepts_writes = state == DiskState::Rebuilding;
+            plan.foreground = fault::degrade_plan(
+                plan.foreground,
+                failed,
+                accepts_writes,
+                peers_for,
+                &mut self.fault_stats,
+            );
+            plan.background = fault::degrade_plan(
+                plan.background,
+                failed,
+                accepts_writes,
+                peers_for,
+                &mut self.fault_stats,
+            );
+        }
         let mut finish = now;
         for io in plan.foreground {
             let ev = self
@@ -198,72 +260,113 @@ impl StorageArray for CraidArray {
     }
 
     fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
+        // The upgrade is transactional: every precondition is checked and
+        // every new layout is built *before* the cache partition is
+        // invalidated or any device/geometry state changes, so a rejected
+        // expansion leaves the array exactly as it was.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
-        let new_disks = self.disks + added_disks;
-        let mut report = ExpansionReport {
-            added_disks,
-            ..ExpansionReport::default()
-        };
-
-        // Migration for CRAID is bounded by what currently lives in PC: the
-        // dirty copies are written back now, the rest is simply invalidated
-        // and re-copied on demand as the working set is touched again.
-        report.migrated_blocks = self.monitor.cached_blocks() as u64;
-
-        let spreads_pc_over_hdds = !self.config.strategy.uses_ssd_cache();
-        if spreads_pc_over_hdds {
-            let tasks = self.monitor.invalidate_all(&mut self.pc);
-            self.write_back(now, &tasks, &mut report);
-        } else {
-            // A dedicated-SSD cache tier does not change when mechanical
-            // disks are added; nothing to invalidate.
-            report.migrated_blocks = 0;
+        if let Some((disk, state)) = self.devices.degraded_disk() {
+            // A failed disk has no data to redistribute; a rebuilding one
+            // has an engine pacing itself against the pre-expansion
+            // geometry. Both must resolve before the geometry changes.
+            return Err(CraidError::InvalidExpansion(format!(
+                "disk {disk} is {state:?}; wait until the array is healthy before expanding"
+            )));
         }
-
-        self.devices.add_hdds(added_disks);
-        self.disks = new_disks;
-
-        // Rebuild the partitions over the enlarged array.
+        let new_disks = self.disks + added_disks;
+        let mut new_sets = self.expansion_sets.clone();
         if self.config.strategy.archive_is_aggregated() {
             if added_disks < 2 {
                 return Err(CraidError::InvalidExpansion(
                     "a new RAID-5 set needs at least 2 disks".into(),
                 ));
             }
-            self.expansion_sets.push(added_disks);
+            new_sets.push(added_disks);
         } else if !new_disks.is_multiple_of(self.config.parity_group) {
             return Err(CraidError::InvalidExpansion(format!(
                 "the ideal RAID-5 archive needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
                 self.config.parity_group
             )));
         }
-        self.pa = Self::build_pa(&self.config, new_disks, &self.expansion_sets)?;
-        if spreads_pc_over_hdds {
+        let new_pa = Self::build_pa(&self.config, new_disks, &new_sets)?;
+        let spreads_pc_over_hdds = !self.config.strategy.uses_ssd_cache();
+        let new_pc_layout = if spreads_pc_over_hdds {
             // PC must keep using every disk: it is rebuilt over the new set
-            // of spindles and starts refilling immediately.
-            let pc_layout = if new_disks.is_multiple_of(self.config.parity_group) {
-                Raid5Layout::new(
-                    new_disks,
-                    self.config.parity_group,
-                    self.config.stripe_unit,
-                    self.config.pc_blocks_per_hdd(),
-                )?
+            // of spindles and starts refilling immediately. When the count
+            // stops dividing evenly, parity groups stay aligned by treating
+            // the whole array as one group.
+            let group = if new_disks.is_multiple_of(self.config.parity_group) {
+                self.config.parity_group
             } else {
-                // Keep parity groups aligned by treating the whole array as
-                // one group when the count does not divide evenly.
-                Raid5Layout::new(
-                    new_disks,
-                    new_disks,
-                    self.config.stripe_unit,
-                    self.config.pc_blocks_per_hdd(),
-                )?
+                new_disks
             };
+            Some(Raid5Layout::new(
+                new_disks,
+                group,
+                self.config.stripe_unit,
+                self.config.pc_blocks_per_hdd(),
+            )?)
+        } else {
+            None
+        };
+
+        // Validation complete — commit the upgrade.
+        let mut report = ExpansionReport {
+            added_disks,
+            ..ExpansionReport::default()
+        };
+        if let Some(pc_layout) = new_pc_layout {
+            // Migration for CRAID is bounded by what currently lives in PC:
+            // the dirty copies are written back now, the rest is simply
+            // invalidated and re-copied on demand as the working set is
+            // touched again.
+            report.migrated_blocks = self.monitor.cached_blocks() as u64;
+            let tasks = self.monitor.invalidate_all(&mut self.pc);
+            self.write_back(now, &tasks, &mut report);
+            self.devices.add_hdds(added_disks);
             self.pc.rebuild(pc_layout, 0, 0);
             self.monitor.resize(self.pc.capacity());
+        } else {
+            // A dedicated-SSD cache tier keeps its contents when mechanical
+            // disks are added; only the SSDs' device indices shift, because
+            // the new spindles are spliced in front of them.
+            self.devices.add_hdds(added_disks);
+            self.pc.rebind_first_device(new_disks);
         }
+        self.pa = new_pa;
+        self.expansion_sets = new_sets;
+        self.disks = new_disks;
         Ok(report)
+    }
+
+    fn fail_disk(&mut self, _now: SimTime, disk: usize) -> Result<(), CraidError> {
+        self.devices.fail_disk(disk)?;
+        self.fault_stats.disk_failures += 1;
+        Ok(())
+    }
+
+    fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError> {
+        // The rebuild streams the whole device image; its peers are the
+        // archive layout's parity group (the PC rows of the disk are
+        // reconstructed from the same spindles on the paper's shapes).
+        let peers = self.pa.layout().reconstruction_peers(disk);
+        let live_blocks = self.live_blocks_per_hdd();
+        fault::start_rebuild(
+            &mut self.rebuild,
+            &mut self.devices,
+            now,
+            disk,
+            peers,
+            live_blocks,
+            self.config.rebuild_rate_blocks_per_sec,
+            &mut self.fault_stats,
+        )
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     fn switch_policy(
@@ -463,6 +566,169 @@ mod tests {
         assert!(a.expand(SimTime::ZERO, 0).is_err());
         let mut plus = array(StrategyKind::Craid5Plus);
         assert!(plus.expand(SimTime::ZERO, 1).is_err());
+    }
+
+    /// Warms an array with a deterministic mixed workload.
+    fn warm(a: &mut CraidArray) {
+        for b in 0..60u64 {
+            let kind = if b % 3 == 0 {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            };
+            a.submit(
+                SimTime::from_millis(b as f64 * 5.0),
+                kind,
+                BlockRange::new(b * 16 % 9_000, 4),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn rejected_expansion_leaves_the_array_bit_identical() {
+        // Two identically warmed arrays; one suffers a rejected expansion.
+        let mut touched = array(StrategyKind::Craid5);
+        let mut pristine = array(StrategyKind::Craid5);
+        warm(&mut touched);
+        warm(&mut pristine);
+
+        // 8 + 3 = 11 is not a multiple of the parity group (4): rejected.
+        let err = touched.expand(SimTime::from_secs(1.0), 3).unwrap_err();
+        assert!(matches!(err, CraidError::InvalidExpansion(_)));
+
+        // Every piece of reported state matches the untouched twin.
+        assert_eq!(touched.disk_count(), pristine.disk_count());
+        assert_eq!(touched.device_count(), pristine.device_count());
+        assert_eq!(touched.capacity_blocks(), pristine.capacity_blocks());
+        assert_eq!(touched.pc_capacity_blocks(), pristine.pc_capacity_blocks());
+        assert_eq!(
+            touched.monitor().cached_blocks(),
+            pristine.monitor().cached_blocks(),
+            "the cache partition was not invalidated"
+        );
+        assert_eq!(touched.monitor_stats(), pristine.monitor_stats());
+        assert_eq!(touched.device_stats(), pristine.device_stats());
+
+        // Subsequent traffic behaves byte-identically on both arrays.
+        for b in [100u64, 3_000, 8_000] {
+            let now = SimTime::from_secs(2.0 + b as f64);
+            let got = touched
+                .submit(now, IoKind::Read, BlockRange::new(b, 4))
+                .unwrap();
+            let want = pristine
+                .submit(now, IoKind::Read, BlockRange::new(b, 4))
+                .unwrap();
+            assert_eq!(got, want, "block {b} diverged after the failed expand");
+        }
+    }
+
+    #[test]
+    fn ssd_expansion_keeps_cache_traffic_on_the_shifted_ssds() {
+        let mut a = array(StrategyKind::Craid5PlusSsd);
+        a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 2))
+            .unwrap();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        // The SSDs moved from 8..11 to 12..15; the surviving cached copy
+        // must be read from there, not from the freshly added spindles.
+        let r = a
+            .submit(SimTime::from_secs(2.0), IoKind::Read, BlockRange::new(0, 2))
+            .unwrap();
+        assert_eq!(r.cache_hit_blocks, 2);
+        assert!(
+            r.events.iter().all(|e| e.device >= 12),
+            "cache hits must target the shifted SSDs, got {:?}",
+            r.events.iter().map(|e| e.device).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn degraded_reads_reconstruct_from_surviving_group_members() {
+        use craid_raid::IoPurpose;
+        let mut a = array(StrategyKind::Craid5);
+        // Find a block whose archive location is disk 1 and make it hot is
+        // unnecessary — a cold read of a wide range will touch disk 1.
+        a.fail_disk(SimTime::ZERO, 1).unwrap();
+        let requests_before: Vec<u64> = a.device_stats().iter().map(|s| s.requests).collect();
+        let mut saw_reconstruction = false;
+        for b in 0..40u64 {
+            let r = a
+                .submit(
+                    SimTime::from_millis(b as f64 * 10.0),
+                    IoKind::Read,
+                    BlockRange::new(b * 64, 8),
+                )
+                .unwrap();
+            assert!(
+                r.events.iter().all(|e| e.device != 1),
+                "no I/O may reach the failed disk"
+            );
+            saw_reconstruction |= r
+                .events
+                .iter()
+                .any(|e| e.purpose == IoPurpose::ReconstructRead);
+        }
+        assert!(saw_reconstruction, "some read must have needed disk 1");
+        let stats = a.fault_stats();
+        assert!(stats.degraded_reads > 0);
+        assert_eq!(stats.disk_failures, 1);
+        // The fan-out is visible in the surviving members' load stats:
+        // disks 0, 2, 3 (disk 1's parity group) picked up extra requests.
+        let requests_after: Vec<u64> = a.device_stats().iter().map(|s| s.requests).collect();
+        assert_eq!(requests_after[1], requests_before[1]);
+        for peer in [0usize, 2, 3] {
+            assert!(requests_after[peer] > requests_before[peer]);
+        }
+    }
+
+    #[test]
+    fn repair_streams_the_rebuild_and_heals_the_array() {
+        use craid_raid::IoPurpose;
+        let mut config = ArrayConfig::small_test(StrategyKind::Craid5, 10_000);
+        config.rebuild_rate_blocks_per_sec = 1_000_000.0;
+        let mut a = CraidArray::new(config).unwrap();
+        a.fail_disk(SimTime::ZERO, 2).unwrap();
+        // Expanding a degraded array is refused.
+        assert!(matches!(
+            a.expand(SimTime::from_secs(0.5), 4),
+            Err(CraidError::InvalidExpansion(_))
+        ));
+        a.repair_disk(SimTime::from_secs(1.0), 2).unwrap();
+        // Client traffic interleaves with the rebuild stream until the
+        // spare holds the full image.
+        let mut t = 2.0;
+        while a.fault_stats().rebuilds_completed == 0 && t < 100.0 {
+            let r = a
+                .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+                .unwrap();
+            if a.fault_stats().rebuild_write_blocks > 0 && t == 2.0 {
+                assert!(r
+                    .events
+                    .iter()
+                    .any(|e| e.purpose == IoPurpose::RebuildWrite && e.device == 2));
+            }
+            t += 1.0;
+        }
+        let stats = a.fault_stats();
+        assert_eq!(stats.rebuilds_completed, 1);
+        assert!(stats.rebuild_secs > 0.0);
+        assert!(stats.mttr_secs() > 0.0);
+        assert_eq!(stats.rebuild_write_blocks, a.live_blocks_per_hdd());
+        assert!(
+            stats.rebuild_write_blocks < 2 * 1024 * 1024 / 10,
+            "a data-aware rebuild reconstructs only live stripes, not the \
+             whole 2M-block device"
+        );
+        // Healed: expansion works again and reads stop fanning out.
+        let degraded_before = a.fault_stats().degraded_reads;
+        a.submit(
+            SimTime::from_secs(t + 1.0),
+            IoKind::Read,
+            BlockRange::new(5_000, 4),
+        )
+        .unwrap();
+        assert_eq!(a.fault_stats().degraded_reads, degraded_before);
+        assert!(a.expand(SimTime::from_secs(t + 2.0), 4).is_ok());
     }
 
     #[test]

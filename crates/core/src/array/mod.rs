@@ -14,9 +14,10 @@ use crate::config::{ArrayConfig, StrategyKind};
 use crate::devices::DeviceIoEvent;
 use crate::error::CraidError;
 use crate::monitor::MonitorStats;
+use crate::report::FaultStats;
 
 /// Completion report for one client request.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequestReport {
     /// Time from arrival to completion of the foreground I/Os.
     pub response: SimDuration,
@@ -101,6 +102,33 @@ pub trait StorageArray {
     fn switch_policy(&mut self, _now: SimTime, _policy: PolicyKind) -> Result<(), CraidError> {
         Ok(())
     }
+
+    /// Marks mechanical disk `disk` as failed at `now` (a scenario's
+    /// `DiskFailure` event). Until the disk is repaired, reads that would
+    /// touch it are reconstructed from the surviving members of its parity
+    /// group and writes aimed at it are absorbed by parity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraidError::InvalidFault`] if `disk` is not a healthy
+    /// mechanical disk or another disk is already failed or rebuilding
+    /// (single-fault model).
+    fn fail_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError>;
+
+    /// Installs a hot spare in failed disk `disk`'s slot at `now` (a
+    /// scenario's `DiskRepair` event) and starts the background rebuild,
+    /// which streams reconstruction I/O onto the spare interleaved with
+    /// client traffic until the device image is restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraidError::InvalidFault`] unless `disk` is currently
+    /// failed.
+    fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError>;
+
+    /// Degraded-mode and rebuild counters accumulated so far (all zero if
+    /// no disk ever failed).
+    fn fault_stats(&self) -> FaultStats;
 
     /// Per-device load statistics accumulated so far.
     fn device_stats(&self) -> Vec<DeviceLoadStats>;

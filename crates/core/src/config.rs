@@ -170,6 +170,11 @@ pub struct ArrayConfig {
     pub ssd: SsdParameters,
     /// Seed for the dataset-scatter permutation.
     pub seed: u64,
+    /// Pace of the background rebuild after a `DiskRepair` event, in blocks
+    /// reconstructed onto the hot spare per simulated second. The default
+    /// (25 600 blocks ≈ 100 MiB/s) matches a sequential rebuild stream on
+    /// the modeled spindles.
+    pub rebuild_rate_blocks_per_sec: f64,
 }
 
 impl ArrayConfig {
@@ -203,6 +208,7 @@ impl ArrayConfig {
             hdd,
             ssd: SsdParameters::msr_ideal(),
             seed: 0x5eed,
+            rebuild_rate_blocks_per_sec: 25_600.0,
         }
     }
 
@@ -225,6 +231,7 @@ impl ArrayConfig {
             hdd,
             ssd: SsdParameters::msr_ideal_scaled(1024 * 1024),
             seed: 7,
+            rebuild_rate_blocks_per_sec: 25_600.0,
         }
     }
 
@@ -249,6 +256,12 @@ impl ArrayConfig {
     /// Sets the stripe unit (in blocks).
     pub fn with_stripe_unit(mut self, blocks: u64) -> Self {
         self.stripe_unit = blocks;
+        self
+    }
+
+    /// Sets the background rebuild pace (blocks per simulated second).
+    pub fn with_rebuild_rate(mut self, blocks_per_sec: f64) -> Self {
+        self.rebuild_rate_blocks_per_sec = blocks_per_sec;
         self
     }
 
@@ -348,6 +361,13 @@ impl ArrayConfig {
         }
         if self.hdd_capacity_blocks < self.stripe_unit {
             return fail("disks are smaller than one stripe unit".into());
+        }
+        if !self.rebuild_rate_blocks_per_sec.is_finite() || self.rebuild_rate_blocks_per_sec <= 0.0
+        {
+            return fail(format!(
+                "rebuild rate must be finite and positive, got {}",
+                self.rebuild_rate_blocks_per_sec
+            ));
         }
         // The scattered dataset must fit in the archive partition.
         let pa_data_capacity = self.pa_blocks_per_hdd() / self.stripe_unit
@@ -476,6 +496,12 @@ mod tests {
         let mut cfg = ArrayConfig::paper(StrategyKind::Raid5, 100_000, 0);
         cfg.dataset_blocks = u64::MAX / 2;
         assert!(cfg.validate().is_err(), "dataset larger than the archive");
+
+        let mut cfg = ArrayConfig::paper(StrategyKind::Raid5, 100_000, 0);
+        cfg.rebuild_rate_blocks_per_sec = 0.0;
+        assert!(cfg.validate().is_err(), "rebuild rate must be positive");
+        cfg.rebuild_rate_blocks_per_sec = f64::NAN;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]
@@ -484,10 +510,12 @@ mod tests {
             .with_policy(PolicyKind::Arc)
             .with_pc_capacity(512)
             .with_stripe_unit(8)
+            .with_rebuild_rate(1_000.0)
             .with_instant_devices();
         assert_eq!(cfg.policy, PolicyKind::Arc);
         assert_eq!(cfg.pc_capacity_blocks, 512);
         assert_eq!(cfg.stripe_unit, 8);
+        assert_eq!(cfg.rebuild_rate_blocks_per_sec, 1_000.0);
         assert_eq!(cfg.device_tier, DeviceTier::Instant);
     }
 }

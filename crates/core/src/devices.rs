@@ -16,6 +16,28 @@ use craid_raid::IoPurpose;
 use craid_simkit::{SimDuration, SimTime};
 
 use crate::config::{ArrayConfig, DeviceTier};
+use crate::error::CraidError;
+
+/// Health of one device in the array.
+///
+/// The tracker models a single-fault RAID world: at most one device is
+/// non-healthy at a time. A `Failed` device accepts no I/O at all (reads
+/// are reconstructed from its parity-group peers, writes are absorbed by
+/// parity); a `Rebuilding` device is the installed hot spare — it accepts
+/// writes (client and rebuild traffic) while reads still fan out to the
+/// surviving members until the rebuild completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskState {
+    /// The device serves I/O normally.
+    #[default]
+    Healthy,
+    /// The device is dead: reads must be reconstructed, writes absorbed by
+    /// parity.
+    Failed,
+    /// A hot spare occupies the slot and is being filled by the background
+    /// rebuild; reads are still served in degraded mode.
+    Rebuilding,
+}
 
 /// One device-level I/O issued during the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,6 +130,7 @@ impl DeviceUnit {
 #[derive(Debug, Clone)]
 pub struct DeviceSet {
     devices: Vec<DeviceUnit>,
+    states: Vec<DiskState>,
     hdd_count: usize,
     tier: DeviceTier,
     hdd_params: HddParameters,
@@ -137,6 +160,7 @@ impl DeviceSet {
             )));
         }
         DeviceSet {
+            states: vec![DiskState::Healthy; devices.len()],
             devices,
             hdd_count: config.disks,
             tier: config.device_tier,
@@ -219,8 +243,80 @@ impl DeviceSet {
             // New disks are spliced in just after the existing HDDs so that
             // HDD indices stay contiguous and SSDs keep trailing.
             self.devices.insert(self.hdd_count + i, unit);
+            self.states.insert(self.hdd_count + i, DiskState::Healthy);
         }
         self.hdd_count += count;
+    }
+
+    /// Health of device `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn disk_state(&self, device: usize) -> DiskState {
+        self.states[device]
+    }
+
+    /// The single non-healthy device, with its state, if any.
+    pub fn degraded_disk(&self) -> Option<(usize, DiskState)> {
+        self.states
+            .iter()
+            .position(|&s| s != DiskState::Healthy)
+            .map(|d| (d, self.states[d]))
+    }
+
+    /// Marks mechanical disk `device` as failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraidError::InvalidFault`] if `device` is not a healthy
+    /// mechanical disk, or another device is already failed or rebuilding
+    /// (the tracker models a single-fault world).
+    pub fn fail_disk(&mut self, device: usize) -> Result<(), CraidError> {
+        if device >= self.hdd_count {
+            return Err(CraidError::InvalidFault(format!(
+                "disk {device} is not a mechanical disk (array has {} of them)",
+                self.hdd_count
+            )));
+        }
+        if let Some((other, state)) = self.degraded_disk() {
+            return Err(CraidError::InvalidFault(format!(
+                "disk {other} is already {state:?}; only one concurrent fault is supported"
+            )));
+        }
+        self.states[device] = DiskState::Failed;
+        Ok(())
+    }
+
+    /// Installs a hot spare in `device`'s slot and marks it rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraidError::InvalidFault`] unless `device` is currently
+    /// failed.
+    pub fn start_rebuild(&mut self, device: usize) -> Result<(), CraidError> {
+        if self.states.get(device).copied() != Some(DiskState::Failed) {
+            return Err(CraidError::InvalidFault(format!(
+                "disk {device} is not failed; nothing to repair"
+            )));
+        }
+        self.states[device] = DiskState::Rebuilding;
+        Ok(())
+    }
+
+    /// Marks a rebuilding device healthy again (the rebuild finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was not rebuilding — completion without a prior
+    /// [`DeviceSet::start_rebuild`] is a driver bug.
+    pub fn complete_rebuild(&mut self, device: usize) {
+        assert_eq!(
+            self.states[device],
+            DiskState::Rebuilding,
+            "disk {device} was not rebuilding"
+        );
+        self.states[device] = DiskState::Healthy;
     }
 
     /// Submits one physical I/O to device `device` and returns its event
@@ -228,7 +324,9 @@ impl DeviceSet {
     ///
     /// # Panics
     ///
-    /// Panics if `device` is out of range or the range exceeds the device.
+    /// Panics if `device` is out of range, the range exceeds the device, or
+    /// the device is failed (degraded planning must have redirected the I/O
+    /// to surviving parity-group members first).
     pub fn submit(
         &mut self,
         now: SimTime,
@@ -238,6 +336,11 @@ impl DeviceSet {
         purpose: IoPurpose,
     ) -> DeviceIoEvent {
         assert!(device < self.devices.len(), "device {device} out of range");
+        assert_ne!(
+            self.states[device],
+            DiskState::Failed,
+            "I/O submitted to failed device {device}"
+        );
         let (finished, queue_depth, cache_hit) = self.devices[device].submit(now, kind, range);
         DeviceIoEvent {
             device,
@@ -334,6 +437,72 @@ mod tests {
             IoPurpose::Data,
         );
         assert!(ev.finished > SimTime::ZERO);
+    }
+
+    #[test]
+    fn disk_state_lifecycle_fail_rebuild_heal() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Raid5));
+        assert_eq!(set.disk_state(3), DiskState::Healthy);
+        assert_eq!(set.degraded_disk(), None);
+
+        set.fail_disk(3).unwrap();
+        assert_eq!(set.disk_state(3), DiskState::Failed);
+        assert_eq!(set.degraded_disk(), Some((3, DiskState::Failed)));
+        // Single-fault world: a second failure is rejected.
+        assert!(matches!(set.fail_disk(5), Err(CraidError::InvalidFault(_))));
+        // Repairing some other disk is rejected too.
+        assert!(set.start_rebuild(5).is_err());
+
+        set.start_rebuild(3).unwrap();
+        assert_eq!(set.disk_state(3), DiskState::Rebuilding);
+        // A rebuilding spare accepts writes.
+        let ev = set.submit(
+            SimTime::ZERO,
+            3,
+            IoKind::Write,
+            BlockRange::new(0, 4),
+            IoPurpose::RebuildWrite,
+        );
+        assert_eq!(ev.purpose, IoPurpose::RebuildWrite);
+
+        set.complete_rebuild(3);
+        assert_eq!(set.disk_state(3), DiskState::Healthy);
+        assert_eq!(set.degraded_disk(), None);
+    }
+
+    #[test]
+    fn ssds_and_out_of_range_disks_cannot_fail() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Craid5Ssd));
+        assert!(set.fail_disk(8).is_err(), "device 8 is an SSD");
+        assert!(set.fail_disk(99).is_err());
+    }
+
+    #[test]
+    fn added_disks_start_healthy_even_mid_fault() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Craid5Ssd));
+        set.fail_disk(2).unwrap();
+        set.start_rebuild(2).unwrap();
+        set.add_hdds(4);
+        assert_eq!(set.disk_state(2), DiskState::Rebuilding);
+        for d in 8..12 {
+            assert_eq!(set.disk_state(d), DiskState::Healthy);
+        }
+        // SSD state slots trail along with the spliced devices.
+        assert_eq!(set.disk_state(set.len() - 1), DiskState::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed device")]
+    fn io_to_a_failed_device_panics() {
+        let mut set = DeviceSet::from_config(&cfg(StrategyKind::Raid5));
+        set.fail_disk(1).unwrap();
+        set.submit(
+            SimTime::ZERO,
+            1,
+            IoKind::Read,
+            BlockRange::new(0, 1),
+            IoPurpose::Data,
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum CraidError {
     },
     /// An expansion request was invalid (e.g. zero disks added).
     InvalidExpansion(String),
+    /// A fault-injection request was invalid (e.g. failing a disk that is
+    /// already failed, or repairing a healthy one).
+    InvalidFault(String),
 }
 
 impl fmt::Display for CraidError {
@@ -38,6 +41,7 @@ impl fmt::Display for CraidError {
                 "request for {blocks} blocks at {start} exceeds volume capacity {capacity}"
             ),
             CraidError::InvalidExpansion(msg) => write!(f, "invalid expansion: {msg}"),
+            CraidError::InvalidFault(msg) => write!(f, "invalid fault injection: {msg}"),
         }
     }
 }
@@ -73,6 +77,8 @@ mod tests {
         assert!(e.to_string().contains("exceeds"));
         let e = CraidError::InvalidExpansion("no disks added".into());
         assert!(e.to_string().contains("expansion"));
+        let e = CraidError::InvalidFault("disk 3 already failed".into());
+        assert!(e.to_string().contains("fault"));
     }
 
     #[test]

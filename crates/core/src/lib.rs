@@ -25,8 +25,15 @@
 //!   device concurrency, and upgrade migration volumes;
 //! * a declarative experiment surface ([`scenario`]): serializable
 //!   [`Scenario`]s with [`ScheduledEvent`] timelines (expansions, policy
-//!   switches, phase markers), pluggable [`Observer`]s, and a parallel
-//!   [`Campaign`] runner for whole experiment matrices.
+//!   switches, phase markers, disk failures and repairs), pluggable
+//!   [`Observer`]s, and a parallel [`Campaign`] runner for whole experiment
+//!   matrices;
+//! * a fault subsystem ([`fault`], [`DiskState`]): degraded-mode reads that
+//!   reconstruct lost blocks from the surviving parity-group members, and a
+//!   background [`RebuildEngine`] that streams a failed disk's image onto a
+//!   hot spare interleaved with client traffic, with the resulting
+//!   [`FaultStats`] (degraded reads, rebuild traffic, MTTR) in every
+//!   report.
 //!
 //! # Quick start
 //!
@@ -71,6 +78,7 @@ pub mod array;
 pub mod config;
 pub mod devices;
 pub mod error;
+pub mod fault;
 pub mod mapping;
 pub mod monitor;
 pub mod observer;
@@ -82,14 +90,16 @@ pub mod sim;
 
 pub use array::{BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray};
 pub use config::{ArrayConfig, DeviceTier, StrategyKind};
+pub use devices::DiskState;
 pub use error::CraidError;
+pub use fault::RebuildEngine;
 pub use mapping::MappingCache;
 pub use monitor::IoMonitor;
 pub use observer::{
     MetricsCollector, MultiObserver, NullObserver, Observer, ProgressObserver, RequestOutcome,
 };
 pub use partition::CachePartition;
-pub use report::{CraidStats, SimulationReport};
+pub use report::{CraidStats, FaultStats, SimulationReport};
 pub use scenario::{
     AppliedEvent, ArrayPreset, ArraySpec, Campaign, ObserverSpec, Scenario, ScenarioBuilder,
     ScenarioOutcome, ScheduledEvent, WorkloadSource,

@@ -59,6 +59,14 @@ impl<L: Layout> Partition<L> {
         self.block_offset
     }
 
+    /// Moves the partition onto a new first device, keeping the layout and
+    /// offsets. Used when an upgrade splices new disks in front of the
+    /// devices this partition lives on (the dedicated SSDs trail the
+    /// mechanical disks, so their indices shift).
+    pub fn rebind_first_device(&mut self, first_device: usize) {
+        self.first_device = first_device;
+    }
+
     /// Plans the device I/Os for a set of logical partition blocks,
     /// translating device indices and block numbers to absolute coordinates.
     pub fn plan_blocks(&self, kind: IoKind, blocks: &[u64]) -> Vec<PartitionIo> {
@@ -135,6 +143,13 @@ impl Layout for ArchiveLayout {
             ArchiveLayout::Aggregated(l) => l.data_blocks_per_parity_stripe(),
         }
     }
+
+    fn reconstruction_peers(&self, disk: usize) -> Vec<usize> {
+        match self {
+            ArchiveLayout::Ideal(l) => l.reconstruction_peers(disk),
+            ArchiveLayout::Aggregated(l) => l.reconstruction_peers(disk),
+        }
+    }
 }
 
 /// The cache partition: a RAID-5 area at the head of the caching devices plus
@@ -182,6 +197,20 @@ impl CachePartition {
     /// Index of the first device holding the cache partition.
     pub fn first_device(&self) -> usize {
         self.partition.first_device()
+    }
+
+    /// The cache partition's RAID-5 layout (degraded planning needs its
+    /// parity groups).
+    pub fn layout(&self) -> &Raid5Layout {
+        self.partition.layout()
+    }
+
+    /// Moves the partition onto a new first device without touching the
+    /// slot allocator or layout — the devices kept their contents, only
+    /// their indices shifted (new mechanical disks were spliced in front
+    /// of the dedicated SSDs).
+    pub fn rebind_first_device(&mut self, first_device: usize) {
+        self.partition.rebind_first_device(first_device);
     }
 
     /// Number of devices the cache partition spans.
@@ -316,9 +345,24 @@ mod tests {
     }
 
     #[test]
+    fn rebind_keeps_slots_and_shifts_devices() {
+        let mut p = pc();
+        for _ in 0..5 {
+            p.allocate();
+        }
+        p.rebind_first_device(12);
+        assert_eq!(p.allocated(), 5, "the allocator survives the rebind");
+        assert_eq!(p.first_device(), 12);
+        let plan = p.plan_blocks(IoKind::Read, &[0]);
+        assert!(plan.iter().all(|io| io.disk >= 12));
+    }
+
+    #[test]
     fn archive_layout_delegates() {
         let ideal = ArchiveLayout::Ideal(Raid5Layout::new(4, 4, 2, 8).unwrap());
         let agg = ArchiveLayout::Aggregated(Raid5PlusLayout::new(&[4, 3], 2, 8).unwrap());
+        assert_eq!(ideal.reconstruction_peers(1), vec![0, 2, 3]);
+        assert_eq!(agg.reconstruction_peers(5), vec![4, 6]);
         assert_eq!(ideal.disk_count(), 4);
         assert_eq!(agg.disk_count(), 7);
         assert!(ideal.data_capacity() > 0);

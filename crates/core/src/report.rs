@@ -50,6 +50,56 @@ pub struct CraidStats {
     pub dirty_evictions: u64,
 }
 
+/// Fault-recovery measurements of a run with injected disk failures: the
+/// degraded-mode and rebuild traffic that RAID reliability evaluations
+/// report (all zero when no `DiskFailure` event was scheduled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// `DiskFailure` events applied.
+    pub disk_failures: u64,
+    /// `DiskRepair` events applied (hot spare installed, rebuild started).
+    pub disk_repairs: u64,
+    /// Planned read I/Os that targeted a failed (or still-rebuilding) disk
+    /// and were served by reconstruction instead. A client request can
+    /// contribute more than one when its plan touches the lost disk in
+    /// several non-contiguous ranges.
+    pub degraded_reads: u64,
+    /// Reconstruction I/Os fanned out to surviving parity-group members on
+    /// behalf of degraded reads.
+    pub reconstruction_ios: u64,
+    /// Blocks read from surviving members for degraded reads.
+    pub reconstruction_blocks: u64,
+    /// Writes aimed at a failed disk that were absorbed by parity instead
+    /// of hitting the (dead) device.
+    pub parity_absorbed_writes: u64,
+    /// Blocks read from surviving members by the background rebuild.
+    pub rebuild_read_blocks: u64,
+    /// Blocks reconstructed onto hot spares by the background rebuild.
+    pub rebuild_write_blocks: u64,
+    /// Rebuilds that ran to completion during the run.
+    pub rebuilds_completed: u64,
+    /// Total simulated seconds spent rebuilding, summed over completed
+    /// rebuilds — divide by `rebuilds_completed` for an MTTR-style figure.
+    pub rebuild_secs: f64,
+}
+
+impl FaultStats {
+    /// True if any failure was injected during the run.
+    pub fn any_faults(&self) -> bool {
+        self.disk_failures > 0
+    }
+
+    /// Mean time to repair across completed rebuilds, in simulated seconds
+    /// (0 when no rebuild completed).
+    pub fn mttr_secs(&self) -> f64 {
+        if self.rebuilds_completed == 0 {
+            0.0
+        } else {
+            self.rebuild_secs / self.rebuilds_completed as f64
+        }
+    }
+}
+
 /// Load-balance measurements (Fig. 7 / Table 6).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LoadBalanceSummary {
@@ -89,6 +139,9 @@ pub struct SimulationReport {
     pub cdev: ConcurrencySummary,
     /// Cache-partition statistics (None for the baselines).
     pub craid: Option<CraidStats>,
+    /// Degraded-mode and rebuild measurements (all zero without injected
+    /// disk failures).
+    pub fault: FaultStats,
     /// Total bytes moved per device over the run.
     pub device_bytes: Vec<u64>,
 }
@@ -139,6 +192,14 @@ mod tests {
                 hit_ratio: 0.91,
                 ..CraidStats::default()
             }),
+            fault: FaultStats {
+                disk_failures: 1,
+                disk_repairs: 1,
+                degraded_reads: 12,
+                rebuilds_completed: 1,
+                rebuild_secs: 42.0,
+                ..FaultStats::default()
+            },
             ..SimulationReport::default()
         };
         let json = report.to_json();
@@ -147,5 +208,14 @@ mod tests {
         assert_eq!(back, report);
         assert_eq!(back.read_mean_ms(), 4.2);
         assert_eq!(back.write_mean_ms(), 0.0);
+        assert!(back.fault.any_faults());
+        assert_eq!(back.fault.mttr_secs(), 42.0);
+    }
+
+    #[test]
+    fn fault_stats_ratios_handle_empty_runs() {
+        let stats = FaultStats::default();
+        assert!(!stats.any_faults());
+        assert_eq!(stats.mttr_secs(), 0.0);
     }
 }

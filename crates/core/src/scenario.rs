@@ -7,7 +7,7 @@
 //!
 //! * a [`Scenario`] names a strategy, a workload, an array shape, and an
 //!   ordered timeline of [`ScheduledEvent`]s (disk expansions, replacement
-//!   policy switches, workload-phase markers);
+//!   policy switches, workload-phase markers, disk failures and repairs);
 //! * scenarios serialize to TOML and JSON, so experiments can live in
 //!   version-controlled files (see [`Scenario::from_toml`]);
 //! * a [`Campaign`] executes many scenarios in parallel — either an
@@ -55,8 +55,8 @@ use crate::sim::Simulation;
 /// One entry of a scenario's timeline, applied when the replay clock
 /// reaches its time. Events at equal times apply in declaration order.
 ///
-/// The set is open-ended by design: disk failures and trace swaps are the
-/// obvious next entries.
+/// The set is open-ended by design: trace swaps are the obvious next
+/// entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduledEvent {
     /// An online upgrade: `added_disks` mechanical disks join the array and
@@ -85,6 +85,24 @@ pub enum ScheduledEvent {
         /// Label observers will see.
         label: String,
     },
+    /// A mechanical disk dies. Until its `DiskRepair`, reads that would
+    /// touch it are reconstructed from the surviving members of its parity
+    /// group (degraded mode) and writes aimed at it are absorbed by parity.
+    DiskFailure {
+        /// When the disk fails.
+        at: SimTime,
+        /// Index of the failing mechanical disk.
+        disk: usize,
+    },
+    /// A hot spare replaces a failed disk and the background rebuild starts
+    /// streaming reconstruction I/O onto it, interleaved with client
+    /// traffic, until the device image is restored.
+    DiskRepair {
+        /// When the spare is installed.
+        at: SimTime,
+        /// Index of the disk slot being rebuilt.
+        disk: usize,
+    },
 }
 
 impl ScheduledEvent {
@@ -106,12 +124,24 @@ impl ScheduledEvent {
         }
     }
 
+    /// Convenience constructor for [`ScheduledEvent::DiskFailure`].
+    pub fn disk_failure(at: SimTime, disk: usize) -> Self {
+        ScheduledEvent::DiskFailure { at, disk }
+    }
+
+    /// Convenience constructor for [`ScheduledEvent::DiskRepair`].
+    pub fn disk_repair(at: SimTime, disk: usize) -> Self {
+        ScheduledEvent::DiskRepair { at, disk }
+    }
+
     /// The simulated time this event is scheduled for.
     pub fn at(&self) -> SimTime {
         match self {
             ScheduledEvent::Expand { at, .. }
             | ScheduledEvent::PolicySwitch { at, .. }
-            | ScheduledEvent::WorkloadPhase { at, .. } => *at,
+            | ScheduledEvent::WorkloadPhase { at, .. }
+            | ScheduledEvent::DiskFailure { at, .. }
+            | ScheduledEvent::DiskRepair { at, .. } => *at,
         }
     }
 
@@ -126,6 +156,12 @@ impl ScheduledEvent {
             }
             ScheduledEvent::WorkloadPhase { label, .. } => {
                 format!("enter phase '{label}'")
+            }
+            ScheduledEvent::DiskFailure { disk, .. } => {
+                format!("fail disk {disk}")
+            }
+            ScheduledEvent::DiskRepair { disk, .. } => {
+                format!("repair disk {disk} (hot spare, rebuild starts)")
             }
         }
     }
@@ -147,6 +183,8 @@ impl Serialize for ScheduledEvent {
             ScheduledEvent::Expand { .. } => "expand",
             ScheduledEvent::PolicySwitch { .. } => "policy-switch",
             ScheduledEvent::WorkloadPhase { .. } => "workload-phase",
+            ScheduledEvent::DiskFailure { .. } => "disk-failure",
+            ScheduledEvent::DiskRepair { .. } => "disk-repair",
         };
         entries.push(("kind".to_string(), Value::Str(kind.to_string())));
         entries.push(("at_secs".to_string(), Value::Float(self.at().as_secs())));
@@ -159,6 +197,9 @@ impl Serialize for ScheduledEvent {
             }
             ScheduledEvent::WorkloadPhase { label, .. } => {
                 entries.push(("label".to_string(), label.serialize()));
+            }
+            ScheduledEvent::DiskFailure { disk, .. } | ScheduledEvent::DiskRepair { disk, .. } => {
+                entries.push(("disk".to_string(), disk.serialize()));
             }
         }
         Value::Map(entries)
@@ -188,8 +229,17 @@ impl Deserialize for ScheduledEvent {
                 at,
                 label: serde::field(value, "label")?,
             }),
+            "disk-failure" => Ok(ScheduledEvent::DiskFailure {
+                at,
+                disk: serde::field(value, "disk")?,
+            }),
+            "disk-repair" => Ok(ScheduledEvent::DiskRepair {
+                at,
+                disk: serde::field(value, "disk")?,
+            }),
             other => Err(serde::Error::custom(format!(
-                "unknown event kind '{other}' (expected expand, policy-switch or workload-phase)"
+                "unknown event kind '{other}' (expected expand, policy-switch, \
+                 workload-phase, disk-failure or disk-repair)"
             ))),
         }
     }
@@ -265,6 +315,9 @@ pub struct ArraySpec {
     pub stripe_unit: Option<u64>,
     /// Dataset-scatter seed override.
     pub seed: Option<u64>,
+    /// Background rebuild pace override, in blocks per simulated second
+    /// (how fast a hot spare is filled after a `disk-repair` event).
+    pub rebuild_rate: Option<f64>,
 }
 
 impl ArraySpec {
@@ -278,6 +331,7 @@ impl ArraySpec {
             expansion_sets: None,
             stripe_unit: None,
             seed: None,
+            rebuild_rate: None,
         }
     }
 }
@@ -420,6 +474,9 @@ impl Scenario {
         }
         if let Some(seed) = self.array.seed {
             config.seed = seed;
+        }
+        if let Some(rate) = self.array.rebuild_rate {
+            config.rebuild_rate_blocks_per_sec = rate;
         }
         config
     }
@@ -666,6 +723,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Overrides the background rebuild pace (blocks per simulated second).
+    #[must_use]
+    pub fn rebuild_rate(mut self, blocks_per_sec: f64) -> Self {
+        self.scenario.array.rebuild_rate = Some(blocks_per_sec);
+        self
+    }
+
     /// Schedules an online upgrade.
     #[must_use]
     pub fn expand_at(mut self, at: SimTime, added_disks: usize) -> Self {
@@ -690,6 +754,24 @@ impl ScenarioBuilder {
         self.scenario
             .events
             .push(ScheduledEvent::workload_phase(at, label));
+        self
+    }
+
+    /// Schedules a disk failure (degraded mode starts).
+    #[must_use]
+    pub fn fail_disk_at(mut self, at: SimTime, disk: usize) -> Self {
+        self.scenario
+            .events
+            .push(ScheduledEvent::disk_failure(at, disk));
+        self
+    }
+
+    /// Schedules a disk repair (hot spare installed, rebuild starts).
+    #[must_use]
+    pub fn repair_disk_at(mut self, at: SimTime, disk: usize) -> Self {
+        self.scenario
+            .events
+            .push(ScheduledEvent::disk_repair(at, disk));
         self
     }
 
@@ -907,9 +989,12 @@ mod tests {
             .disks(4)
             .expansion_sets(vec![4])
             .stripe_unit(8)
+            .rebuild_rate(5_000.0)
             .expand_at(SimTime::from_secs(10.0), 2)
             .switch_policy_at(SimTime::from_secs(20.0), PolicyKind::Lru)
             .phase_at(SimTime::from_secs(30.0), "late")
+            .fail_disk_at(SimTime::from_secs(40.0), 2)
+            .repair_disk_at(SimTime::from_secs(50.0), 2)
             .observe(ObserverSpec::EventTrace)
             .build();
         assert_eq!(s.name, "full");
@@ -921,7 +1006,16 @@ mod tests {
         assert_eq!(s.array.pc_fraction, 0.05);
         assert_eq!(s.array.policy, Some(PolicyKind::Arc));
         assert_eq!(s.array.disks, Some(4));
-        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.array.rebuild_rate, Some(5_000.0));
+        assert_eq!(s.events.len(), 5);
+        assert_eq!(
+            s.events[3],
+            ScheduledEvent::disk_failure(SimTime::from_secs(40.0), 2)
+        );
+        assert_eq!(
+            s.events[4],
+            ScheduledEvent::disk_repair(SimTime::from_secs(50.0), 2)
+        );
         assert_eq!(s.observers.len(), 1);
     }
 
@@ -934,6 +1028,8 @@ mod tests {
             .expand_at(SimTime::from_secs(200.0), 2)
             .switch_policy_at(SimTime::from_secs(150.0), PolicyKind::Wlru(0.5))
             .phase_at(SimTime::from_secs(50.0), "warmup done")
+            .fail_disk_at(SimTime::from_secs(60.0), 3)
+            .repair_disk_at(SimTime::from_secs(80.0), 3)
             .observe(ObserverSpec::Progress { every: 100 })
             .build();
 
@@ -972,15 +1068,33 @@ mod tests {
             kind = "policy-switch"
             at_secs = 240.0
             policy = "ARC"
+
+            [[events]]
+            kind = "disk-failure"
+            at_secs = 300.0
+            disk = 2
+
+            [[events]]
+            kind = "disk-repair"
+            at_secs = 360.0
+            disk = 2
         "#;
         let s = Scenario::from_toml(text).unwrap();
         assert_eq!(s.strategy, StrategyKind::Craid5Plus);
         assert_eq!(s.workload.id, WorkloadId::Webusers);
         assert_eq!(s.array.disks, Some(4));
-        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events.len(), 4);
         assert_eq!(
             s.events[1],
             ScheduledEvent::policy_switch(SimTime::from_secs(240.0), PolicyKind::Arc)
+        );
+        assert_eq!(
+            s.events[2],
+            ScheduledEvent::disk_failure(SimTime::from_secs(300.0), 2)
+        );
+        assert_eq!(
+            s.events[3],
+            ScheduledEvent::disk_repair(SimTime::from_secs(360.0), 2)
         );
         assert!(s.observers.is_empty(), "omitted lists default to empty");
     }

@@ -17,7 +17,6 @@
 
 use craid_cache::{AccessMeta, PolicyKind};
 use craid_diskmodel::{BlockRange, IoKind};
-use craid_simkit::SimTime;
 use craid_trace::Trace;
 
 use crate::array::{build_array, ExpansionReport};
@@ -147,33 +146,6 @@ impl Simulation {
             .expect("simulation configuration is valid")
     }
 
-    /// Replays `trace`, applying each `(time, added_disks)` expansion when
-    /// the replay clock passes its time.
-    ///
-    /// Legacy tuple API: new code should express the timeline as
-    /// [`ScheduledEvent`]s — either through
-    /// [`Scenario`](crate::scenario::Scenario) /
-    /// [`Campaign`](crate::scenario::Campaign) or directly via
-    /// [`Simulation::try_run_events`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration or an expansion is invalid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "express the timeline as ScheduledEvents and use Scenario/Campaign \
-                or Simulation::try_run_events"
-    )]
-    pub fn run_with_expansions(
-        &self,
-        trace: &Trace,
-        expansions: &[(SimTime, usize)],
-    ) -> (SimulationReport, Vec<ExpansionReport>) {
-        #[allow(deprecated)]
-        self.try_run_with_expansions(trace, expansions)
-            .expect("simulation configuration and expansions are valid")
-    }
-
     /// Fallible variant of [`Simulation::run`].
     ///
     /// # Errors
@@ -182,37 +154,6 @@ impl Simulation {
     pub fn try_run(&self, trace: &Trace) -> Result<SimulationReport, CraidError> {
         self.try_run_events(trace, &[], &mut NullObserver)
             .map(|(report, _, _)| report)
-    }
-
-    /// Fallible variant of [`Simulation::run_with_expansions`] (legacy
-    /// tuple API; see the deprecation note there).
-    ///
-    /// Note one semantic difference from the seed implementation: the
-    /// engine stable-sorts the schedule by time, so an *out-of-order*
-    /// expansion list is applied in time order rather than strictly in
-    /// list order. Sorted lists (every caller in this repository) behave
-    /// identically.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CraidError`] if the configuration or an expansion is
-    /// inconsistent.
-    #[deprecated(
-        since = "0.2.0",
-        note = "express the timeline as ScheduledEvents and use Scenario/Campaign \
-                or Simulation::try_run_events"
-    )]
-    pub fn try_run_with_expansions(
-        &self,
-        trace: &Trace,
-        expansions: &[(SimTime, usize)],
-    ) -> Result<(SimulationReport, Vec<ExpansionReport>), CraidError> {
-        let events: Vec<ScheduledEvent> = expansions
-            .iter()
-            .map(|&(at, added_disks)| ScheduledEvent::Expand { at, added_disks })
-            .collect();
-        self.try_run_events(trace, &events, &mut NullObserver)
-            .map(|(report, expansions, _)| (report, expansions))
     }
 
     /// Replays `trace` while driving a [`ScheduledEvent`] timeline, with
@@ -325,7 +266,8 @@ impl Simulation {
             dirty_evictions: m.dirty_evictions,
         });
         let device_bytes = array.device_stats().iter().map(|s| s.bytes).collect();
-        let report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
+        let mut report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
+        report.fault = array.fault_stats();
         observer.on_finish(&report);
         Ok((report, expansion_reports, applied_events))
     }
@@ -344,6 +286,14 @@ fn apply_event(
             Ok(None)
         }
         ScheduledEvent::WorkloadPhase { .. } => Ok(None),
+        ScheduledEvent::DiskFailure { at, disk } => {
+            array.fail_disk(*at, *disk)?;
+            Ok(None)
+        }
+        ScheduledEvent::DiskRepair { at, disk } => {
+            array.repair_disk(*at, *disk)?;
+            Ok(None)
+        }
     }
 }
 
@@ -410,6 +360,7 @@ pub fn policy_quality(policy: PolicyKind, trace: &Trace, capacity_fraction: f64)
 mod tests {
     use super::*;
     use crate::config::StrategyKind;
+    use craid_simkit::SimTime;
     use craid_trace::{SyntheticWorkload, WorkloadId};
 
     fn tiny_trace() -> Trace {
@@ -494,23 +445,40 @@ mod tests {
     }
 
     #[test]
-    fn legacy_tuple_api_matches_the_event_schedule() {
+    fn disk_failure_and_repair_events_apply_and_report_fault_stats() {
         let trace = tiny_trace();
-        let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, trace.footprint_blocks());
-        let half_time = SimTime::from_secs(trace.duration().as_secs() / 2.0);
-        #[allow(deprecated)]
-        let (legacy_report, legacy_expansions) =
-            Simulation::new(config.clone()).run_with_expansions(&trace, &[(half_time, 4)]);
-        let events = [ScheduledEvent::expand(half_time, 4)];
-        let (report, expansions, _) = Simulation::new(config)
+        let config = ArrayConfig::small_test(StrategyKind::Raid5, trace.footprint_blocks());
+        let quarter = SimTime::from_secs(trace.duration().as_secs() / 4.0);
+        let half = SimTime::from_secs(trace.duration().as_secs() / 2.0);
+        let events = [
+            ScheduledEvent::disk_failure(quarter, 2),
+            ScheduledEvent::disk_repair(half, 2),
+        ];
+        let (report, expansions, applied) = Simulation::new(config)
             .try_run_events(&trace, &events, &mut NullObserver)
             .unwrap();
-        assert_eq!(report, legacy_report);
-        assert_eq!(expansions.len(), legacy_expansions.len());
-        assert_eq!(
-            expansions[0].migrated_blocks,
-            legacy_expansions[0].migrated_blocks
+        assert!(expansions.is_empty(), "neither event expands the array");
+        assert_eq!(applied.len(), 2);
+        assert!(applied[0].description.contains("fail disk 2"));
+        assert!(applied[1].description.contains("repair disk 2"));
+        let fault = report.fault;
+        assert_eq!(fault.disk_failures, 1);
+        assert_eq!(fault.disk_repairs, 1);
+        assert!(fault.degraded_reads > 0, "degraded reads were served");
+        assert!(
+            fault.reconstruction_ios >= 3 * fault.degraded_reads,
+            "each degraded read fans out to the G-1 surviving members"
         );
+        assert!(fault.rebuild_write_blocks > 0, "rebuild traffic flowed");
+    }
+
+    #[test]
+    fn failing_an_unknown_disk_is_rejected_not_swallowed() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Craid5, trace.footprint_blocks());
+        let events = [ScheduledEvent::disk_failure(SimTime::from_secs(1.0), 99)];
+        let result = Simulation::new(config).try_run_events(&trace, &events, &mut NullObserver);
+        assert!(matches!(result, Err(CraidError::InvalidFault(_))));
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub trait Layout {
     /// so that callers can still reason about full-stripe writes uniformly.
     fn data_blocks_per_parity_stripe(&self) -> u64;
 
+    /// The other members of `disk`'s parity group — the `G - 1` disks whose
+    /// blocks at the same row offset reconstruct any block lost from `disk`
+    /// (degraded reads, rebuild onto a hot spare). Empty for layouts without
+    /// redundancy or when `disk` is outside the layout.
+    fn reconstruction_peers(&self, _disk: usize) -> Vec<usize> {
+        Vec::new()
+    }
+
     /// True if every device index in `0..disk_count()` receives at least one
     /// data or parity block. Useful as a sanity check in tests.
     fn uses_all_disks(&self) -> bool {

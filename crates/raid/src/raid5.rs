@@ -202,6 +202,16 @@ impl Layout for Raid5Layout {
     fn data_blocks_per_parity_stripe(&self) -> u64 {
         (self.group as u64 - 1) * self.stripe_unit
     }
+
+    fn reconstruction_peers(&self, disk: usize) -> Vec<usize> {
+        if disk >= self.disks {
+            return Vec::new();
+        }
+        let g = disk / self.group;
+        (g * self.group..(g + 1) * self.group)
+            .filter(|&d| d != disk)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +287,25 @@ mod tests {
         assert!(Raid5Layout::new(4, 1, 32, 320).is_err());
         assert!(Raid5Layout::new(4, 2, 0, 320).is_err());
         assert!(Raid5Layout::new(4, 2, 32, 33).is_err());
+    }
+
+    #[test]
+    fn reconstruction_peers_are_the_rest_of_the_parity_group() {
+        let l = small(); // 8 disks, groups of 4
+        assert_eq!(l.reconstruction_peers(0), vec![1, 2, 3]);
+        assert_eq!(l.reconstruction_peers(2), vec![0, 1, 3]);
+        assert_eq!(l.reconstruction_peers(5), vec![4, 6, 7]);
+        assert!(l.reconstruction_peers(8).is_empty(), "out of range");
+        // Reading the peers at a lost block's row offset covers the row's
+        // surviving data and parity — exactly the reconstruction set.
+        for b in 0..l.data_capacity() {
+            let d = l.locate(b);
+            let p = l.parity_for(b).unwrap();
+            let peers = l.reconstruction_peers(d.disk);
+            assert_eq!(peers.len(), 3);
+            assert!(peers.contains(&p.disk), "parity disk is a peer of its data");
+            assert!(!peers.contains(&d.disk));
+        }
     }
 
     #[test]

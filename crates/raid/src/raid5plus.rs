@@ -177,6 +177,22 @@ impl Layout for Raid5PlusLayout {
             .min()
             .unwrap_or(1)
     }
+
+    fn reconstruction_peers(&self, disk: usize) -> Vec<usize> {
+        // Redundancy never crosses member sets: the peers are the other
+        // disks of whichever independent RAID-5 set owns `disk`.
+        self.sets
+            .iter()
+            .find(|s| (s.first_disk..s.first_disk + s.layout.disk_count()).contains(&disk))
+            .map(|s| {
+                s.layout
+                    .reconstruction_peers(disk - s.first_disk)
+                    .into_iter()
+                    .map(|d| d + s.first_disk)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +257,15 @@ mod tests {
         let l = Raid5PlusLayout::new(&[10, 3], 2, 8).unwrap();
         // Narrowest set has 3 disks → 2 data units per stripe.
         assert_eq!(l.data_blocks_per_parity_stripe(), 2 * 2);
+    }
+
+    #[test]
+    fn reconstruction_peers_stay_within_the_member_set() {
+        let l = Raid5PlusLayout::new(&[4, 3, 5], 2, 8).unwrap();
+        assert_eq!(l.reconstruction_peers(0), vec![1, 2, 3]);
+        assert_eq!(l.reconstruction_peers(5), vec![4, 6]);
+        assert_eq!(l.reconstruction_peers(7), vec![8, 9, 10, 11]);
+        assert!(l.reconstruction_peers(12).is_empty(), "out of range");
     }
 
     #[test]

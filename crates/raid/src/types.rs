@@ -44,6 +44,14 @@ pub enum IoPurpose {
     ParityRead,
     /// Write of the new parity block.
     ParityWrite,
+    /// Degraded-mode read of a surviving parity-group member, issued to
+    /// reconstruct a block whose disk has failed.
+    ReconstructRead,
+    /// Background read of a surviving member feeding a rebuild onto a hot
+    /// spare.
+    RebuildRead,
+    /// Background write of reconstructed content onto the hot spare.
+    RebuildWrite,
 }
 
 impl IoPurpose {
@@ -52,6 +60,15 @@ impl IoPurpose {
         matches!(
             self,
             IoPurpose::OldDataRead | IoPurpose::ParityRead | IoPurpose::ParityWrite
+        )
+    }
+
+    /// True for I/O that only exists because a disk failed: degraded-mode
+    /// reconstruction reads and the rebuild stream onto the hot spare.
+    pub const fn is_fault_recovery(self) -> bool {
+        matches!(
+            self,
+            IoPurpose::ReconstructRead | IoPurpose::RebuildRead | IoPurpose::RebuildWrite
         )
     }
 }
@@ -127,6 +144,11 @@ mod tests {
         assert!(IoPurpose::OldDataRead.is_parity_overhead());
         assert!(IoPurpose::ParityRead.is_parity_overhead());
         assert!(IoPurpose::ParityWrite.is_parity_overhead());
+        assert!(!IoPurpose::Data.is_fault_recovery());
+        assert!(!IoPurpose::ParityWrite.is_fault_recovery());
+        assert!(IoPurpose::ReconstructRead.is_fault_recovery());
+        assert!(IoPurpose::RebuildRead.is_fault_recovery());
+        assert!(IoPurpose::RebuildWrite.is_fault_recovery());
     }
 
     #[test]

@@ -59,6 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             upgrade.writeback_blocks
         );
     }
+    if report.fault.any_faults() {
+        println!(
+            "faults: {} degraded reads ({} reconstruction I/Os), rebuilt {} blocks, MTTR {:.1}s",
+            report.fault.degraded_reads,
+            report.fault.reconstruction_ios,
+            report.fault.rebuild_write_blocks,
+            report.fault.mttr_secs()
+        );
+    }
     println!();
     println!(
         "read {:.2} ms / write {:.2} ms over {} requests; hit ratio {:.1}%",

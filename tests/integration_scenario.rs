@@ -1,27 +1,27 @@
 //! Integration tests for the declarative Scenario/Campaign API: the golden
-//! equivalence against the legacy tuple API, file-driven scenarios, campaign
-//! determinism, and event-schedule semantics.
+//! equivalence between the campaign path and a direct engine call,
+//! file-driven scenarios, campaign determinism, and event-schedule
+//! semantics.
 
-use craid::{Campaign, Scenario, Simulation, StrategyKind};
+use craid::{Campaign, NullObserver, Scenario, ScheduledEvent, Simulation, StrategyKind};
 use craid_simkit::SimTime;
 use craid_trace::WorkloadId;
 
-/// Acceptance criterion: a scenario written in TOML (strategy, workload, pc
+/// Golden equivalence: a scenario written in TOML (strategy, workload, pc
 /// fraction, two scheduled expansions) loads, executes via `Campaign`, and
-/// produces a `SimulationReport` identical to the equivalent legacy
-/// `run_with_expansions` call.
+/// produces a `SimulationReport` identical to driving
+/// `Simulation::try_run_events` directly with the same schedule.
 ///
-/// Honesty note: `run_with_expansions` is now a thin shim over the same
-/// `try_run_events` engine, so what this pins is the full declarative path
-/// (TOML parse → config resolution → tuple-to-event conversion → campaign
-/// threading) against the direct programmatic call — not the seed's
-/// original loop, which no longer exists. The seed-vs-engine equivalence
-/// was established by line-by-line comparison during the refactor; any
-/// future drift between the two call paths (e.g. a config override lost in
-/// `array_config`, or campaign threading perturbing determinism) fails
-/// here.
+/// Honesty note: this pins the full declarative path (TOML parse → config
+/// resolution → campaign threading) against the direct programmatic call.
+/// It originally pinned the deprecated `run_with_expansions` tuple shim,
+/// which was removed once its deprecation window closed — that shim was
+/// itself a thin wrapper over the same `try_run_events` engine, so the
+/// property guarded here is unchanged: any drift between the two call
+/// paths (e.g. a config override lost in `array_config`, or campaign
+/// threading perturbing determinism) fails this test.
 #[test]
-fn toml_scenario_matches_legacy_run_with_expansions() {
+fn toml_scenario_matches_direct_try_run_events() {
     let text = r#"
         name = "golden"
         strategy = "CRAID-5+"
@@ -49,31 +49,30 @@ fn toml_scenario_matches_legacy_run_with_expansions() {
     "#;
     let scenario = Scenario::from_toml(text).expect("scenario parses");
 
-    // The new path: executed through a Campaign.
+    // The declarative path: executed through a Campaign.
     let outcomes = Campaign::new(vec![scenario.clone()])
         .run()
         .expect("campaign runs");
     assert_eq!(outcomes.len(), 1);
     let outcome = &outcomes[0];
 
-    // The legacy path: the same experiment through the deprecated tuple API.
+    // The programmatic path: the same experiment driven directly.
     let trace = scenario.trace();
     let config = scenario.array_config(&trace);
-    #[allow(deprecated)]
-    let (legacy_report, legacy_expansions) = Simulation::new(config).run_with_expansions(
-        &trace,
-        &[
-            (SimTime::from_secs(2000.0), 2),
-            (SimTime::from_secs(4000.0), 2),
-        ],
-    );
+    let events = [
+        ScheduledEvent::expand(SimTime::from_secs(2000.0), 2),
+        ScheduledEvent::expand(SimTime::from_secs(4000.0), 2),
+    ];
+    let (direct_report, direct_expansions, _) = Simulation::new(config)
+        .try_run_events(&trace, &events, &mut NullObserver)
+        .expect("direct run succeeds");
 
     assert_eq!(
-        outcome.report, legacy_report,
-        "the scenario engine must reproduce the legacy report bit for bit"
+        outcome.report, direct_report,
+        "the campaign must reproduce the direct engine report bit for bit"
     );
-    assert_eq!(outcome.expansions.len(), legacy_expansions.len());
-    for (new, old) in outcome.expansions.iter().zip(&legacy_expansions) {
+    assert_eq!(outcome.expansions.len(), direct_expansions.len());
+    for (new, old) in outcome.expansions.iter().zip(&direct_expansions) {
         assert_eq!(new.added_disks, old.added_disks);
         assert_eq!(new.migrated_blocks, old.migrated_blocks);
         assert_eq!(new.writeback_blocks, old.writeback_blocks);
