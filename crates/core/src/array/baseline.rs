@@ -1,22 +1,25 @@
 //! The baseline arrays: ideal RAID-5 and aggregated RAID-5+.
 
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
-use craid_raid::{Layout, Raid5Layout, Raid5PlusLayout};
+use craid_raid::{migration_stream, IoPurpose, Layout, Raid5Layout, Raid5PlusLayout};
 use craid_simkit::{SimDuration, SimTime};
 
+use crate::background::{BackgroundEngine, Batch, MigrationMap, OldHome, TaskKind};
 use crate::config::{ArrayConfig, StrategyKind};
-use crate::devices::{DeviceSet, DiskState};
+use crate::devices::{DeviceIoEvent, DeviceSet, DiskState};
 use crate::error::CraidError;
-use crate::fault::{self, RebuildEngine};
+use crate::fault;
 use crate::monitor::MonitorStats;
-use crate::partition::{ArchiveLayout, Partition};
-use crate::report::FaultStats;
+use crate::partition::{ArchiveLayout, Partition, PartitionIo};
+use crate::report::{FaultStats, MigrationStats};
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
 /// A conventional array without a cache partition: either an ideally
 /// restriped RAID-5 (`RAID-5`) or the aggregation of independent RAID-5 sets
-/// left behind by upgrades (`RAID-5+`).
+/// left behind by upgrades (`RAID-5+`). Maintenance streams — rebuilds and
+/// paced restripe migrations — ride on one
+/// [`BackgroundEngine`](crate::background::BackgroundEngine).
 #[derive(Debug)]
 pub struct BaselineArray {
     config: ArrayConfig,
@@ -24,8 +27,15 @@ pub struct BaselineArray {
     volume: Partition<ArchiveLayout>,
     disks: usize,
     expansion_sets: Vec<usize>,
-    rebuild: Option<RebuildEngine>,
+    background: BackgroundEngine,
+    /// Blocks a paced restripe has not yet moved; their authoritative
+    /// copies still resolve through `old_volume`.
+    migration: MigrationMap,
+    /// The pre-upgrade volume, kept while a restripe is in flight so
+    /// pending blocks can be served from their old locations.
+    old_volume: Option<Partition<ArchiveLayout>>,
     fault_stats: FaultStats,
+    migration_stats: MigrationStats,
 }
 
 impl BaselineArray {
@@ -45,8 +55,11 @@ impl BaselineArray {
             config,
             devices,
             volume,
-            rebuild: None,
+            background: BackgroundEngine::new(),
+            migration: MigrationMap::new(),
+            old_volume: None,
             fault_stats: FaultStats::default(),
+            migration_stats: MigrationStats::default(),
         })
     }
 
@@ -74,7 +87,9 @@ impl BaselineArray {
     }
 
     /// Fraction of logical blocks whose physical location changes between
-    /// two volume layouts, estimated by sampling the used address range.
+    /// two volume layouts, estimated by sampling the used address range
+    /// (the instant-expand accounting shortcut; paced restripes enumerate
+    /// the exact move set via [`migration_stream`] instead).
     fn restripe_fraction(
         old: &Partition<ArchiveLayout>,
         new: &Partition<ArchiveLayout>,
@@ -97,6 +112,83 @@ impl BaselineArray {
         } else {
             moved as f64 / sampled as f64
         }
+    }
+
+    /// Rewrites a plan for degraded mode when a disk is failed or
+    /// rebuilding; a no-op on a healthy array. I/O planned against the
+    /// pre-upgrade `old_volume` also resolves correctly through the
+    /// current layout's peers: a RAID-5 restripe preserves the parity
+    /// group width, so old and new peer sets coincide (and RAID-5+ never
+    /// migrates), unlike the CRAID cache partition whose groups can
+    /// change across an expansion.
+    fn degrade(&mut self, plan: Vec<PartitionIo>) -> Vec<PartitionIo> {
+        let Some((failed, state)) = self.devices.degraded_disk() else {
+            return plan;
+        };
+        let layout = self.volume.layout();
+        fault::degrade_plan(
+            plan,
+            failed,
+            state == DiskState::Rebuilding,
+            |io| layout.reconstruction_peers(io.disk),
+            &mut self.fault_stats,
+        )
+    }
+
+    /// Issues the device I/O for one batch of restripe moves: read each
+    /// block's pre-upgrade location, write its post-upgrade home (parity
+    /// maintenance included), and retire the pending entry.
+    fn apply_migration_batch(&mut self, now: SimTime, blocks: &[u64]) -> Vec<DeviceIoEvent> {
+        let mut moved = Vec::with_capacity(blocks.len());
+        for &block in blocks {
+            // Blocks no longer pending were superseded by client writes
+            // (already counted) — the batch simply skips over them.
+            if self.migration.remove(block).is_some() {
+                moved.push(block);
+            }
+        }
+        let old_volume = self
+            .old_volume
+            .as_ref()
+            .expect("a migration task implies a preserved old volume");
+        let mut ios: Vec<PartitionIo> = Vec::new();
+        for io in old_volume.plan_blocks(IoKind::Read, &moved) {
+            ios.push(PartitionIo {
+                purpose: IoPurpose::MigrateRead,
+                ..io
+            });
+        }
+        for io in self.volume.plan_blocks(IoKind::Write, &moved) {
+            ios.push(PartitionIo {
+                purpose: if io.purpose == IoPurpose::Data {
+                    IoPurpose::MigrateWrite
+                } else {
+                    io.purpose
+                },
+                ..io
+            });
+        }
+        self.migration_stats.migrated_blocks += moved.len() as u64;
+        let ios = self.degrade(ios);
+        let mut events = Vec::with_capacity(ios.len());
+        for io in ios {
+            events.push(
+                self.devices
+                    .submit(now, io.disk, io.kind, io.range, io.purpose),
+            );
+        }
+        events
+    }
+
+    /// Blocks a paced restripe still has to move (0 when idle).
+    pub fn pending_migration_blocks(&self) -> u64 {
+        self.migration.len() as u64
+    }
+
+    /// True if `pa_block` is still awaiting migration to its post-upgrade
+    /// home (tests and examples).
+    pub fn migration_pending(&self, pa_block: u64) -> bool {
+        self.migration.contains(pa_block)
     }
 }
 
@@ -135,27 +227,35 @@ impl StorageArray for BaselineArray {
             });
         }
         let blocks: Vec<u64> = range.blocks().collect();
-        let mut plan = self.volume.plan_blocks(kind, &blocks);
-        let mut report = RequestReport::default();
-        // Interleave one catch-up batch of background rebuild traffic ahead
-        // of the client I/O.
-        fault::step_rebuild(
-            &mut self.rebuild,
-            now,
-            &mut self.devices,
-            &mut report.events,
-            &mut self.fault_stats,
-        );
-        if let Some((failed, state)) = self.devices.degraded_disk() {
-            let layout = self.volume.layout();
-            plan = fault::degrade_plan(
-                plan,
-                failed,
-                state == DiskState::Rebuilding,
-                |io| layout.reconstruction_peers(io.disk),
-                &mut self.fault_stats,
-            );
+        // Mid-restripe redirection: reads of blocks the paced migration has
+        // not moved yet resolve through the old layout; writes always land
+        // at the new home and supersede the pending move.
+        let mut plan;
+        if self.migration.is_empty() {
+            plan = self.volume.plan_blocks(kind, &blocks);
+        } else {
+            let (pending, settled): (Vec<u64>, Vec<u64>) =
+                blocks.iter().partition(|&&b| self.migration.contains(b));
+            match kind {
+                IoKind::Read => {
+                    plan = self.volume.plan_blocks(kind, &settled);
+                    let old_volume = self
+                        .old_volume
+                        .as_ref()
+                        .expect("pending blocks imply a preserved old volume");
+                    plan.extend(old_volume.plan_blocks(kind, &pending));
+                }
+                IoKind::Write => {
+                    for &b in &pending {
+                        self.migration.remove(b);
+                        self.migration_stats.superseded_blocks += 1;
+                    }
+                    plan = self.volume.plan_blocks(kind, &blocks);
+                }
+            }
         }
+        let mut report = RequestReport::default();
+        let plan = self.degrade(plan);
         let mut finish = now;
         for io in plan {
             let event = self
@@ -168,26 +268,38 @@ impl StorageArray for BaselineArray {
         Ok(report)
     }
 
-    fn expand(&mut self, _now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
+    fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
         // Transactional, like `CraidArray::expand`: every precondition is
         // checked and the new volume is built before any field mutates, so
         // a rejected expansion leaves the array untouched.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
+        let paced = !self.config.instant_migration();
         if let Some((disk, state)) = self.devices.degraded_disk() {
-            // A failed disk has no data to restripe over; a rebuilding one
-            // has an engine pacing itself against the pre-expansion
-            // geometry. Both must resolve before the geometry changes.
-            return Err(CraidError::InvalidExpansion(format!(
-                "disk {disk} is {state:?}; wait until the array is healthy before expanding"
-            )));
+            // A failed disk has no data to restripe over. A *rebuilding*
+            // one is fine when the upgrade is paced: the migration queues
+            // behind the rebuild on the background engine. The instant path
+            // keeps refusing, bit-for-bit with the pre-engine behaviour.
+            // (The in-flight rebuild keeps the segment plan it was created
+            // with — a deliberate approximation: the device is unchanged,
+            // but its live share shrinks under the post-expansion geometry,
+            // so rebuild traffic errs on the generous side.)
+            if state == DiskState::Failed || !paced {
+                return Err(CraidError::InvalidExpansion(format!(
+                    "disk {disk} is {state:?}; wait until the array is healthy before expanding"
+                )));
+            }
+        }
+        if !self.migration.is_empty() || self.background.has_task(TaskKind::ExpansionMigration) {
+            return Err(CraidError::InvalidExpansion(
+                "a previous upgrade's migration is still in flight".into(),
+            ));
         }
         let new_disks = self.disks + added_disks;
-        let (new_volume, new_sets, migrated) = match self.config.strategy {
+        let (new_volume, new_sets, migrated, moves) = match self.config.strategy {
             StrategyKind::Raid5 => {
-                // An ideal RAID-5 stays ideal only by restriping: count how
-                // much of the used dataset has to move.
+                // An ideal RAID-5 stays ideal only by restriping.
                 if !new_disks.is_multiple_of(self.config.parity_group) {
                     return Err(CraidError::InvalidExpansion(format!(
                         "RAID-5 restripe needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
@@ -196,9 +308,29 @@ impl StorageArray for BaselineArray {
                 }
                 let new_volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
                 let used = self.config.dataset_blocks;
-                let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
-                let migrated = (fraction * used as f64).round() as u64;
-                (new_volume, self.expansion_sets.clone(), migrated)
+                if paced {
+                    // The reshape plan as an iterable stream: every block
+                    // whose location changes becomes a pending move (the
+                    // paper's conventional-upgrade cost, now actually paid
+                    // over time instead of counted).
+                    let moves: Vec<u64> =
+                        migration_stream(self.volume.layout(), new_volume.layout(), used)
+                            .map(|unit| unit.logical)
+                            .collect();
+                    let migrated = moves.len() as u64;
+                    (
+                        new_volume,
+                        self.expansion_sets.clone(),
+                        migrated,
+                        Some(moves),
+                    )
+                } else {
+                    // Instant accounting: estimate how much of the used
+                    // dataset has to move by sampling.
+                    let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
+                    let migrated = (fraction * used as f64).round() as u64;
+                    (new_volume, self.expansion_sets.clone(), migrated, None)
+                }
             }
             StrategyKind::Raid5Plus => {
                 // Aggregation: the new disks form a fresh RAID-5 set, nothing
@@ -211,12 +343,37 @@ impl StorageArray for BaselineArray {
                 let mut new_sets = self.expansion_sets.clone();
                 new_sets.push(added_disks);
                 let new_volume = Self::build_volume(&self.config, new_disks, &new_sets)?;
-                (new_volume, new_sets, 0)
+                (new_volume, new_sets, 0, None)
             }
             _ => unreachable!("baseline arrays only implement the two baseline strategies"),
         };
 
         // Validation complete — commit the upgrade.
+        let mut enqueued = 0;
+        if let Some(moves) = moves {
+            // The new layout commits now; the copies stream through the
+            // background engine. (Baselines have no I/O monitor, so the
+            // HotFirst priority degenerates to the sequential walk.)
+            enqueued = moves.len() as u64;
+            self.old_volume = Some(self.volume.clone());
+            for &block in &moves {
+                self.migration.insert(
+                    block,
+                    OldHome {
+                        pc_slot: None,
+                        dirty: false,
+                    },
+                );
+            }
+            self.background.push_migration(
+                now,
+                moves,
+                self.config
+                    .migration_rate_blocks_per_sec
+                    .expect("paced expansions have a finite rate"),
+            );
+            self.migration_stats.migrations_started += 1;
+        }
         self.volume = new_volume;
         self.expansion_sets = new_sets;
         self.devices.add_hdds(added_disks);
@@ -225,6 +382,7 @@ impl StorageArray for BaselineArray {
             added_disks,
             migrated_blocks: migrated,
             writeback_blocks: 0,
+            enqueued_blocks: enqueued,
             events: Vec::new(),
         })
     }
@@ -238,26 +396,83 @@ impl StorageArray for BaselineArray {
     fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError> {
         let peers = self.volume.layout().reconstruction_peers(disk);
         // Rebuild only the live stripes: the volume's share of the dataset,
-        // parity overhead included via the physical-to-logical ratio.
+        // parity overhead included via the physical-to-logical ratio. With
+        // no I/O monitor to rank heat, the baselines always stream
+        // sequentially regardless of the configured priority.
         let live = fault::live_blocks(
             self.volume.layout().blocks_per_disk(),
             self.volume.data_capacity(),
             self.config.dataset_blocks,
-        );
+        )
+        .min(self.devices.capacity_blocks(disk))
+        .max(1);
         fault::start_rebuild(
-            &mut self.rebuild,
+            &mut self.background,
             &mut self.devices,
             now,
             disk,
             peers,
-            live,
+            fault::rebuild_segments(live, Vec::new()),
             self.config.rebuild_rate_blocks_per_sec,
             &mut self.fault_stats,
         )
     }
 
+    fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
+        let batch = self.background.poll(now);
+        let events = match batch {
+            Some(Batch::Rebuild {
+                disk,
+                peers,
+                ranges,
+            }) => {
+                let mut events = Vec::new();
+                fault::issue_rebuild_batch(
+                    now,
+                    disk,
+                    &peers,
+                    &ranges,
+                    &mut self.devices,
+                    &mut events,
+                    &mut self.fault_stats,
+                );
+                events
+            }
+            Some(Batch::Migration { blocks }) => self.apply_migration_batch(now, &blocks),
+            None => Vec::new(),
+        };
+        if let Some(done) = self.background.take_completed() {
+            match done.kind {
+                TaskKind::Rebuild => {
+                    fault::complete_rebuild(&done, &mut self.devices, &mut self.fault_stats);
+                }
+                TaskKind::ExpansionMigration => {
+                    debug_assert!(
+                        self.migration.is_empty(),
+                        "a drained migration leaves no pending blocks"
+                    );
+                    self.old_volume = None;
+                    self.migration_stats.migrations_completed += 1;
+                    self.migration_stats.migration_secs += done.window_secs;
+                }
+            }
+        }
+        events
+    }
+
+    fn background_idle(&self) -> bool {
+        self.background.is_idle()
+    }
+
     fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    fn migration_stats(&self) -> MigrationStats {
+        MigrationStats {
+            pending_blocks: self.migration.len() as u64,
+            ..self.migration_stats
+        }
     }
 
     fn device_stats(&self) -> Vec<DeviceLoadStats> {
@@ -286,6 +501,13 @@ mod tests {
 
     fn array(strategy: StrategyKind) -> BaselineArray {
         BaselineArray::new(ArrayConfig::small_test(strategy, 10_000)).unwrap()
+    }
+
+    fn paced(strategy: StrategyKind, rate: f64) -> BaselineArray {
+        BaselineArray::new(
+            ArrayConfig::small_test(strategy, 10_000).with_migration_rate(Some(rate)),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -433,7 +655,7 @@ mod tests {
         assert!(recon.iter().all(|e| e.device < 4 && e.device != 1));
         assert!(report.events.iter().all(|e| e.device != 1));
         assert!(a.fault_stats().degraded_reads > 0);
-        // Expansion is refused while degraded...
+        // Expansion is refused while degraded (instant-migration mode)...
         assert!(matches!(
             a.expand(SimTime::from_secs(1.0), 4),
             Err(CraidError::InvalidExpansion(_))
@@ -446,6 +668,7 @@ mod tests {
         b.repair_disk(SimTime::from_secs(1.0), 1).unwrap();
         let mut t = 2.0;
         while b.fault_stats().rebuilds_completed == 0 && t < 50.0 {
+            b.pump_background(SimTime::from_secs(t));
             b.submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 2))
                 .unwrap();
             t += 1.0;
@@ -472,5 +695,118 @@ mod tests {
         assert!(total >= 20);
         assert!(a.mean_device_busy() > SimDuration::ZERO);
         assert!(a.monitor_stats().is_none());
+    }
+
+    #[test]
+    fn paced_restripe_serves_pending_blocks_from_the_old_layout() {
+        let mut a = paced(StrategyKind::Raid5, 100.0);
+        let old_volume = a.volume.clone();
+        let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert_eq!(a.disk_count(), 12, "the layout committed immediately");
+        assert!(report.enqueued_blocks > 0);
+        assert_eq!(
+            report.enqueued_blocks, report.migrated_blocks,
+            "paced restripes enumerate the exact move set"
+        );
+        assert_eq!(a.pending_migration_blocks(), report.enqueued_blocks);
+        // A pending block still reads from its pre-upgrade location.
+        let pending = a
+            .migration
+            .iter()
+            .map(|(b, _)| b)
+            .next()
+            .expect("an 8→12 restripe moves blocks");
+        let old_plan = old_volume.plan_blocks(IoKind::Read, &[pending]);
+        let new_plan = a.volume.plan_blocks(IoKind::Read, &[pending]);
+        assert_ne!(old_plan, new_plan, "the block's location changed");
+        let r = a
+            .submit(
+                SimTime::from_secs(1.5),
+                IoKind::Read,
+                BlockRange::new(pending, 1),
+            )
+            .unwrap();
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].device, old_plan[0].disk);
+        assert_eq!(r.events[0].start_block, old_plan[0].range.start());
+        // A write supersedes the pending move and lands at the new home.
+        let before = a.pending_migration_blocks();
+        let w = a
+            .submit(
+                SimTime::from_secs(2.0),
+                IoKind::Write,
+                BlockRange::new(pending, 1),
+            )
+            .unwrap();
+        assert_eq!(a.pending_migration_blocks(), before - 1);
+        assert!(a.migration_stats().superseded_blocks >= 1);
+        assert!(
+            w.events
+                .iter()
+                .any(|e| e.device == new_plan[0].disk
+                    && e.start_block == new_plan[0].range.start()),
+            "the write targets the post-upgrade home"
+        );
+    }
+
+    #[test]
+    fn paced_restripe_drains_and_reports_the_window() {
+        let mut a = paced(StrategyKind::Raid5, 100_000.0);
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        let mut t = 2.0;
+        let mut saw_migration_io = false;
+        while !a.background_idle() && t < 400.0 {
+            let events = a.pump_background(SimTime::from_secs(t));
+            saw_migration_io |= events.iter().any(|e| e.purpose.is_migration());
+            t += 1.0;
+        }
+        assert!(a.background_idle());
+        assert!(saw_migration_io);
+        let stats = a.migration_stats();
+        assert_eq!(stats.migrations_completed, 1);
+        assert_eq!(stats.pending_blocks, 0);
+        assert!(stats.migration_secs > 0.0, "a nonzero upgrade window");
+        assert!(
+            stats.migrated_blocks + stats.superseded_blocks >= 5_000,
+            "most of the dataset moved"
+        );
+        // After the drain, reads resolve purely through the new layout.
+        assert!(a
+            .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+            .is_ok());
+    }
+
+    #[test]
+    fn paced_raid5plus_expansion_still_moves_nothing() {
+        let mut a = paced(StrategyKind::Raid5Plus, 100.0);
+        let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert_eq!(report.enqueued_blocks, 0);
+        assert!(a.background_idle(), "no task for a zero-move upgrade");
+        assert_eq!(a.migration_stats().migrations_started, 0);
+    }
+
+    #[test]
+    fn fail_during_paced_migration_queues_the_rebuild_behind_it() {
+        let mut cfg = ArrayConfig::small_test(StrategyKind::Raid5, 10_000)
+            .with_migration_rate(Some(1_000_000.0));
+        cfg.rebuild_rate_blocks_per_sec = 1_000_000.0;
+        let mut a = BaselineArray::new(cfg).unwrap();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(!a.background_idle());
+        // The failure arrives mid-migration; the repair's rebuild waits its
+        // turn on the same engine.
+        a.fail_disk(SimTime::from_secs(1.5), 3).unwrap();
+        a.repair_disk(SimTime::from_secs(2.0), 3).unwrap();
+        assert!(a.background.has_task(TaskKind::ExpansionMigration));
+        assert!(a.background.has_task(TaskKind::Rebuild));
+        let mut t = 3.0;
+        while !a.background_idle() && t < 500.0 {
+            a.pump_background(SimTime::from_secs(t));
+            t += 1.0;
+        }
+        assert!(a.background_idle());
+        assert_eq!(a.migration_stats().migrations_completed, 1);
+        assert_eq!(a.fault_stats().rebuilds_completed, 1);
+        assert_eq!(a.devices.degraded_disk(), None, "the array healed");
     }
 }

@@ -1,23 +1,28 @@
 //! The CRAID array: cache partition + archive partition + control path.
 
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
-use craid_raid::{Layout, Raid5Layout, Raid5PlusLayout};
+use craid_raid::{IoPurpose, Layout, Raid5Layout, Raid5PlusLayout};
 use craid_simkit::SimTime;
 
+use crate::background::{
+    merge_blocks_to_ranges, BackgroundEngine, BackgroundPriority, Batch, MigrationMap, OldHome,
+    TaskKind,
+};
 use crate::config::{ArrayConfig, StrategyKind};
-use crate::devices::{DeviceSet, DiskState};
+use crate::devices::{DeviceIoEvent, DeviceSet, DiskState};
 use crate::error::CraidError;
-use crate::fault::{self, RebuildEngine};
+use crate::fault;
 use crate::monitor::{IoMonitor, MonitorStats};
-use crate::partition::{ArchiveLayout, CachePartition, Partition};
+use crate::partition::{ArchiveLayout, CachePartition, Partition, PartitionIo};
 use crate::redirector;
-use crate::report::FaultStats;
+use crate::report::{FaultStats, MigrationStats};
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
 /// A CRAID volume: the archive partition `PA` holds every block, the cache
 /// partition `PC` holds copies of the hot set, and the monitor/redirector
-/// pair keeps the two coherent (paper §3–4).
+/// pair keeps the two coherent (paper §3–4). Maintenance streams — rebuilds
+/// and paced upgrade migrations — ride on one [`BackgroundEngine`].
 #[derive(Debug)]
 pub struct CraidArray {
     config: ArrayConfig,
@@ -27,8 +32,15 @@ pub struct CraidArray {
     pa: Partition<ArchiveLayout>,
     disks: usize,
     expansion_sets: Vec<usize>,
-    rebuild: Option<RebuildEngine>,
+    background: BackgroundEngine,
+    /// Blocks a paced upgrade has not yet redistributed, keyed by archive
+    /// LBA; their authoritative copies still sit in `old_pc`.
+    migration: MigrationMap,
+    /// The pre-upgrade cache-partition geometry, kept while a migration is
+    /// in flight so pending blocks can be served from their old slots.
+    old_pc: Option<CachePartition>,
     fault_stats: FaultStats,
+    migration_stats: MigrationStats,
 }
 
 impl CraidArray {
@@ -57,8 +69,11 @@ impl CraidArray {
             monitor,
             pc,
             pa,
-            rebuild: None,
+            background: BackgroundEngine::new(),
+            migration: MigrationMap::new(),
+            old_pc: None,
             fault_stats: FaultStats::default(),
+            migration_stats: MigrationStats::default(),
         })
     }
 
@@ -107,7 +122,8 @@ impl CraidArray {
         Ok(Partition::new(layout, 0, offset))
     }
 
-    /// Writes back a set of dirty blocks (used by the upgrade invalidation).
+    /// Writes back a set of dirty blocks (used by the instant upgrade
+    /// invalidation).
     fn write_back(
         &mut self,
         now: SimTime,
@@ -145,6 +161,168 @@ impl CraidArray {
         self.config.pc_blocks_per_hdd() + pa_live
     }
 
+    /// The rebuild's segment order for `disk`: sequential, or — under
+    /// `HotFirst` — the cache-partition rows first, then the hottest
+    /// archive stripes this disk holds, then the cold remainder.
+    fn rebuild_plan(&self, disk: usize, live: u64) -> Vec<BlockRange> {
+        let mut hot = Vec::new();
+        if self.config.background_priority == BackgroundPriority::HotFirst {
+            let pc_limit = self.config.pc_blocks_per_hdd();
+            if pc_limit > 0 {
+                hot.push(BlockRange::new(0, pc_limit));
+            }
+            // Rank globally, filter to this disk, and only then cap — so
+            // the cap bounds the blocks this rebuild front-loads, not a
+            // share of a global list diluted by the other disks.
+            let on_disk: Vec<u64> = self
+                .monitor
+                .hottest_blocks(usize::MAX)
+                .into_iter()
+                .filter_map(|pa_block| {
+                    let loc = self.pa.layout().locate(pa_block);
+                    (loc.disk == disk).then_some(loc.block + self.pa.block_offset())
+                })
+                .collect();
+            let mut physical = fault::cap_hot_blocks(on_disk);
+            physical.sort_unstable();
+            physical.dedup();
+            hot.extend(merge_blocks_to_ranges(&physical));
+        }
+        fault::rebuild_segments(live, hot)
+    }
+
+    /// Issues the device I/O moving one batch of migrated blocks into the
+    /// rebuilt cache partition: read the pre-upgrade copy from its old
+    /// slot, re-admit it (dirty bit preserved), write the new slot, and pay
+    /// the write-backs of whatever the re-admissions displaced.
+    fn apply_migration_batch(&mut self, now: SimTime, blocks: &[u64]) -> Vec<DeviceIoEvent> {
+        // First settle the bookkeeping (map removal, re-admission,
+        // displaced evictions), then plan the I/O — re-admitting first
+        // means a block that turns out superseded never issues a phantom
+        // old-slot read, and the planning pass can borrow `old_pc` in
+        // place instead of cloning it per batch.
+        let mut moves: Vec<(u64, u64)> = Vec::new();
+        let mut writeback_slots: Vec<u64> = Vec::new();
+        let mut writeback_pa_blocks: Vec<u64> = Vec::new();
+        for &pa_block in blocks {
+            // A block no longer pending was superseded by client traffic
+            // (already counted) — the engine's budget simply skips over it.
+            let Some(home) = self.migration.remove(pa_block) else {
+                continue;
+            };
+            let old_slot = home
+                .pc_slot
+                .expect("CRAID migrations track pre-upgrade PC slots");
+            let Some((new_slot, evictions)) =
+                self.monitor.readmit(pa_block, home.dirty, &mut self.pc)
+            else {
+                // Residency raced ahead of the map — treat as superseded.
+                self.migration_stats.superseded_blocks += 1;
+                continue;
+            };
+            moves.push((old_slot, new_slot));
+            self.migration_stats.migrated_blocks += 1;
+            for task in evictions {
+                if task.dirty {
+                    self.migration_stats.writeback_blocks += 1;
+                    writeback_slots.push(task.pc_slot);
+                    writeback_pa_blocks.push(task.pa_block);
+                }
+            }
+        }
+        let old_pc = self
+            .old_pc
+            .as_ref()
+            .expect("a migration task implies a preserved old PC geometry");
+        let mut old_ios: Vec<PartitionIo> = Vec::new();
+        let mut new_ios: Vec<PartitionIo> = Vec::new();
+        for &(old_slot, new_slot) in &moves {
+            for io in old_pc.plan_blocks(IoKind::Read, &[old_slot]) {
+                old_ios.push(PartitionIo {
+                    purpose: IoPurpose::MigrateRead,
+                    ..io
+                });
+            }
+            for io in self.pc.plan_blocks(IoKind::Write, &[new_slot]) {
+                new_ios.push(PartitionIo {
+                    purpose: if io.purpose == IoPurpose::Data {
+                        IoPurpose::MigrateWrite
+                    } else {
+                        io.purpose
+                    },
+                    ..io
+                });
+            }
+        }
+        new_ios.extend(self.pc.plan_blocks(IoKind::Read, &writeback_slots));
+        new_ios.extend(self.pa.plan_blocks(IoKind::Write, &writeback_pa_blocks));
+        // Old-geometry reads reconstruct via the old parity groups; the
+        // rest via the current layouts.
+        let mut ios = self.degrade_old_pc(old_ios);
+        ios.extend(self.degrade(new_ios));
+        let mut events = Vec::with_capacity(ios.len());
+        for io in ios {
+            events.push(
+                self.devices
+                    .submit(now, io.disk, io.kind, io.range, io.purpose),
+            );
+        }
+        events
+    }
+
+    /// Degraded-mode rewrite for I/O planned against the *pre-upgrade*
+    /// cache partition: reconstruction peers come from the old layout's
+    /// parity groups — the groups that actually protect those copies —
+    /// not the rebuilt one (the two can group disks differently when the
+    /// expanded count stops dividing by the parity group).
+    fn degrade_old_pc(&mut self, plan: Vec<PartitionIo>) -> Vec<PartitionIo> {
+        let Some((failed, state)) = self.devices.degraded_disk() else {
+            return plan;
+        };
+        let old_layout = self
+            .old_pc
+            .as_ref()
+            .expect("old-geometry I/O implies a preserved old PC")
+            .layout()
+            .clone();
+        fault::degrade_plan(
+            plan,
+            failed,
+            state == DiskState::Rebuilding,
+            |io| old_layout.reconstruction_peers(io.disk),
+            &mut self.fault_stats,
+        )
+    }
+
+    /// Rewrites a plan for degraded mode when a disk is failed or
+    /// rebuilding; a no-op on a healthy array.
+    fn degrade(&mut self, plan: Vec<PartitionIo>) -> Vec<PartitionIo> {
+        let Some((failed, state)) = self.devices.degraded_disk() else {
+            return plan;
+        };
+        // Degraded mode: reads of the lost disk are reconstructed from its
+        // parity-group peers — the PC and PA layouts group disks
+        // differently, so the peer set depends on which per-disk region the
+        // I/O falls in.
+        let pc_limit = self.config.pc_blocks_per_hdd();
+        let pc_layout = self.pc.layout();
+        let pa_layout = self.pa.layout();
+        let peers_for = |io: &PartitionIo| {
+            if io.range.start() < pc_limit {
+                pc_layout.reconstruction_peers(io.disk)
+            } else {
+                pa_layout.reconstruction_peers(io.disk)
+            }
+        };
+        fault::degrade_plan(
+            plan,
+            failed,
+            state == DiskState::Rebuilding,
+            peers_for,
+            &mut self.fault_stats,
+        )
+    }
+
     /// Read access to the cache partition (examples and tests).
     pub fn cache_partition(&self) -> &CachePartition {
         &self.pc
@@ -153,6 +331,17 @@ impl CraidArray {
     /// Read access to the I/O monitor (examples and tests).
     pub fn monitor(&self) -> &IoMonitor {
         &self.monitor
+    }
+
+    /// Blocks a paced upgrade still has to redistribute (0 when idle).
+    pub fn pending_migration_blocks(&self) -> u64 {
+        self.migration.len() as u64
+    }
+
+    /// True if `pa_block` is still awaiting migration to its post-upgrade
+    /// home (tests and examples).
+    pub fn migration_pending(&self, pa_block: u64) -> bool {
+        self.migration.contains(pa_block)
     }
 }
 
@@ -190,8 +379,50 @@ impl StorageArray for CraidArray {
                 capacity: self.pa.data_capacity(),
             });
         }
-        let mut plan =
-            redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range);
+        // Mid-upgrade redirection: blocks the paced migration has not
+        // reached yet resolve against the MigrationMap first. Dirty pending
+        // blocks are *only* valid at their old PC slot, so reads fetch them
+        // from there; everything the client touches otherwise (clean reads,
+        // all writes) proceeds against the post-upgrade layout and
+        // supersedes the pending move — writes land at the new home.
+        let mut old_slot_reads: Vec<u64> = Vec::new();
+        let mut plan = if self.migration.is_empty() {
+            // Fast path: no migration in flight, no per-block triage (and
+            // no block-list allocation).
+            redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range)
+        } else {
+            let mut fresh = Vec::with_capacity(range.len() as usize);
+            for pa_block in range.blocks() {
+                match self.migration.get(pa_block) {
+                    Some(home) if home.dirty && kind == IoKind::Read => {
+                        old_slot_reads.push(home.pc_slot.expect("CRAID migrations track PC slots"));
+                    }
+                    Some(_) => {
+                        self.migration.remove(pa_block);
+                        self.migration_stats.superseded_blocks += 1;
+                        fresh.push(pa_block);
+                    }
+                    None => fresh.push(pa_block),
+                }
+            }
+            redirector::plan_request_blocks(
+                &mut self.monitor,
+                &mut self.pc,
+                &self.pa,
+                kind,
+                &fresh,
+                range.len(),
+            )
+        };
+        let mut old_ios: Vec<PartitionIo> = Vec::new();
+        if !old_slot_reads.is_empty() {
+            let old_pc = self
+                .old_pc
+                .as_ref()
+                .expect("pending dirty blocks imply a preserved old PC geometry");
+            plan.cache_hit_blocks += old_slot_reads.len() as u64;
+            old_ios = old_pc.plan_blocks(IoKind::Read, &old_slot_reads);
+        }
 
         let mut report = RequestReport {
             cache_hit_blocks: plan.cache_hit_blocks,
@@ -200,47 +431,12 @@ impl StorageArray for CraidArray {
             dirty_writebacks: plan.dirty_writebacks,
             ..RequestReport::default()
         };
-        // Interleave one catch-up batch of background rebuild traffic ahead
-        // of the client I/O (it occupies devices but the client does not
-        // wait on it).
-        fault::step_rebuild(
-            &mut self.rebuild,
-            now,
-            &mut self.devices,
-            &mut report.events,
-            &mut self.fault_stats,
-        );
-        if let Some((failed, state)) = self.devices.degraded_disk() {
-            // Degraded mode: reads of the lost disk are reconstructed from
-            // its parity-group peers — the PC and PA layouts group disks
-            // differently, so the peer set depends on which per-disk region
-            // the I/O falls in.
-            let pc_limit = self.config.pc_blocks_per_hdd();
-            let pc_layout = self.pc.layout();
-            let pa_layout = self.pa.layout();
-            let peers_for = |io: &crate::partition::PartitionIo| {
-                if io.range.start() < pc_limit {
-                    pc_layout.reconstruction_peers(io.disk)
-                } else {
-                    pa_layout.reconstruction_peers(io.disk)
-                }
-            };
-            let accepts_writes = state == DiskState::Rebuilding;
-            plan.foreground = fault::degrade_plan(
-                plan.foreground,
-                failed,
-                accepts_writes,
-                peers_for,
-                &mut self.fault_stats,
-            );
-            plan.background = fault::degrade_plan(
-                plan.background,
-                failed,
-                accepts_writes,
-                peers_for,
-                &mut self.fault_stats,
-            );
+        plan.foreground = self.degrade(plan.foreground);
+        if !old_ios.is_empty() {
+            let degraded_old = self.degrade_old_pc(old_ios);
+            plan.foreground.extend(degraded_old);
         }
+        plan.background = self.degrade(plan.background);
         let mut finish = now;
         for io in plan.foreground {
             let ev = self
@@ -260,20 +456,34 @@ impl StorageArray for CraidArray {
     }
 
     fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
-        // The upgrade is transactional: every precondition is checked and
-        // every new layout is built *before* the cache partition is
-        // invalidated or any device/geometry state changes, so a rejected
+        // The upgrade commits transactionally: every precondition is checked
+        // and every new layout is built *before* the cache partition is
+        // touched or any device/geometry state changes, so a rejected
         // expansion leaves the array exactly as it was.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
+        let paced = !self.config.instant_migration();
         if let Some((disk, state)) = self.devices.degraded_disk() {
-            // A failed disk has no data to redistribute; a rebuilding one
-            // has an engine pacing itself against the pre-expansion
-            // geometry. Both must resolve before the geometry changes.
-            return Err(CraidError::InvalidExpansion(format!(
-                "disk {disk} is {state:?}; wait until the array is healthy before expanding"
-            )));
+            // A failed disk has no data to redistribute. A *rebuilding* one
+            // is fine when the upgrade is paced: the migration task simply
+            // queues behind the rebuild on the background engine. The
+            // instant path keeps refusing, bit-for-bit with the pre-engine
+            // behaviour. (The in-flight rebuild keeps the segment plan it
+            // was created with — a deliberate approximation: the physical
+            // device is unchanged, but its live share shrinks under the
+            // post-expansion geometry, so rebuild traffic errs on the
+            // generous side.)
+            if state == DiskState::Failed || !paced {
+                return Err(CraidError::InvalidExpansion(format!(
+                    "disk {disk} is {state:?}; wait until the array is healthy before expanding"
+                )));
+            }
+        }
+        if !self.migration.is_empty() || self.background.has_task(TaskKind::ExpansionMigration) {
+            return Err(CraidError::InvalidExpansion(
+                "a previous upgrade's migration is still in flight".into(),
+            ));
         }
         let new_disks = self.disks + added_disks;
         let mut new_sets = self.expansion_sets.clone();
@@ -318,16 +528,51 @@ impl StorageArray for CraidArray {
             ..ExpansionReport::default()
         };
         if let Some(pc_layout) = new_pc_layout {
-            // Migration for CRAID is bounded by what currently lives in PC:
-            // the dirty copies are written back now, the rest is simply
-            // invalidated and re-copied on demand as the working set is
-            // touched again.
+            // Migration for CRAID is bounded by what currently lives in PC.
             report.migrated_blocks = self.monitor.cached_blocks() as u64;
-            let tasks = self.monitor.invalidate_all(&mut self.pc);
-            self.write_back(now, &tasks, &mut report);
-            self.devices.add_hdds(added_disks);
-            self.pc.rebuild(pc_layout, 0, 0);
-            self.monitor.resize(self.pc.capacity());
+            if paced {
+                // The new layout commits now; the block copies stream
+                // through the background engine. Every cached block (clean
+                // and dirty, with its dirty bit) is queued for
+                // redistribution into the rebuilt PC; until a block's turn
+                // comes, the MigrationMap serves it from its old slot.
+                let drained = self.monitor.begin_migration(&mut self.pc);
+                self.old_pc = Some(self.pc.clone());
+                let mut order: Vec<u64> = drained.iter().map(|&(pa, _)| pa).collect();
+                if self.config.background_priority == BackgroundPriority::HotFirst {
+                    self.monitor.rank_hot_desc(&mut order);
+                }
+                for (pa_block, mapping) in drained {
+                    self.migration.insert(
+                        pa_block,
+                        OldHome {
+                            pc_slot: Some(mapping.pc_block),
+                            dirty: mapping.dirty,
+                        },
+                    );
+                }
+                report.enqueued_blocks = order.len() as u64;
+                self.devices.add_hdds(added_disks);
+                self.pc.rebuild(pc_layout, 0, 0);
+                self.monitor.resize(self.pc.capacity());
+                self.background.push_migration(
+                    now,
+                    order,
+                    self.config
+                        .migration_rate_blocks_per_sec
+                        .expect("paced expansions have a finite rate"),
+                );
+                self.migration_stats.migrations_started += 1;
+            } else {
+                // Instant upgrade: the dirty copies are written back now,
+                // the rest is simply invalidated and re-copied on demand as
+                // the working set is touched again.
+                let tasks = self.monitor.invalidate_all(&mut self.pc);
+                self.write_back(now, &tasks, &mut report);
+                self.devices.add_hdds(added_disks);
+                self.pc.rebuild(pc_layout, 0, 0);
+                self.monitor.resize(self.pc.capacity());
+            }
         } else {
             // A dedicated-SSD cache tier keeps its contents when mechanical
             // disks are added; only the SSDs' device indices shift, because
@@ -352,21 +597,78 @@ impl StorageArray for CraidArray {
         // archive layout's parity group (the PC rows of the disk are
         // reconstructed from the same spindles on the paper's shapes).
         let peers = self.pa.layout().reconstruction_peers(disk);
-        let live_blocks = self.live_blocks_per_hdd();
+        let live = self
+            .live_blocks_per_hdd()
+            .min(self.devices.capacity_blocks(disk))
+            .max(1);
+        let segments = self.rebuild_plan(disk, live);
         fault::start_rebuild(
-            &mut self.rebuild,
+            &mut self.background,
             &mut self.devices,
             now,
             disk,
             peers,
-            live_blocks,
+            segments,
             self.config.rebuild_rate_blocks_per_sec,
             &mut self.fault_stats,
         )
     }
 
+    fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
+        let batch = self.background.poll(now);
+        let events = match batch {
+            Some(Batch::Rebuild {
+                disk,
+                peers,
+                ranges,
+            }) => {
+                let mut events = Vec::new();
+                fault::issue_rebuild_batch(
+                    now,
+                    disk,
+                    &peers,
+                    &ranges,
+                    &mut self.devices,
+                    &mut events,
+                    &mut self.fault_stats,
+                );
+                events
+            }
+            Some(Batch::Migration { blocks }) => self.apply_migration_batch(now, &blocks),
+            None => Vec::new(),
+        };
+        if let Some(done) = self.background.take_completed() {
+            match done.kind {
+                TaskKind::Rebuild => {
+                    fault::complete_rebuild(&done, &mut self.devices, &mut self.fault_stats);
+                }
+                TaskKind::ExpansionMigration => {
+                    debug_assert!(
+                        self.migration.is_empty(),
+                        "a drained migration leaves no pending blocks"
+                    );
+                    self.old_pc = None;
+                    self.migration_stats.migrations_completed += 1;
+                    self.migration_stats.migration_secs += done.window_secs;
+                }
+            }
+        }
+        events
+    }
+
+    fn background_idle(&self) -> bool {
+        self.background.is_idle()
+    }
+
     fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    fn migration_stats(&self) -> MigrationStats {
+        MigrationStats {
+            pending_blocks: self.migration.len() as u64,
+            ..self.migration_stats
+        }
     }
 
     fn switch_policy(
@@ -395,6 +697,13 @@ mod tests {
 
     fn array(strategy: StrategyKind) -> CraidArray {
         CraidArray::new(ArrayConfig::small_test(strategy, 10_000)).unwrap()
+    }
+
+    fn paced(strategy: StrategyKind, rate: f64, priority: BackgroundPriority) -> CraidArray {
+        let config = ArrayConfig::small_test(strategy, 10_000)
+            .with_migration_rate(Some(rate))
+            .with_background_priority(priority);
+        CraidArray::new(config).unwrap()
     }
 
     #[test]
@@ -501,6 +810,10 @@ mod tests {
         assert_eq!(report.migrated_blocks, cached_before as u64);
         assert!(report.writeback_blocks > 0, "dirty blocks are written back");
         assert!(!report.events.is_empty());
+        assert_eq!(
+            report.enqueued_blocks, 0,
+            "instant upgrades enqueue nothing"
+        );
         assert_eq!(a.disk_count(), 12);
         assert!(a.pc_capacity_blocks() > pc_before, "PC now spans 12 disks");
         assert_eq!(a.monitor().cached_blocks(), 0, "PC starts cold again");
@@ -688,27 +1001,27 @@ mod tests {
         config.rebuild_rate_blocks_per_sec = 1_000_000.0;
         let mut a = CraidArray::new(config).unwrap();
         a.fail_disk(SimTime::ZERO, 2).unwrap();
-        // Expanding a degraded array is refused.
+        // Expanding a degraded array is refused (instant-migration mode).
         assert!(matches!(
             a.expand(SimTime::from_secs(0.5), 4),
             Err(CraidError::InvalidExpansion(_))
         ));
         a.repair_disk(SimTime::from_secs(1.0), 2).unwrap();
+        assert!(!a.background_idle());
         // Client traffic interleaves with the rebuild stream until the
         // spare holds the full image.
         let mut t = 2.0;
+        let mut saw_rebuild_write = false;
         while a.fault_stats().rebuilds_completed == 0 && t < 100.0 {
-            let r = a
-                .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+            let bg = a.pump_background(SimTime::from_secs(t));
+            saw_rebuild_write |= bg
+                .iter()
+                .any(|e| e.purpose == IoPurpose::RebuildWrite && e.device == 2);
+            a.submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
                 .unwrap();
-            if a.fault_stats().rebuild_write_blocks > 0 && t == 2.0 {
-                assert!(r
-                    .events
-                    .iter()
-                    .any(|e| e.purpose == IoPurpose::RebuildWrite && e.device == 2));
-            }
             t += 1.0;
         }
+        assert!(saw_rebuild_write, "the rebuild streamed onto the spare");
         let stats = a.fault_stats();
         assert_eq!(stats.rebuilds_completed, 1);
         assert!(stats.rebuild_secs > 0.0);
@@ -719,6 +1032,7 @@ mod tests {
             "a data-aware rebuild reconstructs only live stripes, not the \
              whole 2M-block device"
         );
+        assert!(a.background_idle());
         // Healed: expansion works again and reads stop fanning out.
         let degraded_before = a.fault_stats().degraded_reads;
         a.submit(
@@ -752,5 +1066,178 @@ mod tests {
         let stats = a.monitor_stats().unwrap();
         assert!(stats.dirty_evictions > 0);
         assert!(stats.write_eviction_ratio() > 0.0);
+    }
+
+    #[test]
+    fn paced_expansion_commits_layout_and_streams_the_copies() {
+        let mut a = paced(
+            StrategyKind::Craid5Plus,
+            50.0,
+            BackgroundPriority::Sequential,
+        );
+        warm(&mut a);
+        let cached = a.monitor().cached_blocks() as u64;
+        assert!(cached > 0);
+        let report = a.expand(SimTime::from_secs(10.0), 4).unwrap();
+        // The layout committed immediately...
+        assert_eq!(a.disk_count(), 12);
+        assert_eq!(report.enqueued_blocks, cached);
+        assert!(report.events.is_empty(), "no upgrade I/O at event time");
+        assert_eq!(report.writeback_blocks, 0, "dirty copies move, not flush");
+        assert_eq!(a.pending_migration_blocks(), cached);
+        assert!(!a.background_idle());
+        // ...and the copies stream through the background engine.
+        let mut t = 11.0;
+        let mut migrate_events = 0usize;
+        while !a.background_idle() && t < 500.0 {
+            let events = a.pump_background(SimTime::from_secs(t));
+            migrate_events += events.iter().filter(|e| e.purpose.is_migration()).count();
+            t += 1.0;
+        }
+        assert!(a.background_idle(), "the migration drained");
+        assert!(migrate_events > 0, "migration I/O flowed");
+        let stats = a.migration_stats();
+        assert_eq!(stats.migrations_started, 1);
+        assert_eq!(stats.migrations_completed, 1);
+        assert_eq!(stats.migrated_blocks + stats.superseded_blocks, cached);
+        assert_eq!(stats.pending_blocks, 0);
+        assert!(stats.migration_secs > 0.0, "a nonzero upgrade window");
+        // The migrated working set is resident again: hot reads hit.
+        assert_eq!(a.monitor().cached_blocks() as u64, stats.migrated_blocks);
+    }
+
+    #[test]
+    fn reads_of_pending_dirty_blocks_come_from_the_old_slots() {
+        let mut a = paced(StrategyKind::Craid5, 1.0, BackgroundPriority::Sequential);
+        // Dirty a block, then expand: its only valid copy is the old slot.
+        a.submit(SimTime::ZERO, IoKind::Write, BlockRange::new(123, 1))
+            .unwrap();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(a.migration.get(123).unwrap().dirty);
+        let pc_limit = a.config.pc_blocks_per_hdd();
+        let r = a
+            .submit(
+                SimTime::from_secs(1.5),
+                IoKind::Read,
+                BlockRange::new(123, 1),
+            )
+            .unwrap();
+        assert_eq!(r.cache_hit_blocks, 1, "served from the preserved copy");
+        assert!(
+            r.events.iter().all(|e| e.start_block < pc_limit),
+            "the read stays inside the (old) PC region"
+        );
+        assert!(
+            a.migration.contains(123),
+            "a read does not supersede a dirty pending move"
+        );
+        // A write lands at the new home and supersedes the move.
+        a.submit(
+            SimTime::from_secs(2.0),
+            IoKind::Write,
+            BlockRange::new(123, 1),
+        )
+        .unwrap();
+        assert!(!a.migration.contains(123));
+        assert_eq!(a.migration_stats().superseded_blocks, 1);
+        assert!(
+            a.monitor().mapping().lookup(123).unwrap().dirty,
+            "the new-home copy is dirty"
+        );
+    }
+
+    #[test]
+    fn clean_pending_reads_supersede_and_refill_the_new_pc() {
+        let mut a = paced(StrategyKind::Craid5, 1.0, BackgroundPriority::Sequential);
+        a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(77, 1))
+            .unwrap();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(!a.migration.get(77).unwrap().dirty);
+        let r = a
+            .submit(
+                SimTime::from_secs(1.5),
+                IoKind::Read,
+                BlockRange::new(77, 1),
+            )
+            .unwrap();
+        assert_eq!(r.cache_hit_blocks, 0, "the archive still has valid data");
+        assert_eq!(r.admitted_blocks, 1, "and the block re-enters the new PC");
+        assert!(!a.migration.contains(77), "the pending move is superseded");
+    }
+
+    #[test]
+    fn hot_first_migration_moves_the_hottest_blocks_first() {
+        for priority in [BackgroundPriority::Sequential, BackgroundPriority::HotFirst] {
+            let mut a = paced(StrategyKind::Craid5Plus, 2.0, priority);
+            // Block 9000 is touched three times, 500 once: 9000 is hotter.
+            a.submit(SimTime::ZERO, IoKind::Read, BlockRange::new(9_000, 1))
+                .unwrap();
+            a.submit(
+                SimTime::from_millis(1.0),
+                IoKind::Read,
+                BlockRange::new(9_000, 1),
+            )
+            .unwrap();
+            a.submit(
+                SimTime::from_millis(2.0),
+                IoKind::Read,
+                BlockRange::new(9_000, 1),
+            )
+            .unwrap();
+            a.submit(
+                SimTime::from_millis(3.0),
+                IoKind::Read,
+                BlockRange::new(500, 1),
+            )
+            .unwrap();
+            a.expand(SimTime::from_secs(1.0), 4).unwrap();
+            // At 2 blocks/s, one block is due at t = 1.5s.
+            a.pump_background(SimTime::from_secs(1.5));
+            let moved_9000_first = !a.migration.contains(9_000);
+            match priority {
+                BackgroundPriority::HotFirst => {
+                    assert!(moved_9000_first, "the hot block migrates first")
+                }
+                BackgroundPriority::Sequential => {
+                    assert!(!moved_9000_first, "ascending order moves 500 first")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_during_rebuild_queues_behind_it_when_paced() {
+        let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, 10_000)
+            .with_migration_rate(Some(1_000_000.0));
+        config.rebuild_rate_blocks_per_sec = 1_000_000.0;
+        let mut a = CraidArray::new(config).unwrap();
+        warm(&mut a);
+        a.fail_disk(SimTime::from_secs(1.0), 2).unwrap();
+        a.repair_disk(SimTime::from_secs(2.0), 2).unwrap();
+        // Mid-rebuild expansion is now legal: it enqueues behind the
+        // rebuild on the same engine.
+        let report = a.expand(SimTime::from_secs(3.0), 4).unwrap();
+        assert!(report.enqueued_blocks > 0);
+        assert_eq!(a.disk_count(), 12);
+        let mut t = 4.0;
+        while !a.background_idle() && t < 400.0 {
+            a.pump_background(SimTime::from_secs(t));
+            t += 1.0;
+        }
+        assert!(a.background_idle());
+        assert_eq!(a.fault_stats().rebuilds_completed, 1, "rebuild finished");
+        assert_eq!(a.migration_stats().migrations_completed, 1, "then the move");
+        // A second expansion while one migration is pending is refused.
+        let mut b = paced(
+            StrategyKind::Craid5Plus,
+            1.0,
+            BackgroundPriority::Sequential,
+        );
+        warm(&mut b);
+        b.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(matches!(
+            b.expand(SimTime::from_secs(2.0), 4),
+            Err(CraidError::InvalidExpansion(_))
+        ));
     }
 }

@@ -14,7 +14,7 @@ use crate::config::{ArrayConfig, StrategyKind};
 use crate::devices::DeviceIoEvent;
 use crate::error::CraidError;
 use crate::monitor::MonitorStats;
-use crate::report::FaultStats;
+use crate::report::{FaultStats, MigrationStats};
 
 /// Completion report for one client request.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -46,9 +46,15 @@ pub struct ExpansionReport {
     /// RAID-5+ it is zero (new sets start empty).
     pub migrated_blocks: u64,
     /// Dirty cached blocks written back to the archive during the
-    /// cache-partition invalidation (CRAID only).
+    /// cache-partition invalidation (CRAID only; 0 for a paced upgrade,
+    /// which redistributes dirty copies instead of writing them back).
     pub writeback_blocks: u64,
-    /// Device I/Os issued by the upgrade itself (write-backs).
+    /// Blocks enqueued on the background engine for paced migration (0 for
+    /// an instant upgrade, which moves everything at event time).
+    pub enqueued_blocks: u64,
+    /// Device I/Os issued by the upgrade itself at event time (instant-mode
+    /// write-backs; empty for a paced upgrade — its I/O streams through the
+    /// background engine instead).
     pub events: Vec<DeviceIoEvent>,
 }
 
@@ -126,9 +132,26 @@ pub trait StorageArray {
     /// failed.
     fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError>;
 
+    /// Runs one catch-up step of the array's background engine at `now`:
+    /// if a rebuild or expansion migration is in flight and behind its
+    /// pace, one batch of background I/O is issued and its device events
+    /// returned. The simulation driver calls this once per client request,
+    /// interleaving maintenance with traffic; direct users replaying their
+    /// own loops should do the same.
+    fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent>;
+
+    /// True when no background task (rebuild or migration) is queued or
+    /// active.
+    fn background_idle(&self) -> bool;
+
     /// Degraded-mode and rebuild counters accumulated so far (all zero if
     /// no disk ever failed).
     fn fault_stats(&self) -> FaultStats;
+
+    /// Online-upgrade migration counters accumulated so far (all zero if
+    /// every expansion was instant). `pending_blocks` reflects the moves
+    /// still queued at call time.
+    fn migration_stats(&self) -> MigrationStats;
 
     /// Per-device load statistics accumulated so far.
     fn device_stats(&self) -> Vec<DeviceLoadStats>;

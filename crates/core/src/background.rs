@@ -1,0 +1,704 @@
+//! The generic background I/O engine.
+//!
+//! Two maintenance activities stream large amounts of block I/O through an
+//! array while it keeps serving clients: reconstructing a failed disk onto a
+//! hot spare (*rebuild*) and moving data to its post-upgrade home after an
+//! online expansion (*migration*). Both share the same skeleton — a body of
+//! work, a pace expressed in blocks per simulated second, and an ordering
+//! policy for which blocks go first — so this module hosts the one scheduler
+//! both ride on:
+//!
+//! * a [`BackgroundEngine`] owns a FIFO queue of [`TaskKind`]s. Exactly one
+//!   task is active at a time; an `Expand` scheduled during a rebuild (or a
+//!   `DiskRepair` during a migration) simply enqueues behind it, which is
+//!   what makes those previously illegal overlaps well-defined.
+//! * each task is paced lazily: by time `t` after it became active,
+//!   `rate × t` blocks should have been issued. The owning array polls the
+//!   engine once per client request ([`BackgroundEngine::poll`]), so
+//!   background batches interleave with client traffic instead of
+//!   monopolising the devices.
+//! * the order blocks are issued in is a [`BackgroundPriority`]:
+//!   [`Sequential`](BackgroundPriority::Sequential) walks the address space
+//!   in order, [`HotFirst`](BackgroundPriority::HotFirst) issues the blocks
+//!   the I/O monitor has seen the most traffic on first — the CRAID move:
+//!   the hot working set regains its steady-state placement (and the cache
+//!   partition its hit ratio) long before the cold tail has moved.
+//!
+//! A [`MigrationMap`] records, per logical block, where the authoritative
+//! copy of a not-yet-migrated block still lives; the arrays consult it on
+//! every request so reads stay correct mid-upgrade while writes land at the
+//! new home (and supersede the pending move).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use craid_diskmodel::BlockRange;
+use craid_simkit::SimTime;
+use serde::{Deserialize, Serialize, Value};
+
+/// Upper bound on one background batch (8 MiB): keeps a single catch-up
+/// step from turning into a device-monopolising monster transfer when the
+/// configured rate is high or client traffic is sparse.
+pub const MAX_BATCH_BLOCKS: u64 = 2_048;
+
+/// Upper bound on the number of distinct device I/Os one rebuild batch may
+/// fan out to (hot-first rebuilds chase scattered blocks; without a cap a
+/// single catch-up step could issue thousands of tiny I/Os).
+const MAX_RANGES_PER_BATCH: usize = 64;
+
+/// The order a background task issues its blocks in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackgroundPriority {
+    /// Ascending address order — the classic streaming rebuild/reshape.
+    #[default]
+    Sequential,
+    /// Blocks the I/O monitor has observed the most accesses on go first
+    /// (falls back to [`Sequential`](BackgroundPriority::Sequential) for
+    /// baseline arrays, which have no monitor to rank heat with).
+    HotFirst,
+}
+
+impl BackgroundPriority {
+    /// The serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackgroundPriority::Sequential => "sequential",
+            BackgroundPriority::HotFirst => "hot-first",
+        }
+    }
+}
+
+impl std::fmt::Display for BackgroundPriority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackgroundPriority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
+            "sequential" => Ok(BackgroundPriority::Sequential),
+            "hot-first" | "hotfirst" => Ok(BackgroundPriority::HotFirst),
+            other => Err(format!(
+                "unknown background priority '{other}' (expected sequential or hot-first)"
+            )),
+        }
+    }
+}
+
+impl Serialize for BackgroundPriority {
+    fn serialize(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for BackgroundPriority {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("background priority name", value))?;
+        s.parse().map_err(serde::Error::custom)
+    }
+}
+
+/// What a background task is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Streaming a failed disk's image onto its hot spare.
+    Rebuild,
+    /// Moving blocks to their post-upgrade location after an expansion.
+    ExpansionMigration,
+}
+
+/// The body of work a task walks through, in issue order.
+#[derive(Debug, Clone)]
+enum Work {
+    /// Contiguous physical ranges on one device (a rebuild's segments,
+    /// already ordered by the priority policy).
+    Ranges {
+        segments: Vec<BlockRange>,
+        seg: usize,
+        off: u64,
+    },
+    /// An explicit logical-block order (a migration's queue, already ordered
+    /// by the priority policy).
+    Blocks { blocks: Vec<u64>, cursor: usize },
+}
+
+impl Work {
+    fn remaining(&self) -> u64 {
+        match self {
+            Work::Ranges { segments, seg, off } => segments[*seg..]
+                .iter()
+                .map(|r| r.len())
+                .sum::<u64>()
+                .saturating_sub(*off),
+            Work::Blocks { blocks, cursor } => (blocks.len() - cursor) as u64,
+        }
+    }
+
+    /// Takes up to `budget` blocks off the front of the work body.
+    fn take(&mut self, budget: u64) -> WorkBatch {
+        match self {
+            Work::Ranges { segments, seg, off } => {
+                let mut out = Vec::new();
+                let mut left = budget;
+                while left > 0 && *seg < segments.len() && out.len() < MAX_RANGES_PER_BATCH {
+                    let segment = segments[*seg];
+                    let available = segment.len() - *off;
+                    let len = available.min(left);
+                    out.push(BlockRange::new(segment.start() + *off, len));
+                    left -= len;
+                    if len == available {
+                        *seg += 1;
+                        *off = 0;
+                    } else {
+                        *off += len;
+                    }
+                }
+                WorkBatch::Ranges(out)
+            }
+            Work::Blocks { blocks, cursor } => {
+                let take = (budget as usize).min(blocks.len() - *cursor);
+                let batch = blocks[*cursor..*cursor + take].to_vec();
+                *cursor += take;
+                WorkBatch::Blocks(batch)
+            }
+        }
+    }
+}
+
+/// The blocks one engine poll hands the array to issue I/O for.
+#[derive(Debug, Clone)]
+enum WorkBatch {
+    Ranges(Vec<BlockRange>),
+    Blocks(Vec<u64>),
+}
+
+/// One paced unit of background work.
+#[derive(Debug, Clone)]
+struct BackgroundTask {
+    kind: TaskKind,
+    /// The device slot a rebuild reconstructs (unused for migrations).
+    disk: usize,
+    /// Surviving parity-group members feeding a rebuild.
+    peers: Vec<usize>,
+    work: Work,
+    rate_blocks_per_sec: f64,
+    /// Set when the task reaches the head of the queue and starts pacing.
+    started: Option<SimTime>,
+    issued: u64,
+}
+
+/// A batch of work the engine has decided is due; the array turns it into
+/// device I/O.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// Reconstruct these physical ranges of `disk` from `peers`.
+    Rebuild {
+        /// The device slot being rebuilt.
+        disk: usize,
+        /// Surviving parity-group members to read from.
+        peers: Vec<usize>,
+        /// Physical ranges to reconstruct in this step.
+        ranges: Vec<BlockRange>,
+    },
+    /// Migrate these logical blocks to their post-upgrade home.
+    Migration {
+        /// Logical blocks to move in this step (priority order).
+        blocks: Vec<u64>,
+    },
+}
+
+/// A task that ran to completion during the last poll.
+#[derive(Debug, Clone)]
+pub struct CompletedTask {
+    /// What finished.
+    pub kind: TaskKind,
+    /// The rebuilt device slot (meaningful for rebuilds).
+    pub disk: usize,
+    /// Blocks the task issued over its lifetime.
+    pub blocks_issued: u64,
+    /// Simulated seconds from activation to completion — the service window
+    /// the paper's redistribution-time trade-off is about.
+    pub window_secs: f64,
+}
+
+/// The per-array scheduler: a FIFO of rate-paced background tasks.
+#[derive(Debug, Clone, Default)]
+pub struct BackgroundEngine {
+    queue: VecDeque<BackgroundTask>,
+    completed: Option<CompletedTask>,
+}
+
+impl BackgroundEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no task is queued or active.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when a task of `kind` is queued or active.
+    pub fn has_task(&self, kind: TaskKind) -> bool {
+        self.queue.iter().any(|t| t.kind == kind)
+    }
+
+    /// Blocks still to issue across all queued tasks of `kind`.
+    pub fn backlog_blocks(&self, kind: TaskKind) -> u64 {
+        self.queue
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.work.remaining())
+            .sum()
+    }
+
+    /// Enqueues a rebuild of `disk` (ranges in `segments` order, fed by
+    /// `peers`) paced at `rate_blocks_per_sec`. If the queue is empty the
+    /// task starts pacing at `now`; otherwise its clock starts when it
+    /// reaches the head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn push_rebuild(
+        &mut self,
+        now: SimTime,
+        disk: usize,
+        peers: Vec<usize>,
+        segments: Vec<BlockRange>,
+        rate_blocks_per_sec: f64,
+    ) {
+        self.push(
+            BackgroundTask {
+                kind: TaskKind::Rebuild,
+                disk,
+                peers,
+                work: Work::Ranges {
+                    segments,
+                    seg: 0,
+                    off: 0,
+                },
+                rate_blocks_per_sec,
+                started: None,
+                issued: 0,
+            },
+            now,
+        );
+    }
+
+    /// Enqueues an expansion migration over `blocks` (already in priority
+    /// order) paced at `rate_blocks_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn push_migration(&mut self, now: SimTime, blocks: Vec<u64>, rate_blocks_per_sec: f64) {
+        self.push(
+            BackgroundTask {
+                kind: TaskKind::ExpansionMigration,
+                disk: 0,
+                peers: Vec::new(),
+                work: Work::Blocks { blocks, cursor: 0 },
+                rate_blocks_per_sec,
+                started: None,
+                issued: 0,
+            },
+            now,
+        );
+    }
+
+    fn push(&mut self, mut task: BackgroundTask, now: SimTime) {
+        assert!(
+            task.rate_blocks_per_sec.is_finite() && task.rate_blocks_per_sec > 0.0,
+            "background rate must be finite and positive, got {}",
+            task.rate_blocks_per_sec
+        );
+        if self.queue.is_empty() {
+            task.started = Some(now);
+        }
+        self.queue.push_back(task);
+    }
+
+    /// Issues the head task's next catch-up batch at `now`, or `None` when
+    /// the pace is already met (or the engine is idle). When the batch
+    /// drains the task, it is popped and stashed for
+    /// [`BackgroundEngine::take_completed`] and the next queued task starts
+    /// its pacing clock at `now`.
+    pub fn poll(&mut self, now: SimTime) -> Option<Batch> {
+        let task = self.queue.front_mut()?;
+        let started = *task.started.get_or_insert(now);
+        let remaining = task.work.remaining();
+        if remaining == 0 {
+            // An empty task (e.g. a migration with nothing to move) completes
+            // on its first poll without issuing anything.
+            self.finish_head(now, started);
+            return None;
+        }
+        let elapsed = now.saturating_since(started).as_secs();
+        let target = (task.rate_blocks_per_sec * elapsed) as u64;
+        if target <= task.issued {
+            return None;
+        }
+        let budget = (target - task.issued)
+            .clamp(1, MAX_BATCH_BLOCKS)
+            .min(remaining);
+        let batch = task.work.take(budget);
+        let taken = match &batch {
+            WorkBatch::Ranges(ranges) => ranges.iter().map(|r| r.len()).sum(),
+            WorkBatch::Blocks(blocks) => blocks.len() as u64,
+        };
+        task.issued += taken;
+        let out = match batch {
+            WorkBatch::Ranges(ranges) => Batch::Rebuild {
+                disk: task.disk,
+                peers: task.peers.clone(),
+                ranges,
+            },
+            WorkBatch::Blocks(blocks) => Batch::Migration { blocks },
+        };
+        if task.work.remaining() == 0 {
+            self.finish_head(now, started);
+        }
+        Some(out)
+    }
+
+    fn finish_head(&mut self, now: SimTime, started: SimTime) {
+        let task = self.queue.pop_front().expect("a head task exists");
+        self.completed = Some(CompletedTask {
+            kind: task.kind,
+            disk: task.disk,
+            blocks_issued: task.issued,
+            window_secs: now.saturating_since(started).as_secs(),
+        });
+        if let Some(next) = self.queue.front_mut() {
+            next.started.get_or_insert(now);
+        }
+    }
+
+    /// The task the last [`BackgroundEngine::poll`] completed, if any. The
+    /// owning array applies the completion side effects (mark the spare
+    /// healthy, close the migration window) exactly once.
+    pub fn take_completed(&mut self) -> Option<CompletedTask> {
+        self.completed.take()
+    }
+}
+
+/// Where a not-yet-migrated block's authoritative copy still lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OldHome {
+    /// The cache-partition slot holding the pre-upgrade copy (CRAID
+    /// redistribution); `None` when the old home is the pre-upgrade archive
+    /// layout (baseline restripe).
+    pub pc_slot: Option<u64>,
+    /// True if the copy differs from the archive's — the *only* valid copy.
+    pub dirty: bool,
+}
+
+/// Tracks, per logical block, the blocks an in-flight expansion migration
+/// has not yet moved. The redirector/planner layer consults it on every
+/// request: pending reads are served from the old location, writes land at
+/// the new home and supersede the pending move. Lives alongside the
+/// [`MappingCache`](crate::MappingCache), which only knows post-upgrade
+/// placements.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationMap {
+    map: BTreeMap<u64, OldHome>,
+}
+
+impl MigrationMap {
+    /// An empty map (no migration in flight).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks still awaiting migration.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Marks `logical` as pending, with its old home.
+    pub fn insert(&mut self, logical: u64, home: OldHome) {
+        self.map.insert(logical, home);
+    }
+
+    /// The old home of `logical`, if it is still pending.
+    pub fn get(&self, logical: u64) -> Option<OldHome> {
+        self.map.get(&logical).copied()
+    }
+
+    /// True if `logical` has not been moved (or superseded) yet.
+    pub fn contains(&self, logical: u64) -> bool {
+        self.map.contains_key(&logical)
+    }
+
+    /// Removes `logical` (it was migrated, or a client write superseded the
+    /// move), returning its old home if it was pending.
+    pub fn remove(&mut self, logical: u64) -> Option<OldHome> {
+        self.map.remove(&logical)
+    }
+
+    /// Drops every pending entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterates over pending blocks in ascending logical order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, OldHome)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Builds a rebuild's segment order: the `hot` ranges first (in the order
+/// given), then the uncovered remainder of `[0, total)` in ascending order.
+/// The hot ranges must be disjoint; ranges reaching beyond `total` are
+/// clipped.
+pub(crate) fn prioritized_segments(total: u64, hot: Vec<BlockRange>) -> Vec<BlockRange> {
+    let hot: Vec<BlockRange> = hot
+        .into_iter()
+        .filter(|r| r.start() < total)
+        .map(|r| BlockRange::new(r.start(), r.len().min(total - r.start())))
+        .collect();
+    let mut covered = hot.clone();
+    covered.sort_by_key(|r| r.start());
+    debug_assert!(
+        covered.windows(2).all(|w| w[0].end() <= w[1].start()),
+        "hot ranges must be disjoint"
+    );
+    let mut segments = hot;
+    let mut cursor = 0;
+    for range in covered {
+        if range.start() > cursor {
+            segments.push(BlockRange::new(cursor, range.start() - cursor));
+        }
+        cursor = range.end();
+    }
+    if cursor < total {
+        segments.push(BlockRange::new(cursor, total - cursor));
+    }
+    segments
+}
+
+/// Merges a sorted, deduplicated list of block numbers into contiguous
+/// ranges.
+pub(crate) fn merge_blocks_to_ranges(blocks: &[u64]) -> Vec<BlockRange> {
+    let mut out: Vec<BlockRange> = Vec::new();
+    for &block in blocks {
+        match out.last_mut() {
+            Some(last) if last.end() == block => {
+                *last = BlockRange::new(last.start(), last.len() + 1)
+            }
+            _ => out.push(BlockRange::new(block, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_parses_and_round_trips() {
+        for p in [BackgroundPriority::Sequential, BackgroundPriority::HotFirst] {
+            assert_eq!(p.name().parse::<BackgroundPriority>().unwrap(), p);
+            let v = Serialize::serialize(&p);
+            assert_eq!(BackgroundPriority::deserialize(&v).unwrap(), p);
+        }
+        assert_eq!(
+            "Hot_First".parse::<BackgroundPriority>().unwrap(),
+            BackgroundPriority::HotFirst
+        );
+        assert!("fastest".parse::<BackgroundPriority>().is_err());
+        assert!(BackgroundPriority::deserialize(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn rebuild_task_paces_by_rate_and_completes() {
+        let mut engine = BackgroundEngine::new();
+        engine.push_rebuild(
+            SimTime::ZERO,
+            1,
+            vec![0, 2, 3],
+            vec![BlockRange::new(0, 1_000)],
+            100.0,
+        );
+        // At t = 0 nothing is due yet.
+        assert!(engine.poll(SimTime::ZERO).is_none());
+        // At t = 2s the pace demands 200 blocks in one batch.
+        let Some(Batch::Rebuild {
+            disk,
+            peers,
+            ranges,
+        }) = engine.poll(SimTime::from_secs(2.0))
+        else {
+            panic!("a rebuild batch is due");
+        };
+        assert_eq!(disk, 1);
+        assert_eq!(peers, vec![0, 2, 3]);
+        assert_eq!(ranges, vec![BlockRange::new(0, 200)]);
+        // Already at pace: an immediate second poll is a no-op.
+        assert!(engine.poll(SimTime::from_secs(2.0)).is_none());
+        // Far in the future the engine catches up one capped batch at a time.
+        let mut total = 200;
+        while let Some(Batch::Rebuild { ranges, .. }) = engine.poll(SimTime::from_secs(100.0)) {
+            let len: u64 = ranges.iter().map(|r| r.len()).sum();
+            assert!(len <= MAX_BATCH_BLOCKS);
+            total += len;
+        }
+        assert_eq!(total, 1_000);
+        let done = engine.take_completed().expect("the rebuild finished");
+        assert_eq!(done.kind, TaskKind::Rebuild);
+        assert_eq!(done.blocks_issued, 1_000);
+        assert!(done.window_secs > 0.0);
+        assert!(engine.is_idle());
+        assert!(engine.take_completed().is_none(), "completion fires once");
+    }
+
+    #[test]
+    fn queued_task_starts_pacing_when_it_reaches_the_head() {
+        let mut engine = BackgroundEngine::new();
+        engine.push_rebuild(SimTime::ZERO, 0, vec![1], vec![BlockRange::new(0, 10)], 1e9);
+        engine.push_migration(SimTime::ZERO, (0..50).collect(), 10.0);
+        assert!(engine.has_task(TaskKind::Rebuild));
+        assert!(engine.has_task(TaskKind::ExpansionMigration));
+        assert_eq!(engine.backlog_blocks(TaskKind::ExpansionMigration), 50);
+        // The rebuild drains in one poll; the migration's clock starts there
+        // (t = 5), not at push time (t = 0).
+        let t = SimTime::from_secs(5.0);
+        assert!(matches!(engine.poll(t), Some(Batch::Rebuild { .. })));
+        assert_eq!(engine.take_completed().unwrap().kind, TaskKind::Rebuild);
+        assert!(engine.poll(t).is_none(), "migration elapsed time is zero");
+        let Some(Batch::Migration { blocks }) = engine.poll(SimTime::from_secs(7.0)) else {
+            panic!("20 migration blocks are due 2s later");
+        };
+        assert_eq!(blocks, (0..20).collect::<Vec<u64>>());
+        assert_eq!(engine.backlog_blocks(TaskKind::ExpansionMigration), 30);
+    }
+
+    #[test]
+    fn empty_migration_completes_without_issuing() {
+        let mut engine = BackgroundEngine::new();
+        engine.push_migration(SimTime::ZERO, Vec::new(), 100.0);
+        assert!(engine.poll(SimTime::from_secs(1.0)).is_none());
+        let done = engine.take_completed().unwrap();
+        assert_eq!(done.kind, TaskKind::ExpansionMigration);
+        assert_eq!(done.blocks_issued, 0);
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn ranged_work_spans_segments_within_one_batch() {
+        let mut engine = BackgroundEngine::new();
+        engine.push_rebuild(
+            SimTime::ZERO,
+            2,
+            vec![0],
+            vec![
+                BlockRange::new(100, 3),
+                BlockRange::new(10, 4),
+                BlockRange::new(50, 100),
+            ],
+            1e9,
+        );
+        let Some(Batch::Rebuild { ranges, .. }) = engine.poll(SimTime::from_secs(1.0)) else {
+            panic!("everything is due");
+        };
+        // Hot segments first, in the given order, then the tail.
+        assert_eq!(ranges[0], BlockRange::new(100, 3));
+        assert_eq!(ranges[1], BlockRange::new(10, 4));
+        assert_eq!(ranges[2], BlockRange::new(50, 100));
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<u64>(), 107);
+    }
+
+    #[test]
+    fn migration_map_tracks_pending_blocks() {
+        let mut map = MigrationMap::new();
+        assert!(map.is_empty());
+        map.insert(
+            7,
+            OldHome {
+                pc_slot: Some(3),
+                dirty: true,
+            },
+        );
+        map.insert(
+            2,
+            OldHome {
+                pc_slot: None,
+                dirty: false,
+            },
+        );
+        assert_eq!(map.len(), 2);
+        assert!(map.contains(7));
+        assert_eq!(map.get(7).unwrap().pc_slot, Some(3));
+        assert_eq!(
+            map.iter().map(|(b, _)| b).collect::<Vec<_>>(),
+            vec![2, 7],
+            "iteration is in logical order"
+        );
+        assert_eq!(map.remove(2).unwrap().pc_slot, None);
+        assert!(map.remove(2).is_none());
+        map.clear();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn prioritized_segments_cover_the_space_exactly_once() {
+        let segments = prioritized_segments(
+            100,
+            vec![
+                BlockRange::new(40, 10),
+                BlockRange::new(10, 5),
+                BlockRange::new(95, 20),
+            ],
+        );
+        // Hot first (clipped), then the ascending remainder.
+        assert_eq!(
+            segments,
+            vec![
+                BlockRange::new(40, 10),
+                BlockRange::new(10, 5),
+                BlockRange::new(95, 5),
+                BlockRange::new(0, 10),
+                BlockRange::new(15, 25),
+                BlockRange::new(50, 45),
+            ]
+        );
+        let total: u64 = segments.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 100);
+        let mut blocks: Vec<u64> = segments.iter().flat_map(|r| r.blocks()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn no_hot_ranges_degenerates_to_sequential() {
+        assert_eq!(
+            prioritized_segments(64, Vec::new()),
+            vec![BlockRange::new(0, 64)]
+        );
+    }
+
+    #[test]
+    fn merge_blocks_groups_runs() {
+        assert_eq!(
+            merge_blocks_to_ranges(&[1, 2, 3, 7, 9, 10]),
+            vec![
+                BlockRange::new(1, 3),
+                BlockRange::new(7, 1),
+                BlockRange::new(9, 2)
+            ]
+        );
+        assert!(merge_blocks_to_ranges(&[]).is_empty());
+    }
+}

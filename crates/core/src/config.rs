@@ -175,6 +175,17 @@ pub struct ArrayConfig {
     /// (25 600 blocks ≈ 100 MiB/s) matches a sequential rebuild stream on
     /// the modeled spindles.
     pub rebuild_rate_blocks_per_sec: f64,
+    /// Pace of the background migration an `Expand` event enqueues, in
+    /// blocks moved to their post-upgrade home per simulated second. `None`
+    /// (the default) and `+inf` both mean *instant*: the upgrade migrates
+    /// everything atomically at event time, as the pre-engine
+    /// implementation did.
+    pub migration_rate_blocks_per_sec: Option<f64>,
+    /// The order the background engine issues rebuild and migration blocks
+    /// in ([`Sequential`](crate::background::BackgroundPriority::Sequential)
+    /// by default; `HotFirst` moves the I/O monitor's hottest blocks first —
+    /// the CRAID move).
+    pub background_priority: crate::background::BackgroundPriority,
 }
 
 impl ArrayConfig {
@@ -209,6 +220,8 @@ impl ArrayConfig {
             ssd: SsdParameters::msr_ideal(),
             seed: 0x5eed,
             rebuild_rate_blocks_per_sec: 25_600.0,
+            migration_rate_blocks_per_sec: None,
+            background_priority: crate::background::BackgroundPriority::Sequential,
         }
     }
 
@@ -232,6 +245,8 @@ impl ArrayConfig {
             ssd: SsdParameters::msr_ideal_scaled(1024 * 1024),
             seed: 7,
             rebuild_rate_blocks_per_sec: 25_600.0,
+            migration_rate_blocks_per_sec: None,
+            background_priority: crate::background::BackgroundPriority::Sequential,
         }
     }
 
@@ -263,6 +278,32 @@ impl ArrayConfig {
     pub fn with_rebuild_rate(mut self, blocks_per_sec: f64) -> Self {
         self.rebuild_rate_blocks_per_sec = blocks_per_sec;
         self
+    }
+
+    /// Sets the background migration pace (blocks per simulated second);
+    /// `None` restores the instant-expand behaviour.
+    pub fn with_migration_rate(mut self, blocks_per_sec: Option<f64>) -> Self {
+        self.migration_rate_blocks_per_sec = blocks_per_sec;
+        self
+    }
+
+    /// Sets the background engine's block-ordering policy.
+    pub fn with_background_priority(
+        mut self,
+        priority: crate::background::BackgroundPriority,
+    ) -> Self {
+        self.background_priority = priority;
+        self
+    }
+
+    /// True when `Expand` events migrate atomically at event time instead of
+    /// enqueueing a paced background task (the knob is omitted, or its rate
+    /// is unbounded).
+    pub fn instant_migration(&self) -> bool {
+        match self.migration_rate_blocks_per_sec {
+            None => true,
+            Some(rate) => rate.is_infinite() && rate > 0.0,
+        }
     }
 
     /// Number of parity groups of the full-width RAID-5 layouts.
@@ -368,6 +409,16 @@ impl ArrayConfig {
                 "rebuild rate must be finite and positive, got {}",
                 self.rebuild_rate_blocks_per_sec
             ));
+        }
+        if let Some(rate) = self.migration_rate_blocks_per_sec {
+            // +inf is legal and means "instant", exactly like omitting the
+            // knob: an unbounded pace degenerates to the atomic upgrade.
+            if rate.is_nan() || rate <= 0.0 {
+                return fail(format!(
+                    "migration rate must be positive (or +inf / omitted for an \
+                     instant migration), got {rate}"
+                ));
+            }
         }
         // The scattered dataset must fit in the archive partition.
         let pa_data_capacity = self.pa_blocks_per_hdd() / self.stripe_unit
@@ -506,16 +557,38 @@ mod tests {
 
     #[test]
     fn builder_methods_compose() {
+        use crate::background::BackgroundPriority;
         let cfg = ArrayConfig::small_test(StrategyKind::Craid5, 10_000)
             .with_policy(PolicyKind::Arc)
             .with_pc_capacity(512)
             .with_stripe_unit(8)
             .with_rebuild_rate(1_000.0)
+            .with_migration_rate(Some(2_000.0))
+            .with_background_priority(BackgroundPriority::HotFirst)
             .with_instant_devices();
         assert_eq!(cfg.policy, PolicyKind::Arc);
         assert_eq!(cfg.pc_capacity_blocks, 512);
         assert_eq!(cfg.stripe_unit, 8);
         assert_eq!(cfg.rebuild_rate_blocks_per_sec, 1_000.0);
+        assert_eq!(cfg.migration_rate_blocks_per_sec, Some(2_000.0));
+        assert!(!cfg.instant_migration());
+        assert_eq!(cfg.background_priority, BackgroundPriority::HotFirst);
         assert_eq!(cfg.device_tier, DeviceTier::Instant);
+    }
+
+    #[test]
+    fn migration_rate_must_be_finite_and_positive() {
+        let mut cfg = ArrayConfig::small_test(StrategyKind::Craid5, 10_000);
+        assert!(cfg.instant_migration(), "the default migration is instant");
+        cfg.migration_rate_blocks_per_sec = Some(0.0);
+        assert!(cfg.validate().is_err());
+        cfg.migration_rate_blocks_per_sec = Some(f64::NAN);
+        assert!(cfg.validate().is_err());
+        cfg.migration_rate_blocks_per_sec = Some(f64::INFINITY);
+        assert!(cfg.validate().is_ok(), "an unbounded rate is legal");
+        assert!(cfg.instant_migration(), "and degenerates to instant");
+        cfg.migration_rate_blocks_per_sec = Some(500.0);
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.instant_migration());
     }
 }

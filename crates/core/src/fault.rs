@@ -1,4 +1,4 @@
-//! Disk failures: degraded-mode planning and the background rebuild engine.
+//! Disk failures: degraded-mode planning and rebuild scheduling.
 //!
 //! A RAID array's reliability story has two phases that this module models
 //! (and that the paper's parity-group layouts were designed around):
@@ -8,10 +8,14 @@
 //!    the `G - 1` surviving members of its parity group
 //!    ([`Layout::reconstruction_peers`](craid_raid::Layout)); writes aimed
 //!    at the dead disk are absorbed by the (surviving) parity update.
-//! 2. **Rebuild** — once a hot spare is installed (`DiskRepair`), the
-//!    [`RebuildEngine`] streams reconstruction I/O onto it, interleaved
-//!    with client traffic and paced by a configurable rate, until the
-//!    spare holds the full device image and the array is healthy again.
+//! 2. **Rebuild** — once a hot spare is installed (`DiskRepair`), a
+//!    rate-paced task on the array's [`BackgroundEngine`] streams
+//!    reconstruction I/O onto it, interleaved with client traffic, until
+//!    the spare holds the full live image and the array is healthy again.
+//!    Under the [`HotFirst`](crate::background::BackgroundPriority::HotFirst)
+//!    priority the cache-partition rows and the hottest archive stripes are
+//!    reconstructed first — the data-aware counterpart of CRAID's upgrade
+//!    story.
 //!
 //! Both arrays ([`CraidArray`](crate::array::CraidArray),
 //! [`BaselineArray`](crate::array::BaselineArray)) drive these primitives
@@ -22,14 +26,15 @@ use craid_diskmodel::{BlockRange, IoKind};
 use craid_raid::IoPurpose;
 use craid_simkit::SimTime;
 
-/// Upper bound on one rebuild batch (8 MiB): keeps a single catch-up step
-/// from turning into a device-monopolising monster transfer when the
-/// configured rate is high or client traffic is sparse.
-const MAX_REBUILD_BATCH_BLOCKS: u64 = 2_048;
-
+use crate::background::{prioritized_segments, BackgroundEngine};
 use crate::devices::{DeviceIoEvent, DeviceSet};
 use crate::partition::PartitionIo;
 use crate::report::FaultStats;
+
+/// Upper bound on the number of scattered hot blocks a hot-first rebuild
+/// front-loads (beyond this the seek cost of chasing singles outweighs the
+/// benefit of reconstructing them early).
+const MAX_HOT_REBUILD_BLOCKS: usize = 4_096;
 
 /// Rewrites an I/O plan for an array whose disk `failed` is unavailable.
 ///
@@ -73,117 +78,6 @@ pub(crate) fn degrade_plan(
     out
 }
 
-/// Streams the reconstruction of a failed disk onto its hot spare.
-///
-/// The engine is rate-paced in simulated time: by time `t` after the
-/// repair started, `rate_blocks_per_sec × t` blocks should have been
-/// reconstructed. Progress is realised lazily — each call to
-/// [`RebuildEngine::step`] (made by the owning array at the head of every
-/// client `submit`) issues at most one catch-up batch, so rebuild I/O is
-/// interleaved with client traffic instead of monopolising the devices.
-#[derive(Debug, Clone)]
-pub struct RebuildEngine {
-    disk: usize,
-    peers: Vec<usize>,
-    cursor: u64,
-    end: u64,
-    rate_blocks_per_sec: f64,
-    started: SimTime,
-}
-
-impl RebuildEngine {
-    /// Starts a rebuild of `disk` (whole-device image of `end` blocks) fed
-    /// by `peers`, at `rate_blocks_per_sec`, beginning at `started`.
-    pub fn new(
-        disk: usize,
-        peers: Vec<usize>,
-        end: u64,
-        rate_blocks_per_sec: f64,
-        started: SimTime,
-    ) -> Self {
-        RebuildEngine {
-            disk,
-            peers,
-            cursor: 0,
-            end,
-            rate_blocks_per_sec,
-            started,
-        }
-    }
-
-    /// The device slot being rebuilt.
-    pub fn disk(&self) -> usize {
-        self.disk
-    }
-
-    /// Blocks reconstructed so far.
-    pub fn progress_blocks(&self) -> u64 {
-        self.cursor
-    }
-
-    /// True once the spare holds the full device image.
-    pub fn is_done(&self) -> bool {
-        self.cursor >= self.end
-    }
-
-    /// Simulated seconds since the rebuild started.
-    pub fn elapsed_secs(&self, now: SimTime) -> f64 {
-        now.saturating_since(self.started).as_secs()
-    }
-
-    /// The next catch-up batch at time `now`: the block range to
-    /// reconstruct, or `None` when the pace is already met (or the rebuild
-    /// is done). Each batch is capped at [`MAX_REBUILD_BATCH_BLOCKS`] so a
-    /// long gap between client requests (or an aggressive rate) cannot
-    /// produce an unbounded device I/O — with sparse traffic the rebuild
-    /// simply lags its nominal pace, which is the interleaving the design
-    /// wants.
-    fn next_batch(&mut self, now: SimTime) -> Option<BlockRange> {
-        if self.is_done() {
-            return None;
-        }
-        let target = ((self.rate_blocks_per_sec * self.elapsed_secs(now)) as u64).min(self.end);
-        if target <= self.cursor {
-            return None;
-        }
-        let len = (target - self.cursor).clamp(1, MAX_REBUILD_BATCH_BLOCKS);
-        let range = BlockRange::new(self.cursor, len);
-        self.cursor += len;
-        Some(range)
-    }
-
-    /// Issues one catch-up batch of rebuild I/O at `now` — a
-    /// [`IoPurpose::RebuildRead`] of the batch range from every surviving
-    /// peer plus a [`IoPurpose::RebuildWrite`] of the reconstructed range
-    /// onto the spare — appending the device events to `events` and the
-    /// counters to `stats`. Returns true when this step completed the
-    /// rebuild (the caller marks the device healthy and records the MTTR).
-    pub(crate) fn step(
-        &mut self,
-        now: SimTime,
-        devices: &mut DeviceSet,
-        events: &mut Vec<DeviceIoEvent>,
-        stats: &mut FaultStats,
-    ) -> bool {
-        let Some(range) = self.next_batch(now) else {
-            return false;
-        };
-        for &peer in &self.peers {
-            events.push(devices.submit(now, peer, IoKind::Read, range, IoPurpose::RebuildRead));
-            stats.rebuild_read_blocks += range.len();
-        }
-        events.push(devices.submit(
-            now,
-            self.disk,
-            IoKind::Write,
-            range,
-            IoPurpose::RebuildWrite,
-        ));
-        stats.rebuild_write_blocks += range.len();
-        self.is_done()
-    }
-}
-
 /// The per-disk physical block count a rebuild must reconstruct when
 /// `used_logical` of `logical` addressable blocks hold data: the
 /// physical-to-logical ratio folds the parity overhead in. Shared by both
@@ -194,21 +88,36 @@ pub(crate) fn live_blocks(physical: u64, logical: u64, used_logical: u64) -> u64
     (physical as u128 * used).div_ceil(logical) as u64
 }
 
+/// The segment order a rebuild streams `live` physical blocks in: `hot`
+/// ranges first (the cache-partition rows and the hottest archive stripes,
+/// in the order given), then the ascending remainder. An empty `hot` list
+/// is a plain sequential rebuild. Capped at [`MAX_HOT_REBUILD_BLOCKS`]
+/// worth of scattered hot blocks by the callers.
+pub(crate) fn rebuild_segments(live: u64, hot: Vec<BlockRange>) -> Vec<BlockRange> {
+    prioritized_segments(live, hot)
+}
+
+/// Caps a hot-block list for [`rebuild_segments`] callers.
+pub(crate) fn cap_hot_blocks(mut blocks: Vec<u64>) -> Vec<u64> {
+    blocks.truncate(MAX_HOT_REBUILD_BLOCKS);
+    blocks
+}
+
 /// Validates and starts a rebuild: installs the hot spare in `disk`'s slot
-/// and parks a [`RebuildEngine`] in `rebuild`. `live_blocks` is the
-/// per-disk region the rebuild reconstructs — the arrays pass their *live*
-/// footprint (cache-partition rows plus the archive share of the dataset,
-/// parity included) rather than the raw device capacity, in the spirit of
+/// and enqueues a rebuild task (with the given segment order) on the
+/// array's background engine. `segments` must cover the disk's *live*
+/// region — the cache-partition rows plus the archive share of the dataset,
+/// parity included — rather than the raw device capacity, in the spirit of
 /// CRAID's data-aware maintenance: stripes that never held data need no
 /// reconstruction. Shared by both array implementations' `repair_disk`.
 #[allow(clippy::too_many_arguments)] // a plain parameter list beats a one-use builder here
 pub(crate) fn start_rebuild(
-    rebuild: &mut Option<RebuildEngine>,
+    engine: &mut BackgroundEngine,
     devices: &mut DeviceSet,
     now: SimTime,
     disk: usize,
     peers: Vec<usize>,
-    live_blocks: u64,
+    segments: Vec<BlockRange>,
     rate_blocks_per_sec: f64,
     stats: &mut FaultStats,
 ) -> Result<(), crate::error::CraidError> {
@@ -217,40 +126,60 @@ pub(crate) fn start_rebuild(
             "disk {disk} has no surviving parity-group members to rebuild from"
         )));
     }
+    // Clamp every segment to the device, centrally: whatever live-region
+    // estimate or hot-segment plan the caller produced, the rebuild never
+    // writes past the spare's capacity.
+    let capacity = devices.capacity_blocks(disk);
+    let segments: Vec<BlockRange> = segments
+        .into_iter()
+        .filter(|r| r.start() < capacity)
+        .map(|r| BlockRange::new(r.start(), r.len().min(capacity - r.start())))
+        .collect();
     devices.start_rebuild(disk)?;
-    *rebuild = Some(RebuildEngine::new(
-        disk,
-        peers,
-        live_blocks.min(devices.capacity_blocks(disk)).max(1),
-        rate_blocks_per_sec,
-        now,
-    ));
+    engine.push_rebuild(now, disk, peers, segments, rate_blocks_per_sec);
     stats.disk_repairs += 1;
     Ok(())
 }
 
-/// Runs one interleaved rebuild step at `now` and, when it completes the
-/// spare, marks the device healthy and records the MTTR. Shared by both
-/// array implementations' `submit`.
-pub(crate) fn step_rebuild(
-    rebuild: &mut Option<RebuildEngine>,
+/// Issues the device I/O for one rebuild batch: a
+/// [`IoPurpose::RebuildRead`] of every range from every surviving peer plus
+/// a [`IoPurpose::RebuildWrite`] of the reconstructed range onto the spare.
+/// Shared by both array implementations' background pumps.
+pub(crate) fn issue_rebuild_batch(
     now: SimTime,
+    disk: usize,
+    peers: &[usize],
+    ranges: &[BlockRange],
     devices: &mut DeviceSet,
     events: &mut Vec<DeviceIoEvent>,
     stats: &mut FaultStats,
 ) {
-    let Some(engine) = rebuild else { return };
-    if engine.step(now, devices, events, stats) {
-        stats.rebuilds_completed += 1;
-        stats.rebuild_secs += engine.elapsed_secs(now);
-        devices.complete_rebuild(engine.disk());
-        *rebuild = None;
+    for &range in ranges {
+        for &peer in peers {
+            events.push(devices.submit(now, peer, IoKind::Read, range, IoPurpose::RebuildRead));
+            stats.rebuild_read_blocks += range.len();
+        }
+        events.push(devices.submit(now, disk, IoKind::Write, range, IoPurpose::RebuildWrite));
+        stats.rebuild_write_blocks += range.len();
     }
+}
+
+/// Applies a completed rebuild: the spare is marked healthy and the MTTR
+/// recorded. Shared by both array implementations' background pumps.
+pub(crate) fn complete_rebuild(
+    done: &crate::background::CompletedTask,
+    devices: &mut DeviceSet,
+    stats: &mut FaultStats,
+) {
+    stats.rebuilds_completed += 1;
+    stats.rebuild_secs += done.window_secs;
+    devices.complete_rebuild(done.disk);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::background::{Batch, TaskKind};
     use crate::config::{ArrayConfig, StrategyKind};
 
     fn io(disk: usize, start: u64, len: u64, kind: IoKind) -> PartitionIo {
@@ -294,28 +223,47 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_engine_paces_by_rate_and_finishes() {
+    fn rebuild_on_the_engine_paces_heals_and_records_traffic() {
         let cfg = ArrayConfig::small_test(StrategyKind::Raid5, 10_000);
         let mut devices = DeviceSet::from_config(&cfg);
         devices.fail_disk(1).unwrap();
-        devices.start_rebuild(1).unwrap();
 
-        let mut engine = RebuildEngine::new(1, vec![0, 2, 3], 1_000, 100.0, SimTime::ZERO);
+        let mut engine = BackgroundEngine::new();
         let mut events = Vec::new();
         let mut stats = FaultStats::default();
+        start_rebuild(
+            &mut engine,
+            &mut devices,
+            SimTime::ZERO,
+            1,
+            vec![0, 2, 3],
+            rebuild_segments(1_000, Vec::new()),
+            100.0,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(stats.disk_repairs, 1);
 
         // At t = 0 nothing is due yet.
-        assert!(!engine.step(SimTime::ZERO, &mut devices, &mut events, &mut stats));
-        assert!(events.is_empty());
-
+        assert!(engine.poll(SimTime::ZERO).is_none());
         // At t = 2 s the pace demands 200 blocks: one batch catches up.
-        assert!(!engine.step(
+        let Some(Batch::Rebuild {
+            disk,
+            peers,
+            ranges,
+        }) = engine.poll(SimTime::from_secs(2.0))
+        else {
+            panic!("a rebuild batch is due");
+        };
+        issue_rebuild_batch(
             SimTime::from_secs(2.0),
+            disk,
+            &peers,
+            &ranges,
             &mut devices,
             &mut events,
-            &mut stats
-        ));
-        assert_eq!(engine.progress_blocks(), 200);
+            &mut stats,
+        );
         assert_eq!(events.len(), 4, "3 peer reads + 1 spare write");
         assert!(events[..3]
             .iter()
@@ -324,55 +272,66 @@ mod tests {
         assert_eq!(events[3].device, 1);
         assert_eq!(stats.rebuild_write_blocks, 200);
         assert_eq!(stats.rebuild_read_blocks, 600);
-        // Already at pace: an immediate second step is a no-op.
-        assert!(!engine.step(
-            SimTime::from_secs(2.0),
-            &mut devices,
-            &mut events,
-            &mut stats
-        ));
-        assert_eq!(engine.progress_blocks(), 200);
 
-        // Far in the future the engine catches up one capped batch at a
-        // time until the spare holds the whole image.
-        let mut done = false;
-        for _ in 0..20 {
-            if engine.step(
+        // Far in the future the engine catches up in capped batches until
+        // the spare holds the whole live image.
+        while let Some(Batch::Rebuild {
+            disk,
+            peers,
+            ranges,
+        }) = engine.poll(SimTime::from_secs(100.0))
+        {
+            issue_rebuild_batch(
                 SimTime::from_secs(100.0),
+                disk,
+                &peers,
+                &ranges,
                 &mut devices,
                 &mut events,
                 &mut stats,
-            ) {
-                done = true;
-                break;
-            }
+            );
         }
-        assert!(done);
-        assert!(engine.is_done());
-        assert_eq!(engine.progress_blocks(), 1_000);
+        let done = engine.take_completed().expect("the rebuild finished");
+        assert_eq!(done.kind, TaskKind::Rebuild);
+        complete_rebuild(&done, &mut devices, &mut stats);
+        assert_eq!(stats.rebuilds_completed, 1);
         assert_eq!(stats.rebuild_write_blocks, 1_000);
-        assert_eq!(engine.elapsed_secs(SimTime::from_secs(100.0)), 100.0);
+        assert_eq!(stats.rebuild_secs, 100.0);
+        assert_eq!(devices.degraded_disk(), None, "the array healed");
     }
 
     #[test]
-    fn rebuild_batches_are_capped() {
+    fn rebuild_without_peers_is_rejected() {
         let cfg = ArrayConfig::small_test(StrategyKind::Raid5, 10_000);
         let mut devices = DeviceSet::from_config(&cfg);
         devices.fail_disk(0).unwrap();
-        devices.start_rebuild(0).unwrap();
-        // An absurd rate still produces bounded batches.
-        let mut engine = RebuildEngine::new(0, vec![1], 100_000, 1e9, SimTime::ZERO);
-        let mut events = Vec::new();
+        let mut engine = BackgroundEngine::new();
         let mut stats = FaultStats::default();
-        engine.step(
-            SimTime::from_secs(5.0),
+        let err = start_rebuild(
+            &mut engine,
             &mut devices,
-            &mut events,
+            SimTime::ZERO,
+            0,
+            Vec::new(),
+            vec![BlockRange::new(0, 10)],
+            100.0,
             &mut stats,
         );
-        assert_eq!(engine.progress_blocks(), super::MAX_REBUILD_BATCH_BLOCKS);
-        assert!(events
-            .iter()
-            .all(|e| e.blocks <= super::MAX_REBUILD_BATCH_BLOCKS));
+        assert!(err.is_err());
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn live_region_scales_with_usage() {
+        assert_eq!(live_blocks(1_000, 800, 400), 500);
+        assert_eq!(live_blocks(1_000, 800, 0), 0);
+        assert_eq!(live_blocks(1_000, 800, 10_000), 1_000, "clamped to full");
+        assert_eq!(live_blocks(999, 1_000, 1), 1, "rounds up");
+    }
+
+    #[test]
+    fn hot_block_cap_is_enforced() {
+        let capped = cap_hot_blocks((0..10_000u64).collect());
+        assert_eq!(capped.len(), super::MAX_HOT_REBUILD_BLOCKS);
     }
 }

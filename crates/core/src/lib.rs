@@ -29,11 +29,15 @@
 //!   [`Observer`]s, and a parallel [`Campaign`] runner for whole experiment
 //!   matrices;
 //! * a fault subsystem ([`fault`], [`DiskState`]): degraded-mode reads that
-//!   reconstruct lost blocks from the surviving parity-group members, and a
-//!   background [`RebuildEngine`] that streams a failed disk's image onto a
-//!   hot spare interleaved with client traffic, with the resulting
-//!   [`FaultStats`] (degraded reads, rebuild traffic, MTTR) in every
-//!   report.
+//!   reconstruct lost blocks from the surviving parity-group members, with
+//!   the resulting [`FaultStats`] (degraded reads, rebuild traffic, MTTR)
+//!   in every report;
+//! * a generic [`background`] I/O engine ([`BackgroundEngine`]): rebuilds
+//!   *and* paced online-expansion migrations ride on one rate-paced task
+//!   queue with pluggable [`BackgroundPriority`] block ordering
+//!   (`Sequential` or heat-ranked `HotFirst`), a [`MigrationMap`] keeping
+//!   reads correct mid-upgrade, and [`MigrationStats`] (upgrade window,
+//!   blocks moved) in every report.
 //!
 //! # Quick start
 //!
@@ -75,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod background;
 pub mod config;
 pub mod devices;
 pub mod error;
@@ -89,17 +94,17 @@ pub mod scenario;
 pub mod sim;
 
 pub use array::{BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray};
+pub use background::{BackgroundEngine, BackgroundPriority, MigrationMap};
 pub use config::{ArrayConfig, DeviceTier, StrategyKind};
 pub use devices::DiskState;
 pub use error::CraidError;
-pub use fault::RebuildEngine;
 pub use mapping::MappingCache;
 pub use monitor::IoMonitor;
 pub use observer::{
     MetricsCollector, MultiObserver, NullObserver, Observer, ProgressObserver, RequestOutcome,
 };
 pub use partition::CachePartition;
-pub use report::{CraidStats, FaultStats, SimulationReport};
+pub use report::{CraidStats, FaultStats, MigrationStats, SimulationReport};
 pub use scenario::{
     AppliedEvent, ArrayPreset, ArraySpec, Campaign, ObserverSpec, Scenario, ScenarioBuilder,
     ScenarioOutcome, ScheduledEvent, WorkloadSource,

@@ -130,6 +130,12 @@ pub struct IoMonitor {
     policy_kind: PolicyKind,
     mapping: MappingCache,
     stats: MonitorStats,
+    /// Per-block access counts — the heat signal the background engine's
+    /// `HotFirst` priority orders rebuilds and migrations by. Survives
+    /// invalidations (it is access history, not residency). A hash map:
+    /// consumers never need key order (ranking sorts with a deterministic
+    /// tie-break), and the per-access update is on every request's path.
+    heat: std::collections::HashMap<u64, u64>,
 }
 
 impl IoMonitor {
@@ -146,6 +152,7 @@ impl IoMonitor {
             policy_kind,
             mapping: MappingCache::new(),
             stats: MonitorStats::default(),
+            heat: std::collections::HashMap::new(),
         }
     }
 
@@ -196,6 +203,7 @@ impl IoMonitor {
             IoKind::Read => self.stats.read_accesses += 1,
             IoKind::Write => self.stats.write_accesses += 1,
         }
+        *self.heat.entry(pa_block).or_insert(0) += 1;
 
         let outcome = self.policy.access(pa_block, meta);
         match outcome {
@@ -269,6 +277,95 @@ impl IoMonitor {
             }
         }
         tasks
+    }
+
+    /// Starts a paced cache-partition redistribution (the background-engine
+    /// variant of the upgrade step): every translation is drained and its
+    /// slot released, the policy is cleared, and the former contents —
+    /// clean *and* dirty — are returned so the caller can enqueue them as a
+    /// migration task. Unlike [`IoMonitor::invalidate_all`], nothing is
+    /// counted as an eviction: the blocks are being *moved*, not dropped.
+    pub fn begin_migration(
+        &mut self,
+        pc: &mut CachePartition,
+    ) -> Vec<(u64, crate::mapping::Mapping)> {
+        self.policy.clear();
+        let drained = self.mapping.drain();
+        for (_, mapping) in &drained {
+            pc.release(mapping.pc_block);
+        }
+        drained
+    }
+
+    /// Re-admits a block the background migration moved into the (rebuilt)
+    /// cache partition, preserving its dirty bit. Returns the assigned slot
+    /// plus any eviction work the re-admission displaced, or `None` when the
+    /// block is already resident (client traffic beat the migration to it).
+    ///
+    /// The re-admission is silent: it counts into neither the access nor the
+    /// eviction statistics — it is maintenance traffic, not client load.
+    pub fn readmit(
+        &mut self,
+        pa_block: u64,
+        dirty: bool,
+        pc: &mut CachePartition,
+    ) -> Option<(u64, Vec<EvictionTask>)> {
+        if self.mapping.contains(pa_block) {
+            return None;
+        }
+        let meta = if dirty {
+            AccessMeta::write(1)
+        } else {
+            AccessMeta::read(1)
+        };
+        match self.policy.access(pa_block, meta) {
+            AccessOutcome::Hit => None, // residency and mapping are in lock-step
+            AccessOutcome::Inserted => {
+                let slot = pc
+                    .allocate()
+                    .expect("policy capacity equals cache-partition capacity");
+                self.mapping.insert(pa_block, slot, dirty);
+                Some((slot, Vec::new()))
+            }
+            AccessOutcome::InsertedWithEviction(evicted) => {
+                let victim = self
+                    .mapping
+                    .remove(evicted.block)
+                    .expect("evicted block must have a mapping");
+                pc.release(victim.pc_block);
+                let slot = pc.allocate().expect("the eviction just freed a slot");
+                self.mapping.insert(pa_block, slot, dirty);
+                Some((
+                    slot,
+                    vec![EvictionTask {
+                        pa_block: evicted.block,
+                        pc_slot: victim.pc_block,
+                        dirty: victim.dirty,
+                    }],
+                ))
+            }
+        }
+    }
+
+    /// Observed access count of `pa_block` (the heat signal).
+    pub fn heat_of(&self, pa_block: u64) -> u64 {
+        self.heat.get(&pa_block).copied().unwrap_or(0)
+    }
+
+    /// Sorts `blocks` hottest-first (ties broken by ascending block number,
+    /// so the order is deterministic).
+    pub fn rank_hot_desc(&self, blocks: &mut [u64]) {
+        blocks.sort_by_key(|&b| (std::cmp::Reverse(self.heat_of(b)), b));
+    }
+
+    /// Up to `limit` of the hottest blocks ever observed, hottest first
+    /// (deterministic tie-break by block number). The background engine uses
+    /// this to put a rebuild's hot stripes at the front of the stream.
+    pub fn hottest_blocks(&self, limit: usize) -> Vec<u64> {
+        let mut ranked: Vec<(u64, u64)> = self.heat.iter().map(|(&b, &h)| (b, h)).collect();
+        ranked.sort_by_key(|&(b, h)| (std::cmp::Reverse(h), b));
+        ranked.truncate(limit);
+        ranked.into_iter().map(|(b, _)| b).collect()
     }
 
     /// Swaps the replacement policy mid-run (a scenario's `PolicySwitch`
@@ -430,6 +527,63 @@ mod tests {
         m.access(100, IoKind::Write, 1, &mut pc);
         assert!(m.stats().write_eviction_ratio() > 0.0);
         assert_eq!(m.stats().read_eviction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn heat_ranks_blocks_by_access_count() {
+        let mut pc = pc(4);
+        let mut m = monitor(pc.capacity());
+        for _ in 0..3 {
+            m.access(5, IoKind::Read, 1, &mut pc);
+        }
+        m.access(9, IoKind::Write, 1, &mut pc);
+        m.access(9, IoKind::Read, 1, &mut pc);
+        m.access(1, IoKind::Read, 1, &mut pc);
+        assert_eq!(m.heat_of(5), 3);
+        assert_eq!(m.heat_of(9), 2);
+        assert_eq!(m.heat_of(42), 0);
+        let mut blocks = vec![1, 5, 9, 42];
+        m.rank_hot_desc(&mut blocks);
+        assert_eq!(blocks, vec![5, 9, 1, 42]);
+        assert_eq!(m.hottest_blocks(2), vec![5, 9]);
+    }
+
+    #[test]
+    fn begin_migration_drains_everything_without_counting_evictions() {
+        let mut pc = pc(2);
+        let mut m = monitor(pc.capacity());
+        m.access(1, IoKind::Write, 1, &mut pc);
+        m.access(2, IoKind::Read, 1, &mut pc);
+        let drained = m.begin_migration(&mut pc);
+        assert_eq!(drained.len(), 2, "clean and dirty entries are returned");
+        assert!(drained.iter().any(|(b, map)| *b == 1 && map.dirty));
+        assert!(drained.iter().any(|(b, map)| *b == 2 && !map.dirty));
+        assert_eq!(m.cached_blocks(), 0);
+        assert_eq!(pc.free_slots(), pc.capacity());
+        assert_eq!(m.stats().dirty_evictions, 0, "moves are not evictions");
+        // Heat history survives the migration.
+        assert_eq!(m.heat_of(1), 1);
+    }
+
+    #[test]
+    fn readmit_restores_residency_silently_and_preserves_dirty() {
+        let mut pc = pc(2);
+        let mut m = monitor(pc.capacity());
+        m.access(1, IoKind::Write, 1, &mut pc);
+        let drained = m.begin_migration(&mut pc);
+        let accesses_before = m.stats().read_accesses + m.stats().write_accesses;
+        let (pa, mapping) = drained[0];
+        let (slot, evictions) = m.readmit(pa, mapping.dirty, &mut pc).unwrap();
+        assert!(evictions.is_empty());
+        assert!(m.mapping().lookup(pa).unwrap().dirty);
+        assert_eq!(m.mapping().lookup(pa).unwrap().pc_block, slot);
+        assert_eq!(
+            m.stats().read_accesses + m.stats().write_accesses,
+            accesses_before,
+            "re-admission does not count as client traffic"
+        );
+        // A second readmit is a no-op: the block is already home.
+        assert!(m.readmit(pa, mapping.dirty, &mut pc).is_none());
     }
 
     #[test]

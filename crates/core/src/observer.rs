@@ -244,9 +244,10 @@ impl MetricsCollector {
         SimulationReport {
             strategy: strategy.to_string(),
             workload: workload.to_string(),
-            // The driver fills this in from the array's fault counters
-            // after the trackers are consumed.
+            // The driver fills these in from the array's fault and
+            // migration counters after the trackers are consumed.
             fault: crate::report::FaultStats::default(),
+            migration: crate::report::MigrationStats::default(),
             requests: self.requests,
             read: summarize_response(&self.read_summary, &mut self.read_quantiles),
             write: summarize_response(&self.write_summary, &mut self.write_quantiles),

@@ -51,7 +51,40 @@ pub fn plan_request(
     kind: IoKind,
     range: BlockRange,
 ) -> RequestPlan {
-    let request_blocks = range.len();
+    plan_request_iter(monitor, pc, pa, kind, range.blocks(), range.len())
+}
+
+/// [`plan_request`] over an explicit block list: the arrays use this while
+/// an expansion migration is in flight, when some of a request's blocks are
+/// redirected to their pre-upgrade homes and only the rest flow through the
+/// monitor. `request_blocks` is the size of the original client request (the
+/// `S_i` the policies see), which may exceed `blocks.len()`.
+pub fn plan_request_blocks(
+    monitor: &mut IoMonitor,
+    pc: &mut CachePartition,
+    pa: &Partition<ArchiveLayout>,
+    kind: IoKind,
+    blocks: &[u64],
+    request_blocks: u64,
+) -> RequestPlan {
+    plan_request_iter(
+        monitor,
+        pc,
+        pa,
+        kind,
+        blocks.iter().copied(),
+        request_blocks,
+    )
+}
+
+fn plan_request_iter(
+    monitor: &mut IoMonitor,
+    pc: &mut CachePartition,
+    pa: &Partition<ArchiveLayout>,
+    kind: IoKind,
+    blocks: impl Iterator<Item = u64>,
+    request_blocks: u64,
+) -> RequestPlan {
     let mut plan = RequestPlan::default();
 
     let mut hit_slots = Vec::new();
@@ -60,7 +93,7 @@ pub fn plan_request(
     let mut writeback_pa_blocks = Vec::new();
     let mut writeback_slots = Vec::new();
 
-    for pa_block in range.blocks() {
+    for pa_block in blocks {
         let (decision, evictions) = monitor.access(pa_block, kind, request_blocks, pc);
         if decision.is_hit() {
             plan.cache_hit_blocks += 1;

@@ -100,6 +100,49 @@ impl FaultStats {
     }
 }
 
+/// Online-upgrade measurements of a run with paced expansion migrations:
+/// the redistribution-time vs. service-time trade-off the paper's online
+/// claim is about (all zero when every expansion was instant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Paced migration tasks enqueued by `Expand` events.
+    pub migrations_started: u64,
+    /// Paced migration tasks that drained during the run.
+    pub migrations_completed: u64,
+    /// Blocks the background engine moved to their post-upgrade home.
+    pub migrated_blocks: u64,
+    /// Pending moves superseded by client traffic before the engine reached
+    /// them (a write landed at the new home, or a read re-admitted the
+    /// block).
+    pub superseded_blocks: u64,
+    /// Blocks still awaiting migration when the run ended.
+    pub pending_blocks: u64,
+    /// Dirty blocks the migration (or the evictions it displaced) wrote
+    /// back to the archive.
+    pub writeback_blocks: u64,
+    /// Total simulated seconds the array spent with a migration in flight —
+    /// the *upgrade window* during which clients were served degraded-but-
+    /// correct. Summed over completed migrations.
+    pub migration_secs: f64,
+}
+
+impl MigrationStats {
+    /// True if any paced migration ran during the run.
+    pub fn any_migrations(&self) -> bool {
+        self.migrations_started > 0
+    }
+
+    /// Mean upgrade window across completed migrations, in simulated
+    /// seconds (0 when none completed).
+    pub fn mean_window_secs(&self) -> f64 {
+        if self.migrations_completed == 0 {
+            0.0
+        } else {
+            self.migration_secs / self.migrations_completed as f64
+        }
+    }
+}
+
 /// Load-balance measurements (Fig. 7 / Table 6).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LoadBalanceSummary {
@@ -142,6 +185,9 @@ pub struct SimulationReport {
     /// Degraded-mode and rebuild measurements (all zero without injected
     /// disk failures).
     pub fault: FaultStats,
+    /// Online-upgrade migration measurements (all zero without paced
+    /// expansions).
+    pub migration: MigrationStats,
     /// Total bytes moved per device over the run.
     pub device_bytes: Vec<u64>,
 }
@@ -200,6 +246,15 @@ mod tests {
                 rebuild_secs: 42.0,
                 ..FaultStats::default()
             },
+            migration: MigrationStats {
+                migrations_started: 2,
+                migrations_completed: 2,
+                migrated_blocks: 640,
+                superseded_blocks: 3,
+                writeback_blocks: 17,
+                migration_secs: 12.0,
+                ..MigrationStats::default()
+            },
             ..SimulationReport::default()
         };
         let json = report.to_json();
@@ -210,6 +265,8 @@ mod tests {
         assert_eq!(back.write_mean_ms(), 0.0);
         assert!(back.fault.any_faults());
         assert_eq!(back.fault.mttr_secs(), 42.0);
+        assert!(back.migration.any_migrations());
+        assert_eq!(back.migration.mean_window_secs(), 6.0);
     }
 
     #[test]
@@ -217,5 +274,12 @@ mod tests {
         let stats = FaultStats::default();
         assert!(!stats.any_faults());
         assert_eq!(stats.mttr_secs(), 0.0);
+    }
+
+    #[test]
+    fn migration_stats_handle_empty_runs() {
+        let stats = MigrationStats::default();
+        assert!(!stats.any_migrations());
+        assert_eq!(stats.mean_window_secs(), 0.0);
     }
 }

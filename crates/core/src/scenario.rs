@@ -55,8 +55,8 @@ use crate::sim::Simulation;
 /// One entry of a scenario's timeline, applied when the replay clock
 /// reaches its time. Events at equal times apply in declaration order.
 ///
-/// The set is open-ended by design: trace swaps are the obvious next
-/// entry.
+/// The set is open-ended by design; the latest additions are trace-swapping
+/// workload phases and paced online expansions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduledEvent {
     /// An online upgrade: `added_disks` mechanical disks join the array and
@@ -76,14 +76,19 @@ pub enum ScheduledEvent {
         /// The policy to switch to.
         policy: PolicyKind,
     },
-    /// A named marker separating workload phases. The engine does not act
-    /// on it, but observers see it — useful to annotate day boundaries or
-    /// "before/after upgrade" windows in streamed output.
+    /// A named workload phase. With a `workload` source attached it has
+    /// real trace-swap semantics: the replay truncates at the phase time
+    /// and continues with the new workload's records from there. Without
+    /// one it is a pure marker — the engine does not act on it, but
+    /// observers see it (useful to annotate day boundaries or
+    /// "before/after upgrade" windows in streamed output).
     WorkloadPhase {
         /// When the phase starts.
         at: SimTime,
         /// Label observers will see.
         label: String,
+        /// The trace segment to switch to, if this phase swaps workloads.
+        workload: Option<WorkloadSource>,
     },
     /// A mechanical disk dies. Until its `DiskRepair`, reads that would
     /// touch it are reconstructed from the surviving members of its parity
@@ -116,11 +121,27 @@ impl ScheduledEvent {
         ScheduledEvent::PolicySwitch { at, policy }
     }
 
-    /// Convenience constructor for [`ScheduledEvent::WorkloadPhase`].
+    /// Convenience constructor for a marker-only
+    /// [`ScheduledEvent::WorkloadPhase`].
     pub fn workload_phase(at: SimTime, label: impl Into<String>) -> Self {
         ScheduledEvent::WorkloadPhase {
             at,
             label: label.into(),
+            workload: None,
+        }
+    }
+
+    /// Convenience constructor for a trace-swapping
+    /// [`ScheduledEvent::WorkloadPhase`].
+    pub fn workload_phase_swap(
+        at: SimTime,
+        label: impl Into<String>,
+        workload: WorkloadSource,
+    ) -> Self {
+        ScheduledEvent::WorkloadPhase {
+            at,
+            label: label.into(),
+            workload: Some(workload),
         }
     }
 
@@ -154,8 +175,19 @@ impl ScheduledEvent {
             ScheduledEvent::PolicySwitch { policy, .. } => {
                 format!("switch policy to {policy}")
             }
-            ScheduledEvent::WorkloadPhase { label, .. } => {
+            ScheduledEvent::WorkloadPhase {
+                label,
+                workload: None,
+                ..
+            } => {
                 format!("enter phase '{label}'")
+            }
+            ScheduledEvent::WorkloadPhase {
+                label,
+                workload: Some(source),
+                ..
+            } => {
+                format!("enter phase '{label}' (switch trace to {})", source.id)
             }
             ScheduledEvent::DiskFailure { disk, .. } => {
                 format!("fail disk {disk}")
@@ -195,8 +227,16 @@ impl Serialize for ScheduledEvent {
             ScheduledEvent::PolicySwitch { policy, .. } => {
                 entries.push(("policy".to_string(), policy.serialize()));
             }
-            ScheduledEvent::WorkloadPhase { label, .. } => {
+            ScheduledEvent::WorkloadPhase {
+                label, workload, ..
+            } => {
                 entries.push(("label".to_string(), label.serialize()));
+                if let Some(source) = workload {
+                    // Flat keys so TOML timelines stay readable.
+                    entries.push(("workload".to_string(), source.id.serialize()));
+                    entries.push(("requests".to_string(), source.requests.serialize()));
+                    entries.push(("workload_seed".to_string(), source.seed.serialize()));
+                }
             }
             ScheduledEvent::DiskFailure { disk, .. } | ScheduledEvent::DiskRepair { disk, .. } => {
                 entries.push(("disk".to_string(), disk.serialize()));
@@ -225,10 +265,22 @@ impl Deserialize for ScheduledEvent {
                 at,
                 policy: serde::field(value, "policy")?,
             }),
-            "workload-phase" => Ok(ScheduledEvent::WorkloadPhase {
-                at,
-                label: serde::field(value, "label")?,
-            }),
+            "workload-phase" => {
+                let id: Option<WorkloadId> = serde::field(value, "workload")?;
+                let workload = match id {
+                    Some(id) => Some(WorkloadSource {
+                        id,
+                        requests: serde::field(value, "requests")?,
+                        seed: serde::field::<Option<u64>>(value, "workload_seed")?.unwrap_or(0),
+                    }),
+                    None => None,
+                };
+                Ok(ScheduledEvent::WorkloadPhase {
+                    at,
+                    label: serde::field(value, "label")?,
+                    workload,
+                })
+            }
             "disk-failure" => Ok(ScheduledEvent::DiskFailure {
                 at,
                 disk: serde::field(value, "disk")?,
@@ -318,6 +370,12 @@ pub struct ArraySpec {
     /// Background rebuild pace override, in blocks per simulated second
     /// (how fast a hot spare is filled after a `disk-repair` event).
     pub rebuild_rate: Option<f64>,
+    /// Background migration pace for `expand` events, in blocks per
+    /// simulated second. Omitted (or `+inf`) keeps upgrades instant.
+    pub migration_rate: Option<f64>,
+    /// Block-ordering policy for the background engine (`"sequential"` by
+    /// default, `"hot-first"` for CRAID's heat-ranked maintenance).
+    pub background_priority: Option<crate::background::BackgroundPriority>,
 }
 
 impl ArraySpec {
@@ -332,6 +390,8 @@ impl ArraySpec {
             stripe_unit: None,
             seed: None,
             rebuild_rate: None,
+            migration_rate: None,
+            background_priority: None,
         }
     }
 }
@@ -477,6 +537,12 @@ impl Scenario {
         }
         if let Some(rate) = self.array.rebuild_rate {
             config.rebuild_rate_blocks_per_sec = rate;
+        }
+        if let Some(rate) = self.array.migration_rate {
+            config.migration_rate_blocks_per_sec = Some(rate);
+        }
+        if let Some(priority) = self.array.background_priority {
+            config.background_priority = priority;
         }
         config
     }
@@ -730,6 +796,21 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Paces `expand` events at this migration rate (blocks per simulated
+    /// second) instead of migrating instantly.
+    #[must_use]
+    pub fn migration_rate(mut self, blocks_per_sec: f64) -> Self {
+        self.scenario.array.migration_rate = Some(blocks_per_sec);
+        self
+    }
+
+    /// Sets the background engine's block-ordering policy.
+    #[must_use]
+    pub fn background_priority(mut self, priority: crate::background::BackgroundPriority) -> Self {
+        self.scenario.array.background_priority = Some(priority);
+        self
+    }
+
     /// Schedules an online upgrade.
     #[must_use]
     pub fn expand_at(mut self, at: SimTime, added_disks: usize) -> Self {
@@ -754,6 +835,21 @@ impl ScenarioBuilder {
         self.scenario
             .events
             .push(ScheduledEvent::workload_phase(at, label));
+        self
+    }
+
+    /// Schedules a trace-swapping workload phase: from `at` on, the replay
+    /// continues with the given workload's records.
+    #[must_use]
+    pub fn phase_swap_at(
+        mut self,
+        at: SimTime,
+        label: impl Into<String>,
+        workload: WorkloadSource,
+    ) -> Self {
+        self.scenario
+            .events
+            .push(ScheduledEvent::workload_phase_swap(at, label, workload));
         self
     }
 
@@ -990,11 +1086,22 @@ mod tests {
             .expansion_sets(vec![4])
             .stripe_unit(8)
             .rebuild_rate(5_000.0)
+            .migration_rate(750.0)
+            .background_priority(crate::background::BackgroundPriority::HotFirst)
             .expand_at(SimTime::from_secs(10.0), 2)
             .switch_policy_at(SimTime::from_secs(20.0), PolicyKind::Lru)
             .phase_at(SimTime::from_secs(30.0), "late")
             .fail_disk_at(SimTime::from_secs(40.0), 2)
             .repair_disk_at(SimTime::from_secs(50.0), 2)
+            .phase_swap_at(
+                SimTime::from_secs(60.0),
+                "night shift",
+                WorkloadSource {
+                    id: WorkloadId::Proj,
+                    requests: 250,
+                    seed: 5,
+                },
+            )
             .observe(ObserverSpec::EventTrace)
             .build();
         assert_eq!(s.name, "full");
@@ -1007,7 +1114,12 @@ mod tests {
         assert_eq!(s.array.policy, Some(PolicyKind::Arc));
         assert_eq!(s.array.disks, Some(4));
         assert_eq!(s.array.rebuild_rate, Some(5_000.0));
-        assert_eq!(s.events.len(), 5);
+        assert_eq!(s.array.migration_rate, Some(750.0));
+        assert_eq!(
+            s.array.background_priority,
+            Some(crate::background::BackgroundPriority::HotFirst)
+        );
+        assert_eq!(s.events.len(), 6);
         assert_eq!(
             s.events[3],
             ScheduledEvent::disk_failure(SimTime::from_secs(40.0), 2)
@@ -1016,6 +1128,14 @@ mod tests {
             s.events[4],
             ScheduledEvent::disk_repair(SimTime::from_secs(50.0), 2)
         );
+        let ScheduledEvent::WorkloadPhase {
+            workload: Some(source),
+            ..
+        } = &s.events[5]
+        else {
+            panic!("the sixth event swaps the trace");
+        };
+        assert_eq!(source.id, WorkloadId::Proj);
         assert_eq!(s.observers.len(), 1);
     }
 
@@ -1028,8 +1148,19 @@ mod tests {
             .expand_at(SimTime::from_secs(200.0), 2)
             .switch_policy_at(SimTime::from_secs(150.0), PolicyKind::Wlru(0.5))
             .phase_at(SimTime::from_secs(50.0), "warmup done")
+            .phase_swap_at(
+                SimTime::from_secs(70.0),
+                "new tenants",
+                WorkloadSource {
+                    id: WorkloadId::Webusers,
+                    requests: 120,
+                    seed: 9,
+                },
+            )
             .fail_disk_at(SimTime::from_secs(60.0), 3)
             .repair_disk_at(SimTime::from_secs(80.0), 3)
+            .migration_rate(640.0)
+            .background_priority(crate::background::BackgroundPriority::HotFirst)
             .observe(ObserverSpec::Progress { every: 100 })
             .build();
 
@@ -1078,12 +1209,31 @@ mod tests {
             kind = "disk-repair"
             at_secs = 360.0
             disk = 2
+
+            [[events]]
+            kind = "workload-phase"
+            at_secs = 400.0
+            label = "night batch"
+            workload = "proj"
+            requests = 200
         "#;
         let s = Scenario::from_toml(text).unwrap();
         assert_eq!(s.strategy, StrategyKind::Craid5Plus);
         assert_eq!(s.workload.id, WorkloadId::Webusers);
         assert_eq!(s.array.disks, Some(4));
-        assert_eq!(s.events.len(), 4);
+        assert_eq!(s.events.len(), 5);
+        assert_eq!(
+            s.events[4],
+            ScheduledEvent::workload_phase_swap(
+                SimTime::from_secs(400.0),
+                "night batch",
+                WorkloadSource {
+                    id: WorkloadId::Proj,
+                    requests: 200,
+                    seed: 0, // workload_seed defaults to 0 when omitted
+                },
+            )
+        );
         assert_eq!(
             s.events[1],
             ScheduledEvent::policy_switch(SimTime::from_secs(240.0), PolicyKind::Arc)

@@ -17,9 +17,10 @@
 
 use craid_cache::{AccessMeta, PolicyKind};
 use craid_diskmodel::{BlockRange, IoKind};
-use craid_trace::Trace;
+use craid_simkit::SimTime;
+use craid_trace::{SyntheticWorkload, Trace, TraceRecord};
 
-use crate::array::{build_array, ExpansionReport};
+use crate::array::{build_array, ExpansionReport, RequestReport};
 use crate::config::ArrayConfig;
 use crate::error::CraidError;
 use crate::observer::{MetricsCollector, NullObserver, Observer, RequestOutcome};
@@ -79,26 +80,24 @@ impl DatasetMapper {
             "request {range} outside the dataset of {} blocks",
             self.dataset_blocks
         );
-        range
-            .chunks(MAP_EXTENT_BLOCKS)
-            .flat_map(|chunk| {
-                // Split chunks that straddle an extent boundary.
-                let first_extent = chunk.start() / MAP_EXTENT_BLOCKS;
-                let last_extent = (chunk.end() - 1) / MAP_EXTENT_BLOCKS;
-                if first_extent == last_extent {
-                    vec![self.map_within_extent(chunk)]
-                } else {
-                    let split = (first_extent + 1) * MAP_EXTENT_BLOCKS;
-                    vec![
-                        self.map_within_extent(BlockRange::new(
-                            chunk.start(),
-                            split - chunk.start(),
-                        )),
-                        self.map_within_extent(BlockRange::new(split, chunk.end() - split)),
-                    ]
-                }
-            })
-            .collect()
+        // Emit every split straight into one output vector — this runs once
+        // per client request, so no per-chunk intermediates.
+        let mut out = Vec::with_capacity(range.len().div_ceil(MAP_EXTENT_BLOCKS) as usize + 1);
+        for chunk in range.chunks(MAP_EXTENT_BLOCKS) {
+            // Split chunks that straddle an extent boundary.
+            let first_extent = chunk.start() / MAP_EXTENT_BLOCKS;
+            let last_extent = (chunk.end() - 1) / MAP_EXTENT_BLOCKS;
+            if first_extent == last_extent {
+                out.push(self.map_within_extent(chunk));
+            } else {
+                let split = (first_extent + 1) * MAP_EXTENT_BLOCKS;
+                out.push(
+                    self.map_within_extent(BlockRange::new(chunk.start(), split - chunk.start())),
+                );
+                out.push(self.map_within_extent(BlockRange::new(split, chunk.end() - split)));
+            }
+        }
+        out
     }
 
     fn map_within_extent(&self, range: BlockRange) -> BlockRange {
@@ -109,12 +108,11 @@ impl DatasetMapper {
     }
 }
 
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
     }
+    a
 }
 
 /// Replays traces against a configured array and produces
@@ -166,6 +164,15 @@ impl Simulation {
     /// traffic does not count into the report's trackers, matching the
     /// paper's methodology of measuring while the workload runs).
     ///
+    /// [`ScheduledEvent::WorkloadPhase`] events carrying a workload source
+    /// swap the active trace segment: the replay is truncated at the phase
+    /// time and continues with the new workload's records from there.
+    ///
+    /// One interleaving loop drives every background task the array has in
+    /// flight (rebuilds, paced expansion migrations): the engine is pumped
+    /// once per client request, so maintenance I/O contends with traffic
+    /// exactly as the paper's online claim requires.
+    ///
     /// # Errors
     ///
     /// Returns a [`CraidError`] if the configuration or an event is
@@ -176,6 +183,8 @@ impl Simulation {
         events: &[ScheduledEvent],
         observer: &mut dyn Observer,
     ) -> Result<(SimulationReport, Vec<ExpansionReport>, Vec<AppliedEvent>), CraidError> {
+        let composed = compose_phase_swaps(trace, events);
+        let trace = composed.as_ref().unwrap_or(trace);
         let mut config = self.config.clone();
         config.dataset_blocks = config.dataset_blocks.max(trace.footprint_blocks());
         let mut array = build_array(&config)?;
@@ -223,11 +232,23 @@ impl Simulation {
                 }
             }
 
+            // One catch-up step of the background engine ahead of the
+            // client I/O: rebuild and migration batches occupy devices (the
+            // client does not wait on them) and count into the measurement
+            // window like any other traffic.
+            let background = array.pump_background(record.time);
+
             let ranges = mapper.map(BlockRange::new(record.offset, record.length));
             let mut outcome = RequestOutcome {
                 worst_ms: 0.0,
-                reports: Vec::with_capacity(ranges.len()),
+                reports: Vec::with_capacity(ranges.len() + 1),
             };
+            if !background.is_empty() {
+                outcome.reports.push(RequestReport {
+                    events: background,
+                    ..RequestReport::default()
+                });
+            }
             for range in ranges {
                 let report = array.submit(record.time, record.kind, range)?;
                 outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
@@ -268,9 +289,46 @@ impl Simulation {
         let device_bytes = array.device_stats().iter().map(|s| s.bytes).collect();
         let mut report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
         report.fault = array.fault_stats();
+        report.migration = array.migration_stats();
         observer.on_finish(&report);
         Ok((report, expansion_reports, applied_events))
     }
+}
+
+/// Applies the trace-swap semantics of [`ScheduledEvent::WorkloadPhase`]:
+/// each phase event carrying a workload source truncates the composite at
+/// its time and splices in the new workload's records, shifted to start
+/// there. Returns `None` when no event swaps the trace (the common case —
+/// label-only phases are pure markers).
+fn compose_phase_swaps(base: &Trace, events: &[ScheduledEvent]) -> Option<Trace> {
+    let mut swaps: Vec<(SimTime, &crate::scenario::WorkloadSource)> = events
+        .iter()
+        .filter_map(|e| match e {
+            ScheduledEvent::WorkloadPhase {
+                at,
+                workload: Some(source),
+                ..
+            } => Some((*at, source)),
+            _ => None,
+        })
+        .collect();
+    if swaps.is_empty() {
+        return None;
+    }
+    swaps.sort_by_key(|&(at, _)| at);
+    let mut records: Vec<TraceRecord> = base.records().to_vec();
+    let mut footprint = base.footprint_blocks();
+    for (at, source) in swaps {
+        records.retain(|r| r.time < at);
+        let segment =
+            SyntheticWorkload::paper_scaled_to(source.id, source.requests).generate(source.seed);
+        footprint = footprint.max(segment.footprint_blocks());
+        records.extend(segment.records().iter().map(|r| TraceRecord {
+            time: SimTime::from_nanos(at.as_nanos() + r.time.as_nanos()),
+            ..*r
+        }));
+    }
+    Some(Trace::new(base.name(), footprint, records))
 }
 
 /// Applies one scheduled event to the array, returning the expansion report
@@ -503,6 +561,47 @@ mod tests {
             craid.hit_ratio > 0.0,
             "cache keeps hitting after the switch"
         );
+    }
+
+    #[test]
+    fn workload_phase_with_source_swaps_the_trace_segment() {
+        let trace = tiny_trace();
+        let config = ArrayConfig::small_test(StrategyKind::Raid5, trace.footprint_blocks());
+        let half = SimTime::from_secs(trace.duration().as_secs() / 2.0);
+        let swap = [ScheduledEvent::workload_phase_swap(
+            half,
+            "proj takes over",
+            crate::scenario::WorkloadSource {
+                id: WorkloadId::Proj,
+                requests: 300,
+                seed: 9,
+            },
+        )];
+        let (swapped, _, applied) = Simulation::new(config.clone())
+            .try_run_events(&trace, &swap, &mut NullObserver)
+            .unwrap();
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].description.contains("switch trace"));
+        // The composite replays the base records before the swap plus the
+        // whole new segment — not the base tail.
+        let before_swap = trace.iter().filter(|r| r.time < half).count() as u64;
+        let segment = SyntheticWorkload::paper_scaled_to(WorkloadId::Proj, 300).generate(9);
+        assert_eq!(swapped.requests, before_swap + segment.len() as u64);
+        assert!(swapped.requests != trace.len() as u64);
+        // A marker-only phase leaves the trace untouched.
+        let marker = [ScheduledEvent::workload_phase(half, "no swap")];
+        let (plain, _, _) = Simulation::new(config)
+            .try_run_events(&trace, &marker, &mut NullObserver)
+            .unwrap();
+        assert_eq!(plain.requests, trace.len() as u64);
+        // Same scenario, same composite: the swap is deterministic.
+        let (again, _, _) = Simulation::new(ArrayConfig::small_test(
+            StrategyKind::Raid5,
+            trace.footprint_blocks(),
+        ))
+        .try_run_events(&trace, &swap, &mut NullObserver)
+        .unwrap();
+        assert_eq!(again, swapped);
     }
 
     #[test]

@@ -53,5 +53,8 @@ pub use planner::{IoPlanner, PlannedIo};
 pub use raid0::Raid0Layout;
 pub use raid5::Raid5Layout;
 pub use raid5plus::Raid5PlusLayout;
-pub use reshape::{minimal_migration_blocks, round_robin_migration_blocks, ExpansionSchedule};
+pub use reshape::{
+    migration_stream, minimal_migration_blocks, round_robin_migration_blocks, ExpansionSchedule,
+    MigrationUnit,
+};
 pub use types::{DiskBlock, IoPurpose, LayoutError, STRIPE_UNIT_BLOCKS_128K};

@@ -19,15 +19,54 @@
 use serde::{Deserialize, Serialize};
 
 use crate::layout::Layout;
+use crate::types::DiskBlock;
 
-/// Number of blocks a round-robin-preserving restripe must migrate when the
-/// layout changes from `old` to `new`, considering only the first
+/// One block move of a reshape: a logical block whose physical location
+/// differs between the pre- and post-upgrade layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationUnit {
+    /// The logical block that has to move.
+    pub logical: u64,
+    /// Where the block lives under the old layout.
+    pub from: DiskBlock,
+    /// Where the block lives under the new layout.
+    pub to: DiskBlock,
+}
+
+/// The moves a round-robin-preserving restripe must perform when the layout
+/// changes from `old` to `new`, as a lazy stream over the first
 /// `used_blocks` logical blocks (the data actually stored).
 ///
-/// A block migrates if either its target disk or its physical block number
-/// changes. Parity blocks are not counted (they are recomputed rather than
-/// copied), which makes the number a *lower* bound on the real restripe
-/// traffic — and CRAID still undercuts it by orders of magnitude.
+/// A block moves if either its target disk or its physical block number
+/// changes. Parity blocks are not streamed (they are recomputed rather than
+/// copied), which makes the stream a *lower* bound on the real restripe
+/// traffic — and CRAID still undercuts it by orders of magnitude. Background
+/// migration engines iterate this stream instead of materialising the whole
+/// reshape plan up front.
+///
+/// # Panics
+///
+/// Panics if `used_blocks` exceeds the data capacity of either layout.
+pub fn migration_stream<'a, A: Layout, B: Layout>(
+    old: &'a A,
+    new: &'a B,
+    used_blocks: u64,
+) -> impl Iterator<Item = MigrationUnit> + 'a {
+    assert!(
+        used_blocks <= old.data_capacity() && used_blocks <= new.data_capacity(),
+        "used_blocks ({used_blocks}) exceeds a layout capacity (old {}, new {})",
+        old.data_capacity(),
+        new.data_capacity()
+    );
+    (0..used_blocks).filter_map(move |logical| {
+        let from = old.locate(logical);
+        let to = new.locate(logical);
+        (from != to).then_some(MigrationUnit { logical, from, to })
+    })
+}
+
+/// Number of blocks a round-robin-preserving restripe must migrate — the
+/// length of [`migration_stream`].
 ///
 /// # Panics
 ///
@@ -37,15 +76,7 @@ pub fn round_robin_migration_blocks<A: Layout, B: Layout>(
     new: &B,
     used_blocks: u64,
 ) -> u64 {
-    assert!(
-        used_blocks <= old.data_capacity() && used_blocks <= new.data_capacity(),
-        "used_blocks ({used_blocks}) exceeds a layout capacity (old {}, new {})",
-        old.data_capacity(),
-        new.data_capacity()
-    );
-    (0..used_blocks)
-        .filter(|&b| old.locate(b) != new.locate(b))
-        .count() as u64
+    migration_stream(old, new, used_blocks).count() as u64
 }
 
 /// The minimum number of blocks that must move to the newly added disks to
@@ -166,6 +197,27 @@ mod tests {
         // Rounds up.
         assert_eq!(minimal_migration_blocks(10, 9, 10), 1);
         assert_eq!(minimal_migration_blocks(0, 4, 5), 0);
+    }
+
+    #[test]
+    fn migration_stream_yields_exactly_the_moved_blocks() {
+        let old = Raid0Layout::new(4, 1, 1024).unwrap();
+        let new = Raid0Layout::new(5, 1, 1024).unwrap();
+        let used = 500;
+        let units: Vec<MigrationUnit> = migration_stream(&old, &new, used).collect();
+        assert_eq!(
+            units.len() as u64,
+            round_robin_migration_blocks(&old, &new, used)
+        );
+        for unit in &units {
+            assert!(unit.logical < used);
+            assert_eq!(unit.from, old.locate(unit.logical));
+            assert_eq!(unit.to, new.locate(unit.logical));
+            assert_ne!(unit.from, unit.to, "only moved blocks are streamed");
+        }
+        // The stream is strictly ordered by logical block (iterable from a
+        // cursor, as a paced migration engine needs).
+        assert!(units.windows(2).all(|w| w[0].logical < w[1].logical));
     }
 
     #[test]

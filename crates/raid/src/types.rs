@@ -52,6 +52,11 @@ pub enum IoPurpose {
     RebuildRead,
     /// Background write of reconstructed content onto the hot spare.
     RebuildWrite,
+    /// Background read of a block's pre-upgrade copy, feeding an online
+    /// expansion migration.
+    MigrateRead,
+    /// Background write of a migrated block at its post-upgrade home.
+    MigrateWrite,
 }
 
 impl IoPurpose {
@@ -70,6 +75,11 @@ impl IoPurpose {
             self,
             IoPurpose::ReconstructRead | IoPurpose::RebuildRead | IoPurpose::RebuildWrite
         )
+    }
+
+    /// True for the background data movement of an online expansion.
+    pub const fn is_migration(self) -> bool {
+        matches!(self, IoPurpose::MigrateRead | IoPurpose::MigrateWrite)
     }
 }
 
@@ -149,6 +159,10 @@ mod tests {
         assert!(IoPurpose::ReconstructRead.is_fault_recovery());
         assert!(IoPurpose::RebuildRead.is_fault_recovery());
         assert!(IoPurpose::RebuildWrite.is_fault_recovery());
+        assert!(IoPurpose::MigrateRead.is_migration());
+        assert!(IoPurpose::MigrateWrite.is_migration());
+        assert!(!IoPurpose::MigrateRead.is_fault_recovery());
+        assert!(!IoPurpose::RebuildWrite.is_migration());
     }
 
     #[test]

@@ -68,6 +68,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.fault.mttr_secs()
         );
     }
+    if report.migration.any_migrations() {
+        println!(
+            "online upgrade: {:.1}s window, {} blocks moved in the background \
+             ({} superseded by client traffic, {} still pending at the end)",
+            report.migration.migration_secs,
+            report.migration.migrated_blocks,
+            report.migration.superseded_blocks,
+            report.migration.pending_blocks
+        );
+    }
     println!();
     println!(
         "read {:.2} ms / write {:.2} ms over {} requests; hit ratio {:.1}%",

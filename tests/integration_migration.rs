@@ -1,0 +1,335 @@
+//! Integration tests for the background I/O engine's online expansions:
+//! mid-flight migration correctness (no block lost or double-mapped), the
+//! instant-expand equivalence of an unbounded rate, hot-first vs.
+//! sequential service recovery, and fail-during-upgrade determinism.
+
+use craid::observer::RequestOutcome;
+use craid::{
+    ArrayConfig, BackgroundPriority, BaselineArray, CraidArray, Observer, Scenario, ScheduledEvent,
+    StorageArray, StrategyKind,
+};
+use craid_diskmodel::{BlockRange, IoKind};
+use craid_simkit::SimTime;
+use craid_trace::{TraceRecord, WorkloadId};
+use proptest::prelude::*;
+
+/// Drains whatever background work an array still has queued.
+fn drain(array: &mut dyn StorageArray, mut t: f64) -> f64 {
+    while !array.background_idle() && t < 100_000.0 {
+        array.pump_background(SimTime::from_secs(t));
+        t += 1.0;
+    }
+    assert!(array.background_idle(), "background work must drain");
+    t
+}
+
+proptest! {
+    /// An interrupted / mid-flight restripe never loses or double-maps a
+    /// block: at every step, every enqueued move is in exactly one of
+    /// {migrated, superseded, pending}, and a block the client settled
+    /// never reappears as pending.
+    #[test]
+    fn prop_paced_restripe_accounts_for_every_block(
+        ops in proptest::collection::vec((0u64..10_000, any::<bool>(), 1u64..900), 1..40),
+        rate in 100u64..20_000,
+    ) {
+        let config = ArrayConfig::small_test(StrategyKind::Raid5, 10_000)
+            .with_migration_rate(Some(rate as f64));
+        let mut a = BaselineArray::new(config).unwrap();
+        let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        let enqueued = report.enqueued_blocks;
+        prop_assert!(enqueued > 0);
+        let mut t = 1.0;
+        for (block, write, dt_ms) in ops {
+            t += dt_ms as f64 / 1000.0;
+            let now = SimTime::from_secs(t);
+            a.pump_background(now);
+            let kind = if write { IoKind::Write } else { IoKind::Read };
+            a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
+            let stats = a.migration_stats();
+            prop_assert_eq!(
+                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
+                enqueued,
+                "every enqueued block is in exactly one bucket at every step"
+            );
+            if write {
+                prop_assert!(!a.migration_pending(block), "writes settle at the new home");
+            }
+        }
+        let t = drain(&mut a, t);
+        let stats = a.migration_stats();
+        prop_assert_eq!(stats.pending_blocks, 0);
+        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(stats.migrations_completed, 1);
+        prop_assert!(stats.migration_secs > 0.0);
+        // The array still serves the whole volume afterwards.
+        a.submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(9_999, 1)).unwrap();
+    }
+
+    /// The CRAID variant of the same invariant, plus: a block is never
+    /// simultaneously pending (old slot) and resident in the new cache
+    /// partition — every logical block resolves to exactly one location.
+    #[test]
+    fn prop_paced_craid_migration_never_double_maps(
+        ops in proptest::collection::vec((0u64..10_000, any::<bool>(), 1u64..900), 1..40),
+        rate in 5u64..2_000,
+    ) {
+        let config = ArrayConfig::small_test(StrategyKind::Craid5Plus, 10_000)
+            .with_migration_rate(Some(rate as f64));
+        let mut a = CraidArray::new(config).unwrap();
+        // Warm the cache (mixed clean/dirty) so the upgrade has work.
+        for b in 0..80u64 {
+            let kind = if b % 3 == 0 { IoKind::Write } else { IoKind::Read };
+            a.submit(SimTime::from_millis(b as f64 * 5.0), kind, BlockRange::new(b * 16 % 9_000, 4)).unwrap();
+        }
+        let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        let enqueued = report.enqueued_blocks;
+        prop_assert!(enqueued > 0);
+        let mut t = 1.0;
+        for (block, write, dt_ms) in ops {
+            t += dt_ms as f64 / 1000.0;
+            let now = SimTime::from_secs(t);
+            a.pump_background(now);
+            let kind = if write { IoKind::Write } else { IoKind::Read };
+            a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
+            let stats = a.migration_stats();
+            prop_assert_eq!(
+                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
+                enqueued
+            );
+            // Exactly-one-location: pending (old slot) and resident (new
+            // slot) are mutually exclusive, checked on the touched block.
+            prop_assert!(
+                !(a.migration_pending(block) && a.monitor().cached_slot(block).is_some()),
+                "block {} is both pending and resident", block
+            );
+        }
+        drain(&mut a, t);
+        let stats = a.migration_stats();
+        prop_assert_eq!(stats.pending_blocks, 0);
+        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(a.pending_migration_blocks(), 0);
+    }
+}
+
+/// An unbounded migration rate reproduces the instant-expand reports
+/// bit-for-bit: `migration_rate = ∞` and "no knob at all" run the identical
+/// atomic-upgrade code path for every strategy.
+#[test]
+fn infinite_rate_reproduces_instant_expand_reports_bit_for_bit() {
+    for strategy in StrategyKind::ALL {
+        let base = Scenario::builder()
+            .name(format!("instant/{strategy}"))
+            .strategy(strategy)
+            .workload(WorkloadId::Wdev)
+            .requests(1_200)
+            .seed(11)
+            .small_test()
+            .pc_fraction(0.2)
+            .expand_at(SimTime::from_secs(30.0), 4)
+            .build();
+        let mut unbounded = base.clone();
+        unbounded.array.migration_rate = Some(f64::INFINITY);
+        let instant = base.run().unwrap();
+        let infinite = unbounded.run().unwrap();
+        assert_eq!(
+            instant.report, infinite.report,
+            "{strategy}: an unbounded rate must match the instant path"
+        );
+        assert_eq!(
+            instant.expansions[0].migrated_blocks, infinite.expansions[0].migrated_blocks,
+            "{strategy}"
+        );
+        assert_eq!(infinite.expansions[0].enqueued_blocks, 0, "{strategy}");
+        assert!(
+            !infinite.report.migration.any_migrations(),
+            "{strategy}: nothing rides the background engine"
+        );
+    }
+}
+
+/// Accumulates per-request block counts and cache hits inside the recovery
+/// window right after the upgrade, to measure how fast the hit ratio
+/// recovers while the migration is still streaming.
+struct HitRecovery {
+    window: (SimTime, SimTime),
+    blocks_after: u64,
+    hits_after: u64,
+}
+
+impl Observer for HitRecovery {
+    fn on_request(&mut self, record: &TraceRecord, outcome: &RequestOutcome) {
+        if record.time >= self.window.0 && record.time < self.window.1 {
+            self.blocks_after += record.length;
+            self.hits_after += outcome.cache_hit_blocks();
+        }
+    }
+}
+
+fn recovery_scenario(priority: BackgroundPriority, rate: f64) -> Scenario {
+    Scenario::builder()
+        .name(format!("recovery/{priority:?}"))
+        .strategy(StrategyKind::Craid5Plus)
+        .workload(WorkloadId::Wdev)
+        .requests(4_000)
+        .seed(14)
+        .small_test()
+        .pc_fraction(0.2)
+        .migration_rate(rate)
+        .background_priority(priority)
+        .expand_at(SimTime::from_secs(30.0), 4)
+        .build()
+}
+
+/// The CRAID move: at the same migration rate, `HotFirst` restores the
+/// steady-state hit ratio measurably faster than `Sequential`, because the
+/// hottest blocks regain residency before the client's next touch.
+#[test]
+fn hot_first_restores_hit_ratio_faster_than_sequential() {
+    // Measure the ten seconds right after the upgrade — the window the
+    // migration (≈40s at this rate) is still streaming through, where the
+    // issue order decides which blocks are already home when the client
+    // touches them next.
+    let window = (SimTime::from_secs(30.0), SimTime::from_secs(40.0));
+    let rate = 40.0;
+    let mut fractions = Vec::new();
+    for priority in [BackgroundPriority::Sequential, BackgroundPriority::HotFirst] {
+        let scenario = recovery_scenario(priority, rate);
+        let mut watch = HitRecovery {
+            window,
+            blocks_after: 0,
+            hits_after: 0,
+        };
+        let outcome = scenario.run_observed(&mut watch).unwrap();
+        assert_eq!(outcome.report.migration.migrations_started, 1);
+        assert!(watch.blocks_after > 0);
+        fractions.push(watch.hits_after as f64 / watch.blocks_after as f64);
+    }
+    let (sequential, hot_first) = (fractions[0], fractions[1]);
+    assert!(
+        hot_first > sequential * 1.03,
+        "hot-first recovery-window hit fraction ({hot_first:.4}) must measurably beat \
+         sequential ({sequential:.4}) at the same rate"
+    );
+}
+
+/// A disk failure *during* a paced upgrade is legal and deterministic: the
+/// repair's rebuild queues behind the migration on the same engine, both
+/// complete, and two identical runs produce identical reports.
+#[test]
+fn fail_during_upgrade_completes_deterministically() {
+    let scenario = Scenario::builder()
+        .name("fail-during-upgrade")
+        .strategy(StrategyKind::Craid5Plus)
+        .workload(WorkloadId::Wdev)
+        .requests(4_000)
+        .seed(14)
+        .small_test()
+        .pc_fraction(0.2)
+        .migration_rate(200.0)
+        .background_priority(BackgroundPriority::HotFirst)
+        .rebuild_rate(2_000.0)
+        .expand_at(SimTime::from_secs(25.0), 4)
+        .fail_disk_at(SimTime::from_secs(27.0), 2)
+        .repair_disk_at(SimTime::from_secs(32.0), 2)
+        .build();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
+    assert_eq!(
+        a.report, b.report,
+        "fault-laden paced upgrades are deterministic"
+    );
+
+    let report = &a.report;
+    assert_eq!(report.migration.migrations_started, 1);
+    assert_eq!(
+        report.migration.migrations_completed, 1,
+        "the migration drained despite the failure"
+    );
+    assert!(
+        report.migration.migration_secs > 0.0,
+        "a nonzero upgrade window"
+    );
+    assert_eq!(report.fault.disk_failures, 1);
+    assert_eq!(
+        report.fault.rebuilds_completed, 1,
+        "the rebuild (queued behind the migration) also drained"
+    );
+    assert!(
+        report.fault.degraded_reads > 0,
+        "traffic was served while degraded"
+    );
+    assert!(report.requests > 0);
+}
+
+/// The checked-in online-upgrade drill: a paced, hot-first expansion with a
+/// failure injected mid-migration. The report must show a nonzero upgrade
+/// window with traffic served during it.
+#[test]
+fn online_upgrade_drill_scenario_shows_the_window() {
+    let text = include_str!("../examples/scenarios/online_upgrade_drill.toml");
+    let scenario = Scenario::from_toml(text).unwrap();
+    assert_eq!(
+        scenario.array.background_priority,
+        Some(BackgroundPriority::HotFirst)
+    );
+    let outcome = scenario.run().unwrap();
+    let report = &outcome.report;
+    assert_eq!(report.migration.migrations_started, 1);
+    assert_eq!(report.migration.migrations_completed, 1);
+    assert!(
+        report.migration.migration_secs > 1.0,
+        "the upgrade window is visible at the configured rate, got {}s",
+        report.migration.migration_secs
+    );
+    assert!(report.migration.migrated_blocks > 0);
+    assert_eq!(report.fault.rebuilds_completed, 1);
+    assert!(
+        report.fault.degraded_reads > 0,
+        "degraded-but-served traffic during the window"
+    );
+    assert!(report.requests > 0, "clients were served throughout");
+    // Round trip: the drill re-serializes losslessly.
+    let back = Scenario::from_toml(&scenario.to_toml().unwrap()).unwrap();
+    assert_eq!(back, scenario);
+}
+
+/// Trace-swap phases ride the same scenario machinery: the swap is
+/// serializable and two runs replay the identical composite.
+#[test]
+fn phase_swap_scenarios_are_deterministic() {
+    let scenario = Scenario::builder()
+        .name("phase swap")
+        .strategy(StrategyKind::Craid5)
+        .workload(WorkloadId::Wdev)
+        .requests(1_000)
+        .seed(3)
+        .small_test()
+        .pc_fraction(0.2)
+        .phase_swap_at(
+            SimTime::from_secs(40.0),
+            "proj takes over",
+            craid::WorkloadSource {
+                id: WorkloadId::Proj,
+                requests: 500,
+                seed: 21,
+            },
+        )
+        .build();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.applied_events.len(), 1);
+    assert!(a.applied_events[0].description.contains("switch trace"));
+    // And the swap survives a TOML round trip.
+    let back = Scenario::from_toml(&scenario.to_toml().unwrap()).unwrap();
+    assert_eq!(back, scenario);
+    let ScheduledEvent::WorkloadPhase {
+        workload: Some(source),
+        ..
+    } = &back.events[0]
+    else {
+        panic!("the swap survived serialization");
+    };
+    assert_eq!(source.id, WorkloadId::Proj);
+}
