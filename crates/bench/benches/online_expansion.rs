@@ -19,7 +19,11 @@
 //! blocks than the RAID-5 restripe (the paper's Fig. 3 story), RAID-5+
 //! migrates nothing (and stays unbalanced), and at equal rates the
 //! hot-first window equals the sequential one while the post-upgrade hit
-//! ratio recovers faster.
+//! ratio recovers faster. The `archive` column makes the honest part of
+//! the comparison visible: a paced `CRAID-5`/`CRAID-5ssd` upgrade also
+//! pays a rate-paced reshape of its ideal RAID-5 archive (previously
+//! modeled as free), while the aggregated `+` variants keep that cost at
+//! zero — which is exactly the paper's argument for aggregation.
 
 use craid::observer::RequestOutcome;
 use craid::{
@@ -126,7 +130,14 @@ fn main() -> Result<(), CraidError> {
     println!();
     println!(
         "{}",
-        header_row(&["scenario", "moved", "window s", "write ms", "recov hit%"])
+        header_row(&[
+            "scenario",
+            "moved",
+            "archive",
+            "window s",
+            "write ms",
+            "recov hit%"
+        ])
     );
     for (outcome, watch) in &outcomes {
         let report = &outcome.report;
@@ -136,13 +147,16 @@ fn main() -> Result<(), CraidError> {
         } else {
             expansion.migrated_blocks
         };
-        let window = report.migration.migration_secs;
+        let archive =
+            report.migration.archive_migrated_blocks + report.migration.archive_superseded_blocks;
+        let window = report.migration.migration_secs + report.migration.archive_restripe_secs;
         let recovered = 100.0 * watch.hits as f64 / watch.blocks.max(1) as f64;
         println!(
             "{}",
             row(&[
                 outcome.name.clone(),
                 moved.to_string(),
+                archive.to_string(),
                 f2(window),
                 f2(report.write.mean_ms),
                 f2(recovered),
@@ -154,7 +168,9 @@ fn main() -> Result<(), CraidError> {
         "The instant column's window is always zero — that is exactly the blind spot this\n\
          bench closes: paced variants pay a visible redistribution window, and hot-first\n\
          spends it on the blocks that matter (higher recovery-window hit ratio for the\n\
-         CRAID variants at the same rate and window)."
+         CRAID variants at the same rate and window). The archive column charges the\n\
+         ideal-archive variants their paced reshape (mdadm-style), which the aggregated\n\
+         '+' variants avoid by construction."
     );
     Ok(())
 }

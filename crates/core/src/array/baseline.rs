@@ -1,10 +1,12 @@
 //! The baseline arrays: ideal RAID-5 and aggregated RAID-5+.
 
+use std::collections::VecDeque;
+
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
-use craid_raid::{migration_stream, IoPurpose, Layout, Raid5Layout, Raid5PlusLayout};
+use craid_raid::Layout;
 use craid_simkit::{SimDuration, SimTime};
 
-use crate::background::{BackgroundEngine, Batch, MigrationMap, OldHome, TaskKind};
+use crate::background::{BackgroundEngine, BackgroundPriority, Batch, TaskKind};
 use crate::config::{ArrayConfig, StrategyKind};
 use crate::devices::{DeviceIoEvent, DeviceSet, DiskState};
 use crate::error::CraidError;
@@ -12,14 +14,19 @@ use crate::fault;
 use crate::monitor::MonitorStats;
 use crate::partition::{ArchiveLayout, Partition, PartitionIo};
 use crate::report::{FaultStats, MigrationStats};
+use crate::restripe::RestripeState;
+use crate::sim::gcd;
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
 /// A conventional array without a cache partition: either an ideally
 /// restriped RAID-5 (`RAID-5`) or the aggregation of independent RAID-5 sets
 /// left behind by upgrades (`RAID-5+`). Maintenance streams — rebuilds and
-/// paced restripe migrations — ride on one
-/// [`BackgroundEngine`](crate::background::BackgroundEngine).
+/// paced restripe migrations — ride on one fair-share
+/// [`BackgroundEngine`](crate::background::BackgroundEngine); a paced
+/// restripe streams its move set from a cursor
+/// ([`RestripeState`](crate::restripe::RestripeState)) instead of
+/// materialising an O(dataset) plan.
 #[derive(Debug)]
 pub struct BaselineArray {
     config: ArrayConfig,
@@ -28,12 +35,16 @@ pub struct BaselineArray {
     disks: usize,
     expansion_sets: Vec<usize>,
     background: BackgroundEngine,
-    /// Blocks a paced restripe has not yet moved; their authoritative
-    /// copies still resolve through `old_volume`.
-    migration: MigrationMap,
-    /// The pre-upgrade volume, kept while a restripe is in flight so
-    /// pending blocks can be served from their old locations.
-    old_volume: Option<Partition<ArchiveLayout>>,
+    /// The in-flight paced restripe, if any: cursor, superseded set, and
+    /// the preserved pre-upgrade volume pending blocks still resolve
+    /// through. At most one restripe runs at a time — a second `expand`
+    /// queues in `deferred` until it drains, like serialized mdadm
+    /// reshapes.
+    restripe: Option<RestripeState>,
+    /// Expansions accepted while a restripe was in flight, by disk count
+    /// added; each activates (commits its layout and starts its own
+    /// restripe) when the previous restripe drains.
+    deferred: VecDeque<usize>,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
 }
@@ -52,12 +63,12 @@ impl BaselineArray {
         Ok(BaselineArray {
             disks: config.disks,
             expansion_sets: config.expansion_sets.clone(),
+            background: BackgroundEngine::with_shares(config.rebuild_share, config.migration_share),
             config,
             devices,
             volume,
-            background: BackgroundEngine::new(),
-            migration: MigrationMap::new(),
-            old_volume: None,
+            restripe: None,
+            deferred: VecDeque::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
         })
@@ -70,13 +81,13 @@ impl BaselineArray {
     ) -> Result<Partition<ArchiveLayout>, CraidError> {
         let blocks_per_disk = config.pa_blocks_per_hdd();
         let layout = if config.strategy.archive_is_aggregated() {
-            ArchiveLayout::Aggregated(Raid5PlusLayout::new(
+            ArchiveLayout::Aggregated(craid_raid::Raid5PlusLayout::new(
                 sets,
                 config.stripe_unit,
                 blocks_per_disk,
             )?)
         } else {
-            ArchiveLayout::Ideal(Raid5Layout::new(
+            ArchiveLayout::Ideal(craid_raid::Raid5Layout::new(
                 disks,
                 config.parity_group,
                 config.stripe_unit,
@@ -89,34 +100,40 @@ impl BaselineArray {
     /// Fraction of logical blocks whose physical location changes between
     /// two volume layouts, estimated by sampling the used address range
     /// (the instant-expand accounting shortcut; paced restripes enumerate
-    /// the exact move set via [`migration_stream`] instead).
-    fn restripe_fraction(
+    /// the exact move set via the restripe cursor instead).
+    ///
+    /// The walk visits `i · stride mod used` for a stride coprime to
+    /// `used`: a plain `used / probes` step can resonate with the periodic
+    /// round-robin layout and sample a single residue class of each stripe
+    /// row, wildly mis-estimating the moved fraction. Coprimality
+    /// guarantees the samples cover every residue class of any period
+    /// dividing `used`.
+    pub(crate) fn restripe_fraction(
         old: &Partition<ArchiveLayout>,
         new: &Partition<ArchiveLayout>,
         used: u64,
     ) -> f64 {
         let probe = used.clamp(1, 8_192);
-        let step = (used / probe).max(1);
+        // A golden-ratio stride is low-discrepancy; nudge it until it is
+        // coprime to `used` (1 always qualifies, so this terminates).
+        let mut stride = ((used as f64 * 0.618_033_988_749_895) as u64).clamp(1, used.max(1));
+        while gcd(stride, used) != 1 {
+            stride -= 1;
+        }
         let mut moved = 0u64;
-        let mut sampled = 0u64;
         let mut block = 0u64;
-        while block < used && sampled < probe {
+        for _ in 0..probe {
             if old.layout().locate(block) != new.layout().locate(block) {
                 moved += 1;
             }
-            sampled += 1;
-            block += step;
+            block = (block + stride) % used;
         }
-        if sampled == 0 {
-            0.0
-        } else {
-            moved as f64 / sampled as f64
-        }
+        moved as f64 / probe as f64
     }
 
     /// Rewrites a plan for degraded mode when a disk is failed or
     /// rebuilding; a no-op on a healthy array. I/O planned against the
-    /// pre-upgrade `old_volume` also resolves correctly through the
+    /// pre-upgrade restripe volume also resolves correctly through the
     /// current layout's peers: a RAID-5 restripe preserves the parity
     /// group width, so old and new peer sets coincide (and RAID-5+ never
     /// migrates), unlike the CRAID cache partition whose groups can
@@ -135,40 +152,16 @@ impl BaselineArray {
         )
     }
 
-    /// Issues the device I/O for one batch of restripe moves: read each
-    /// block's pre-upgrade location, write its post-upgrade home (parity
-    /// maintenance included), and retire the pending entry.
-    fn apply_migration_batch(&mut self, now: SimTime, blocks: &[u64]) -> Vec<DeviceIoEvent> {
-        let mut moved = Vec::with_capacity(blocks.len());
-        for &block in blocks {
-            // Blocks no longer pending were superseded by client writes
-            // (already counted) — the batch simply skips over them.
-            if self.migration.remove(block).is_some() {
-                moved.push(block);
-            }
-        }
-        let old_volume = self
-            .old_volume
-            .as_ref()
-            .expect("a migration task implies a preserved old volume");
-        let mut ios: Vec<PartitionIo> = Vec::new();
-        for io in old_volume.plan_blocks(IoKind::Read, &moved) {
-            ios.push(PartitionIo {
-                purpose: IoPurpose::MigrateRead,
-                ..io
-            });
-        }
-        for io in self.volume.plan_blocks(IoKind::Write, &moved) {
-            ios.push(PartitionIo {
-                purpose: if io.purpose == IoPurpose::Data {
-                    IoPurpose::MigrateWrite
-                } else {
-                    io.purpose
-                },
-                ..io
-            });
-        }
-        self.migration_stats.migrated_blocks += moved.len() as u64;
+    /// Issues the device I/O for the next `budget` restripe moves: advance
+    /// the cursor, read each block's pre-upgrade location, write its
+    /// post-upgrade home (parity maintenance included).
+    fn apply_restripe_batch(&mut self, now: SimTime, budget: u64) -> Vec<DeviceIoEvent> {
+        let (moved, ios) = self
+            .restripe
+            .as_mut()
+            .expect("a restripe batch implies restripe state")
+            .plan_batch(&self.volume, budget);
+        self.migration_stats.migrated_blocks += moved;
         let ios = self.degrade(ios);
         let mut events = Vec::with_capacity(ios.len());
         for io in ios {
@@ -182,13 +175,97 @@ impl BaselineArray {
 
     /// Blocks a paced restripe still has to move (0 when idle).
     pub fn pending_migration_blocks(&self) -> u64 {
-        self.migration.len() as u64
+        self.restripe.as_ref().map_or(0, RestripeState::pending)
     }
 
     /// True if `pa_block` is still awaiting migration to its post-upgrade
     /// home (tests and examples).
     pub fn migration_pending(&self, pa_block: u64) -> bool {
-        self.migration.contains(pa_block)
+        self.restripe
+            .as_ref()
+            .is_some_and(|r| r.is_pending(&self.volume, pa_block))
+    }
+
+    /// Expansions accepted but not yet activated (queued behind an
+    /// in-flight restripe).
+    pub fn deferred_expansions(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Performs a validated expansion: commits the new geometry and, for a
+    /// paced RAID-5 restripe, starts the streaming background task.
+    fn commit_expansion(&mut self, now: SimTime, added_disks: usize) -> ExpansionReport {
+        let new_disks = self.disks + added_disks;
+        let paced = !self.config.instant_migration();
+        let (new_volume, new_sets, migrated, start_restripe) = match self.config.strategy {
+            StrategyKind::Raid5 => {
+                let new_volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)
+                    .expect("expansion geometry was validated before commit");
+                let used = self.config.dataset_blocks;
+                if paced {
+                    // The exact move set, *counted* but never materialised:
+                    // the background walk streams it from a cursor (the
+                    // paper's conventional-upgrade cost, paid over time at
+                    // O(1) memory).
+                    let state = RestripeState::new(self.volume.clone(), &new_volume, used);
+                    let migrated = state.total_moves();
+                    (
+                        new_volume,
+                        self.expansion_sets.clone(),
+                        migrated,
+                        Some(state),
+                    )
+                } else {
+                    // Instant accounting: estimate how much of the used
+                    // dataset has to move by sampling.
+                    let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
+                    let migrated = (fraction * used as f64).round() as u64;
+                    (new_volume, self.expansion_sets.clone(), migrated, None)
+                }
+            }
+            StrategyKind::Raid5Plus => {
+                // Aggregation: the new disks form a fresh RAID-5 set, nothing
+                // moves (and the load stays unbalanced — that is the point).
+                let mut new_sets = self.expansion_sets.clone();
+                new_sets.push(added_disks);
+                let new_volume = Self::build_volume(&self.config, new_disks, &new_sets)
+                    .expect("expansion geometry was validated before commit");
+                (new_volume, new_sets, 0, None)
+            }
+            _ => unreachable!("baseline arrays only implement the two baseline strategies"),
+        };
+
+        let mut enqueued = 0;
+        if let Some(mut state) = start_restripe {
+            // The new layout commits now; the copies stream through the
+            // background engine. Baselines have no heat signal, so the
+            // restripe cursor always walks sequentially — record the
+            // *effective* priority so a configured hot-first cannot be
+            // mistaken for a null result.
+            enqueued = state.total_moves();
+            state.task = self.background.push_restripe(
+                now,
+                enqueued,
+                self.config
+                    .migration_rate_blocks_per_sec
+                    .expect("paced expansions have a finite rate"),
+            );
+            self.restripe = Some(state);
+            self.migration_stats.migrations_started += 1;
+            self.migration_stats.effective_priority = Some(BackgroundPriority::Sequential);
+        }
+        self.volume = new_volume;
+        self.expansion_sets = new_sets;
+        self.devices.add_hdds(added_disks);
+        self.disks = new_disks;
+        ExpansionReport {
+            added_disks,
+            migrated_blocks: migrated,
+            writeback_blocks: 0,
+            enqueued_blocks: enqueued,
+            deferred: false,
+            events: Vec::new(),
+        }
     }
 }
 
@@ -226,34 +303,34 @@ impl StorageArray for BaselineArray {
                 capacity: self.volume.data_capacity(),
             });
         }
-        let blocks: Vec<u64> = range.blocks().collect();
         // Mid-restripe redirection: reads of blocks the paced migration has
         // not moved yet resolve through the old layout; writes always land
         // at the new home and supersede the pending move.
-        let mut plan;
-        if self.migration.is_empty() {
-            plan = self.volume.plan_blocks(kind, &blocks);
-        } else {
-            let (pending, settled): (Vec<u64>, Vec<u64>) =
-                blocks.iter().partition(|&&b| self.migration.contains(b));
-            match kind {
-                IoKind::Read => {
-                    plan = self.volume.plan_blocks(kind, &settled);
-                    let old_volume = self
-                        .old_volume
-                        .as_ref()
-                        .expect("pending blocks imply a preserved old volume");
-                    plan.extend(old_volume.plan_blocks(kind, &pending));
-                }
-                IoKind::Write => {
-                    for &b in &pending {
-                        self.migration.remove(b);
-                        self.migration_stats.superseded_blocks += 1;
-                    }
-                    plan = self.volume.plan_blocks(kind, &blocks);
-                }
+        let blocks: Vec<u64> = range.blocks().collect();
+        let plan = match (self.restripe.as_mut(), kind) {
+            (None, _) => self.volume.plan_blocks(kind, &blocks),
+            (Some(state), IoKind::Read) => {
+                let (pending, settled): (Vec<u64>, Vec<u64>) = blocks
+                    .iter()
+                    .partition(|&&b| state.is_pending(&self.volume, b));
+                let mut plan = self.volume.plan_blocks(kind, &settled);
+                plan.extend(state.old.plan_blocks(kind, &pending));
+                plan
             }
-        }
+            (Some(state), IoKind::Write) => {
+                let mut superseded = 0;
+                for &b in &blocks {
+                    if state.supersede(&self.volume, b) {
+                        superseded += 1;
+                    }
+                }
+                self.migration_stats.superseded_blocks += superseded;
+                let forfeits = state.take_forfeits();
+                let task = state.task;
+                self.background.forfeit(task, forfeits);
+                self.volume.plan_blocks(kind, &blocks)
+            }
+        };
         let mut report = RequestReport::default();
         let plan = self.degrade(plan);
         let mut finish = now;
@@ -270,121 +347,63 @@ impl StorageArray for BaselineArray {
 
     fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
         // Transactional, like `CraidArray::expand`: every precondition is
-        // checked and the new volume is built before any field mutates, so
-        // a rejected expansion leaves the array untouched.
+        // checked before any field mutates, so a rejected expansion leaves
+        // the array untouched.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
         let paced = !self.config.instant_migration();
         if let Some((disk, state)) = self.devices.degraded_disk() {
             // A failed disk has no data to restripe over. A *rebuilding*
-            // one is fine when the upgrade is paced: the migration queues
-            // behind the rebuild on the background engine. The instant path
-            // keeps refusing, bit-for-bit with the pre-engine behaviour.
-            // (The in-flight rebuild keeps the segment plan it was created
-            // with — a deliberate approximation: the device is unchanged,
-            // but its live share shrinks under the post-expansion geometry,
-            // so rebuild traffic errs on the generous side.)
+            // one is fine when the upgrade is paced: the restripe fair-
+            // shares the background engine with the rebuild. The instant
+            // path keeps refusing, bit-for-bit with the pre-engine
+            // behaviour. (The in-flight rebuild keeps the segment plan it
+            // was created with — a deliberate approximation: the device is
+            // unchanged, but its live share shrinks under the
+            // post-expansion geometry, so rebuild traffic errs on the
+            // generous side.)
             if state == DiskState::Failed || !paced {
                 return Err(CraidError::InvalidExpansion(format!(
                     "disk {disk} is {state:?}; wait until the array is healthy before expanding"
                 )));
             }
         }
-        if !self.migration.is_empty() || self.background.has_task(TaskKind::ExpansionMigration) {
-            return Err(CraidError::InvalidExpansion(
-                "a previous upgrade's migration is still in flight".into(),
-            ));
-        }
-        let new_disks = self.disks + added_disks;
-        let (new_volume, new_sets, migrated, moves) = match self.config.strategy {
+        // Validate the geometry against the *projected* disk count so a
+        // deferred expansion can never fail at activation time.
+        let projected = self.disks + self.deferred.iter().sum::<usize>() + added_disks;
+        match self.config.strategy {
             StrategyKind::Raid5 => {
                 // An ideal RAID-5 stays ideal only by restriping.
-                if !new_disks.is_multiple_of(self.config.parity_group) {
+                if !projected.is_multiple_of(self.config.parity_group) {
                     return Err(CraidError::InvalidExpansion(format!(
-                        "RAID-5 restripe needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
+                        "RAID-5 restripe needs the disk count ({projected}) to stay a multiple of the parity group ({})",
                         self.config.parity_group
                     )));
                 }
-                let new_volume = Self::build_volume(&self.config, new_disks, &self.expansion_sets)?;
-                let used = self.config.dataset_blocks;
-                if paced {
-                    // The reshape plan as an iterable stream: every block
-                    // whose location changes becomes a pending move (the
-                    // paper's conventional-upgrade cost, now actually paid
-                    // over time instead of counted).
-                    let moves: Vec<u64> =
-                        migration_stream(self.volume.layout(), new_volume.layout(), used)
-                            .map(|unit| unit.logical)
-                            .collect();
-                    let migrated = moves.len() as u64;
-                    (
-                        new_volume,
-                        self.expansion_sets.clone(),
-                        migrated,
-                        Some(moves),
-                    )
-                } else {
-                    // Instant accounting: estimate how much of the used
-                    // dataset has to move by sampling.
-                    let fraction = Self::restripe_fraction(&self.volume, &new_volume, used);
-                    let migrated = (fraction * used as f64).round() as u64;
-                    (new_volume, self.expansion_sets.clone(), migrated, None)
-                }
             }
             StrategyKind::Raid5Plus => {
-                // Aggregation: the new disks form a fresh RAID-5 set, nothing
-                // moves (and the load stays unbalanced — that is the point).
                 if added_disks < 2 {
                     return Err(CraidError::InvalidExpansion(
                         "a new RAID-5 set needs at least 2 disks".into(),
                     ));
                 }
-                let mut new_sets = self.expansion_sets.clone();
-                new_sets.push(added_disks);
-                let new_volume = Self::build_volume(&self.config, new_disks, &new_sets)?;
-                (new_volume, new_sets, 0, None)
             }
             _ => unreachable!("baseline arrays only implement the two baseline strategies"),
-        };
-
-        // Validation complete — commit the upgrade.
-        let mut enqueued = 0;
-        if let Some(moves) = moves {
-            // The new layout commits now; the copies stream through the
-            // background engine. (Baselines have no I/O monitor, so the
-            // HotFirst priority degenerates to the sequential walk.)
-            enqueued = moves.len() as u64;
-            self.old_volume = Some(self.volume.clone());
-            for &block in &moves {
-                self.migration.insert(
-                    block,
-                    OldHome {
-                        pc_slot: None,
-                        dirty: false,
-                    },
-                );
-            }
-            self.background.push_migration(
-                now,
-                moves,
-                self.config
-                    .migration_rate_blocks_per_sec
-                    .expect("paced expansions have a finite rate"),
-            );
-            self.migration_stats.migrations_started += 1;
         }
-        self.volume = new_volume;
-        self.expansion_sets = new_sets;
-        self.devices.add_hdds(added_disks);
-        self.disks = new_disks;
-        Ok(ExpansionReport {
-            added_disks,
-            migrated_blocks: migrated,
-            writeback_blocks: 0,
-            enqueued_blocks: enqueued,
-            events: Vec::new(),
-        })
+        if self.restripe.is_some() {
+            // One archive reshape at a time (a cursor cannot retarget a
+            // moving layout): the expansion *queues* instead of being
+            // refused, and activates when the in-flight restripe drains —
+            // the serialized-reshape behaviour of mdadm-style growers.
+            self.deferred.push_back(added_disks);
+            return Ok(ExpansionReport {
+                added_disks,
+                deferred: true,
+                ..ExpansionReport::default()
+            });
+        }
+        Ok(self.commit_expansion(now, added_disks))
     }
 
     fn fail_disk(&mut self, _now: SimTime, disk: usize) -> Result<(), CraidError> {
@@ -419,41 +438,59 @@ impl StorageArray for BaselineArray {
     }
 
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
-        let batch = self.background.poll(now);
-        let events = match batch {
-            Some(Batch::Rebuild {
-                disk,
-                peers,
-                ranges,
-            }) => {
-                let mut events = Vec::new();
-                fault::issue_rebuild_batch(
-                    now,
+        let mut events = Vec::new();
+        for batch in self.background.poll(now) {
+            match batch {
+                Batch::Rebuild {
                     disk,
-                    &peers,
-                    &ranges,
-                    &mut self.devices,
-                    &mut events,
-                    &mut self.fault_stats,
-                );
-                events
+                    peers,
+                    ranges,
+                    ..
+                } => {
+                    fault::issue_rebuild_batch(
+                        now,
+                        disk,
+                        &peers,
+                        &ranges,
+                        &mut self.devices,
+                        &mut events,
+                        &mut self.fault_stats,
+                    );
+                }
+                Batch::Restripe { budget, .. } => {
+                    events.extend(self.apply_restripe_batch(now, budget));
+                }
+                Batch::Migration { .. } => {
+                    unreachable!("baseline arrays enqueue no block-list migrations")
+                }
             }
-            Some(Batch::Migration { blocks }) => self.apply_migration_batch(now, &blocks),
-            None => Vec::new(),
-        };
-        if let Some(done) = self.background.take_completed() {
+        }
+        for done in self.background.take_completed() {
             match done.kind {
                 TaskKind::Rebuild => {
                     fault::complete_rebuild(&done, &mut self.devices, &mut self.fault_stats);
                 }
-                TaskKind::ExpansionMigration => {
+                TaskKind::ExpansionMigration | TaskKind::ArchiveRestripe => {
+                    // The baseline's restripe *is* its expansion migration
+                    // (the conventional-upgrade cost), so it reports on the
+                    // main migration line.
                     debug_assert!(
-                        self.migration.is_empty(),
-                        "a drained migration leaves no pending blocks"
+                        self.restripe.as_ref().is_some_and(RestripeState::drained),
+                        "a completed restripe leaves no pending moves"
                     );
-                    self.old_volume = None;
+                    self.restripe = None;
                     self.migration_stats.migrations_completed += 1;
                     self.migration_stats.migration_secs += done.window_secs;
+                    // A queued expansion activates the moment the reshape
+                    // that blocked it drains — even if the array has since
+                    // degraded (deliberate: the activation was accepted
+                    // while healthy, and its restripe I/O runs through
+                    // `degrade` like any other traffic, so the model stays
+                    // total instead of stranding the queue on a disk that
+                    // may never be repaired).
+                    if let Some(added) = self.deferred.pop_front() {
+                        self.commit_expansion(now, added);
+                    }
                 }
             }
         }
@@ -461,7 +498,11 @@ impl StorageArray for BaselineArray {
     }
 
     fn background_idle(&self) -> bool {
-        self.background.is_idle()
+        self.background.is_idle() && self.deferred.is_empty()
+    }
+
+    fn background_drain_eta(&self) -> Option<SimTime> {
+        self.background.drain_eta()
     }
 
     fn fault_stats(&self) -> FaultStats {
@@ -470,7 +511,7 @@ impl StorageArray for BaselineArray {
 
     fn migration_stats(&self) -> MigrationStats {
         MigrationStats {
-            pending_blocks: self.migration.len() as u64,
+            pending_blocks: self.pending_migration_blocks(),
             ..self.migration_stats
         }
     }
@@ -497,7 +538,7 @@ impl BaselineArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use craid_raid::IoPurpose;
+    use craid_raid::{round_robin_migration_blocks, IoPurpose};
 
     fn array(strategy: StrategyKind) -> BaselineArray {
         BaselineArray::new(ArrayConfig::small_test(strategy, 10_000)).unwrap()
@@ -508,6 +549,15 @@ mod tests {
             ArrayConfig::small_test(strategy, 10_000).with_migration_rate(Some(rate)),
         )
         .unwrap()
+    }
+
+    fn drain(a: &mut BaselineArray, mut t: f64) -> f64 {
+        while !a.background_idle() && t < 5_000.0 {
+            a.pump_background(SimTime::from_secs(t));
+            t += 1.0;
+        }
+        assert!(a.background_idle());
+        t
     }
 
     #[test]
@@ -575,6 +625,31 @@ mod tests {
         assert!(a
             .submit(SimTime::ZERO, IoKind::Read, BlockRange::new(0, 4))
             .is_ok());
+    }
+
+    #[test]
+    fn restripe_fraction_estimate_tracks_the_exact_move_count() {
+        // An adversarial `used`: a multiple of both layouts' row widths
+        // times the probe count, so the old `used / 8192` sampling stride
+        // walked whole stripe rows and probed a single residue class. The
+        // coprime-stride sampler stays within a point of the exact
+        // fraction from `round_robin_migration_blocks`.
+        let config = ArrayConfig::small_test(StrategyKind::Raid5, 10_000);
+        let old = BaselineArray::build_volume(&config, 8, &[]).unwrap();
+        let new = BaselineArray::build_volume(&config, 12, &[]).unwrap();
+        // Old rows carry (8-2)*4 = 24 data blocks, new rows (12-3)*4 = 36;
+        // lcm(24, 36) = 72.
+        let used = 8_192 * 72;
+        assert!(used <= old.data_capacity() && used <= new.data_capacity());
+        let exact =
+            round_robin_migration_blocks(old.layout(), new.layout(), used) as f64 / used as f64;
+        let estimate = BaselineArray::restripe_fraction(&old, &new, used);
+        assert!(
+            (estimate - exact).abs() < 0.02,
+            "estimate {estimate:.4} strays from exact {exact:.4} on a stride-resonant geometry"
+        );
+        // And on a small range it degenerates gracefully.
+        assert!(BaselineArray::restripe_fraction(&old, &new, 1) <= 1.0);
     }
 
     #[test]
@@ -704,17 +779,20 @@ mod tests {
         let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
         assert_eq!(a.disk_count(), 12, "the layout committed immediately");
         assert!(report.enqueued_blocks > 0);
+        assert!(!report.deferred);
         assert_eq!(
             report.enqueued_blocks, report.migrated_blocks,
-            "paced restripes enumerate the exact move set"
+            "paced restripes count the exact move set"
         );
         assert_eq!(a.pending_migration_blocks(), report.enqueued_blocks);
+        assert_eq!(
+            a.migration_stats().effective_priority,
+            Some(BackgroundPriority::Sequential),
+            "baselines report the effective (sequential) order"
+        );
         // A pending block still reads from its pre-upgrade location.
-        let pending = a
-            .migration
-            .iter()
-            .map(|(b, _)| b)
-            .next()
+        let pending = (0..10_000u64)
+            .find(|&b| a.migration_pending(b))
             .expect("an 8→12 restripe moves blocks");
         let old_plan = old_volume.plan_blocks(IoKind::Read, &[pending]);
         let new_plan = a.volume.plan_blocks(IoKind::Read, &[pending]);
@@ -777,6 +855,70 @@ mod tests {
     }
 
     #[test]
+    fn paced_restripe_streams_paper_scale_datasets_without_materialising() {
+        // 4M used blocks: the pre-cursor implementation collected a Vec of
+        // millions of move entries *and* mirrored them into a pending map
+        // at expand time. The streaming restripe keeps O(1) state — this
+        // test would exhaust test-runner memory budgets (and minutes of
+        // BTreeMap churn) under the old scheme, and the expand itself now
+        // only pays one counting pass.
+        let dataset: u64 = 4_000_000;
+        let config =
+            ArrayConfig::small_test(StrategyKind::Raid5, dataset).with_migration_rate(Some(1e6));
+        let mut a = BaselineArray::new(config).unwrap();
+        let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(
+            report.enqueued_blocks > 3_000_000,
+            "nearly the whole dataset restripes, got {}",
+            report.enqueued_blocks
+        );
+        assert_eq!(a.pending_migration_blocks(), report.enqueued_blocks);
+        // The engine tracks a bare count; a few pumps stream capped batches.
+        let events = a.pump_background(SimTime::from_secs(3.0));
+        assert!(events.iter().any(|e| e.purpose.is_migration()));
+        assert!(a.pending_migration_blocks() < report.enqueued_blocks);
+        // Requests against pending and settled blocks both resolve.
+        a.submit(SimTime::from_secs(3.5), IoKind::Read, BlockRange::new(0, 8))
+            .unwrap();
+        a.submit(
+            SimTime::from_secs(3.6),
+            IoKind::Write,
+            BlockRange::new(dataset - 8, 8),
+        )
+        .unwrap();
+        let stats = a.migration_stats();
+        assert_eq!(
+            stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
+            report.enqueued_blocks
+        );
+    }
+
+    #[test]
+    fn second_expansion_queues_behind_the_restripe_and_activates() {
+        let mut a = paced(StrategyKind::Raid5, 50_000.0);
+        let first = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(!first.deferred);
+        // The second expand queues instead of being refused.
+        let second = a.expand(SimTime::from_secs(2.0), 4).unwrap();
+        assert!(second.deferred);
+        assert_eq!(a.deferred_expansions(), 1);
+        assert_eq!(a.disk_count(), 12, "the deferred layout is not committed");
+        // A geometry that would break the *projected* count is still
+        // rejected up front (12 + 4 + 3 = 19 is not a multiple of 4).
+        assert!(a.expand(SimTime::from_secs(2.5), 3).is_err());
+        let t = drain(&mut a, 3.0);
+        assert_eq!(a.disk_count(), 16, "the queued expansion activated");
+        assert_eq!(a.deferred_expansions(), 0);
+        let stats = a.migration_stats();
+        assert_eq!(stats.migrations_started, 2);
+        assert_eq!(stats.migrations_completed, 2);
+        assert_eq!(stats.pending_blocks, 0);
+        assert!(a
+            .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+            .is_ok());
+    }
+
+    #[test]
     fn paced_raid5plus_expansion_still_moves_nothing() {
         let mut a = paced(StrategyKind::Raid5Plus, 100.0);
         let report = a.expand(SimTime::from_secs(1.0), 4).unwrap();
@@ -786,25 +928,26 @@ mod tests {
     }
 
     #[test]
-    fn fail_during_paced_migration_queues_the_rebuild_behind_it() {
+    fn fail_during_paced_migration_fair_shares_with_the_rebuild() {
         let mut cfg = ArrayConfig::small_test(StrategyKind::Raid5, 10_000)
             .with_migration_rate(Some(1_000_000.0));
         cfg.rebuild_rate_blocks_per_sec = 1_000_000.0;
         let mut a = BaselineArray::new(cfg).unwrap();
         a.expand(SimTime::from_secs(1.0), 4).unwrap();
         assert!(!a.background_idle());
-        // The failure arrives mid-migration; the repair's rebuild waits its
-        // turn on the same engine.
+        // The failure arrives mid-migration; the repair's rebuild runs
+        // *concurrently* with the restripe on the fair-share engine.
         a.fail_disk(SimTime::from_secs(1.5), 3).unwrap();
         a.repair_disk(SimTime::from_secs(2.0), 3).unwrap();
-        assert!(a.background.has_task(TaskKind::ExpansionMigration));
+        assert!(a.background.has_task(TaskKind::ArchiveRestripe));
         assert!(a.background.has_task(TaskKind::Rebuild));
-        let mut t = 3.0;
-        while !a.background_idle() && t < 500.0 {
-            a.pump_background(SimTime::from_secs(t));
-            t += 1.0;
-        }
-        assert!(a.background_idle());
+        // One pump with both saturated advances both streams.
+        let migrated_before = a.migration_stats().migrated_blocks;
+        let rebuilt_before = a.fault_stats().rebuild_write_blocks;
+        a.pump_background(SimTime::from_secs(2.5));
+        assert!(a.migration_stats().migrated_blocks > migrated_before);
+        assert!(a.fault_stats().rebuild_write_blocks > rebuilt_before);
+        let _ = drain(&mut a, 3.0);
         assert_eq!(a.migration_stats().migrations_completed, 1);
         assert_eq!(a.fault_stats().rebuilds_completed, 1);
         assert_eq!(a.devices.degraded_disk(), None, "the array healed");

@@ -1,12 +1,14 @@
 //! The CRAID array: cache partition + archive partition + control path.
 
+use std::collections::{BTreeMap, VecDeque};
+
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
 use craid_raid::{IoPurpose, Layout, Raid5Layout, Raid5PlusLayout};
 use craid_simkit::SimTime;
 
 use crate::background::{
     merge_blocks_to_ranges, BackgroundEngine, BackgroundPriority, Batch, MigrationMap, OldHome,
-    TaskKind,
+    TaskId, TaskKind,
 };
 use crate::config::{ArrayConfig, StrategyKind};
 use crate::devices::{DeviceIoEvent, DeviceSet, DiskState};
@@ -14,15 +16,17 @@ use crate::error::CraidError;
 use crate::fault;
 use crate::monitor::{IoMonitor, MonitorStats};
 use crate::partition::{ArchiveLayout, CachePartition, Partition, PartitionIo};
-use crate::redirector;
+use crate::redirector::{self, ArchiveAccess};
 use crate::report::{FaultStats, MigrationStats};
+use crate::restripe::RestripeState;
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
 /// A CRAID volume: the archive partition `PA` holds every block, the cache
 /// partition `PC` holds copies of the hot set, and the monitor/redirector
-/// pair keeps the two coherent (paper §3–4). Maintenance streams — rebuilds
-/// and paced upgrade migrations — ride on one [`BackgroundEngine`].
+/// pair keeps the two coherent (paper §3–4). Maintenance streams — rebuilds,
+/// paced upgrade migrations and paced archive restripes — ride on one
+/// fair-share [`BackgroundEngine`].
 #[derive(Debug)]
 pub struct CraidArray {
     config: ArrayConfig,
@@ -33,12 +37,26 @@ pub struct CraidArray {
     disks: usize,
     expansion_sets: Vec<usize>,
     background: BackgroundEngine,
-    /// Blocks a paced upgrade has not yet redistributed, keyed by archive
-    /// LBA; their authoritative copies still sit in `old_pc`.
+    /// Blocks paced upgrades have not yet redistributed, keyed by archive
+    /// LBA; each entry names the migration generation whose preserved
+    /// geometry in `old_pcs` its slot refers to.
     migration: MigrationMap,
-    /// The pre-upgrade cache-partition geometry, kept while a migration is
-    /// in flight so pending blocks can be served from their old slots.
-    old_pc: Option<CachePartition>,
+    /// Pre-upgrade cache-partition geometries, keyed by the migration task
+    /// that still has blocks in them. Several can be live at once: a
+    /// second `expand` may start its own PC redistribution while an
+    /// earlier one is still streaming (the exactly-one-location invariant
+    /// keeps their block sets disjoint).
+    old_pcs: BTreeMap<TaskId, CachePartition>,
+    /// The in-flight paced archive restripe (`CRAID-5`/`CRAID-5ssd` only:
+    /// their ideal RAID-5 archive must reshape onto the grown disk set —
+    /// the cost the paper's accounting charges to conventional upgrades and
+    /// this repo used to model as free).
+    archive_restripe: Option<RestripeState>,
+    /// Expansions accepted while an archive restripe was in flight; each
+    /// activates when the restripe drains (a reshape cursor cannot retarget
+    /// a moving layout, so ideal-archive upgrades serialize like mdadm
+    /// reshapes, while the aggregated `+` variants pipeline freely).
+    deferred: VecDeque<usize>,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
 }
@@ -64,14 +82,16 @@ impl CraidArray {
         Ok(CraidArray {
             disks: config.disks,
             expansion_sets: config.expansion_sets.clone(),
+            background: BackgroundEngine::with_shares(config.rebuild_share, config.migration_share),
             config,
             devices,
             monitor,
             pc,
             pa,
-            background: BackgroundEngine::new(),
             migration: MigrationMap::new(),
-            old_pc: None,
+            old_pcs: BTreeMap::new(),
+            archive_restripe: None,
+            deferred: VecDeque::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
         })
@@ -191,28 +211,51 @@ impl CraidArray {
         fault::rebuild_segments(live, hot)
     }
 
+    /// Forwards supersessions the redirector recorded against the archive
+    /// restripe to the engine (as forfeited stream work) and the stats.
+    fn flush_archive_forfeits(&mut self) {
+        if let Some(state) = self.archive_restripe.as_mut() {
+            let n = state.take_forfeits();
+            if n > 0 {
+                self.migration_stats.archive_superseded_blocks += n;
+                self.background.forfeit(state.task, n);
+            }
+        }
+    }
+
     /// Issues the device I/O moving one batch of migrated blocks into the
     /// rebuilt cache partition: read the pre-upgrade copy from its old
     /// slot, re-admit it (dirty bit preserved), write the new slot, and pay
     /// the write-backs of whatever the re-admissions displaced.
-    fn apply_migration_batch(&mut self, now: SimTime, blocks: &[u64]) -> Vec<DeviceIoEvent> {
+    fn apply_migration_batch(
+        &mut self,
+        now: SimTime,
+        id: TaskId,
+        blocks: &[u64],
+    ) -> Vec<DeviceIoEvent> {
         // First settle the bookkeeping (map removal, re-admission,
         // displaced evictions), then plan the I/O — re-admitting first
         // means a block that turns out superseded never issues a phantom
-        // old-slot read, and the planning pass can borrow `old_pc` in
-        // place instead of cloning it per batch.
+        // old-slot read, and the planning pass can borrow the generation's
+        // preserved geometry in place instead of cloning it per batch.
         let mut moves: Vec<(u64, u64)> = Vec::new();
         let mut writeback_slots: Vec<u64> = Vec::new();
         let mut writeback_pa_blocks: Vec<u64> = Vec::new();
         for &pa_block in blocks {
-            // A block no longer pending was superseded by client traffic
-            // (already counted) — the engine's budget simply skips over it.
-            let Some(home) = self.migration.remove(pa_block) else {
-                continue;
+            // A block no longer pending *for this generation* was superseded
+            // by client traffic (already counted) — the engine's budget
+            // simply skips over it. The block may since have re-entered the
+            // map under a *later* generation (client re-warmed it, then a
+            // queued second expansion drained it again); that entry belongs
+            // to the newer task, so this one must leave it alone.
+            let home = match self.migration.get(pa_block) {
+                Some(home) if home.generation == id => {
+                    self.migration.remove(pa_block);
+                    home
+                }
+                _ => continue,
             };
-            let old_slot = home
-                .pc_slot
-                .expect("CRAID migrations track pre-upgrade PC slots");
+            let old_slot = home.pc_slot;
             let Some((new_slot, evictions)) =
                 self.monitor.readmit(pa_block, home.dirty, &mut self.pc)
             else {
@@ -231,8 +274,8 @@ impl CraidArray {
             }
         }
         let old_pc = self
-            .old_pc
-            .as_ref()
+            .old_pcs
+            .get(&id)
             .expect("a migration task implies a preserved old PC geometry");
         let mut old_ios: Vec<PartitionIo> = Vec::new();
         let mut new_ios: Vec<PartitionIo> = Vec::new();
@@ -255,10 +298,18 @@ impl CraidArray {
             }
         }
         new_ios.extend(self.pc.plan_blocks(IoKind::Read, &writeback_slots));
+        // Displaced dirty write-backs land at the archive's reshaped homes
+        // and supersede any pending restripe moves of the same blocks.
+        if let Some(state) = self.archive_restripe.as_mut() {
+            for &b in &writeback_pa_blocks {
+                state.supersede(&self.pa, b);
+            }
+        }
         new_ios.extend(self.pa.plan_blocks(IoKind::Write, &writeback_pa_blocks));
+        self.flush_archive_forfeits();
         // Old-geometry reads reconstruct via the old parity groups; the
         // rest via the current layouts.
-        let mut ios = self.degrade_old_pc(old_ios);
+        let mut ios = self.degrade_old_pc(id, old_ios);
         ios.extend(self.degrade(new_ios));
         let mut events = Vec::with_capacity(ios.len());
         for io in ios {
@@ -270,18 +321,42 @@ impl CraidArray {
         events
     }
 
-    /// Degraded-mode rewrite for I/O planned against the *pre-upgrade*
-    /// cache partition: reconstruction peers come from the old layout's
-    /// parity groups — the groups that actually protect those copies —
-    /// not the rebuilt one (the two can group disks differently when the
-    /// expanded count stops dividing by the parity group).
-    fn degrade_old_pc(&mut self, plan: Vec<PartitionIo>) -> Vec<PartitionIo> {
+    /// Issues the device I/O for the next `budget` archive-restripe moves:
+    /// advance the cursor, read each block's pre-reshape location, write
+    /// its reshaped home (parity maintenance included).
+    fn apply_archive_batch(&mut self, now: SimTime, budget: u64) -> Vec<DeviceIoEvent> {
+        let (moved, ios) = self
+            .archive_restripe
+            .as_mut()
+            .expect("a restripe batch implies restripe state")
+            .plan_batch(&self.pa, budget);
+        self.migration_stats.archive_migrated_blocks += moved;
+        // An ideal-archive reshape preserves the parity-group width (the
+        // expanded count must stay a multiple of the group), so the current
+        // layout's peers are also correct for pre-reshape locations.
+        let ios = self.degrade(ios);
+        let mut events = Vec::with_capacity(ios.len());
+        for io in ios {
+            events.push(
+                self.devices
+                    .submit(now, io.disk, io.kind, io.range, io.purpose),
+            );
+        }
+        events
+    }
+
+    /// Degraded-mode rewrite for I/O planned against a *pre-upgrade* cache
+    /// partition: reconstruction peers come from that generation's parity
+    /// groups — the groups that actually protect those copies — not the
+    /// rebuilt one (the two can group disks differently when the expanded
+    /// count stops dividing by the parity group).
+    fn degrade_old_pc(&mut self, generation: TaskId, plan: Vec<PartitionIo>) -> Vec<PartitionIo> {
         let Some((failed, state)) = self.devices.degraded_disk() else {
             return plan;
         };
         let old_layout = self
-            .old_pc
-            .as_ref()
+            .old_pcs
+            .get(&generation)
             .expect("old-geometry I/O implies a preserved old PC")
             .layout()
             .clone();
@@ -333,15 +408,159 @@ impl CraidArray {
         &self.monitor
     }
 
-    /// Blocks a paced upgrade still has to redistribute (0 when idle).
+    /// Blocks paced upgrades still have to redistribute into the cache
+    /// partition (0 when idle; the archive restripe reports separately).
     pub fn pending_migration_blocks(&self) -> u64 {
         self.migration.len() as u64
     }
 
-    /// True if `pa_block` is still awaiting migration to its post-upgrade
-    /// home (tests and examples).
+    /// True if `pa_block` is still awaiting redistribution to its
+    /// post-upgrade cache-partition slot (tests and examples).
     pub fn migration_pending(&self, pa_block: u64) -> bool {
         self.migration.contains(pa_block)
+    }
+
+    /// Archive-restripe moves still pending (0 when no reshape is in
+    /// flight).
+    pub fn pending_archive_blocks(&self) -> u64 {
+        self.archive_restripe
+            .as_ref()
+            .map_or(0, RestripeState::pending)
+    }
+
+    /// Expansions accepted but not yet activated (queued behind an
+    /// in-flight archive restripe).
+    pub fn deferred_expansions(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Performs a validated expansion: commits the new geometry, enqueues
+    /// the paced PC redistribution and — for ideal archives — the paced
+    /// archive restripe.
+    fn commit_expansion(&mut self, now: SimTime, added_disks: usize) -> ExpansionReport {
+        let paced = !self.config.instant_migration();
+        let new_disks = self.disks + added_disks;
+        let mut new_sets = self.expansion_sets.clone();
+        if self.config.strategy.archive_is_aggregated() {
+            new_sets.push(added_disks);
+        }
+        let new_pa = Self::build_pa(&self.config, new_disks, &new_sets)
+            .expect("expansion geometry was validated before commit");
+        let spreads_pc_over_hdds = !self.config.strategy.uses_ssd_cache();
+        let new_pc_layout = if spreads_pc_over_hdds {
+            // PC must keep using every disk: it is rebuilt over the new set
+            // of spindles and starts refilling immediately. When the count
+            // stops dividing evenly, parity groups stay aligned by treating
+            // the whole array as one group.
+            let group = if new_disks.is_multiple_of(self.config.parity_group) {
+                self.config.parity_group
+            } else {
+                new_disks
+            };
+            Some(
+                Raid5Layout::new(
+                    new_disks,
+                    group,
+                    self.config.stripe_unit,
+                    self.config.pc_blocks_per_hdd(),
+                )
+                .expect("expansion geometry was validated before commit"),
+            )
+        } else {
+            None
+        };
+
+        let mut report = ExpansionReport {
+            added_disks,
+            ..ExpansionReport::default()
+        };
+        if let Some(pc_layout) = new_pc_layout {
+            // Migration for CRAID is bounded by what currently lives in PC.
+            report.migrated_blocks = self.monitor.cached_blocks() as u64;
+            if paced {
+                // The new layout commits now; the block copies stream
+                // through the background engine. Every cached block (clean
+                // and dirty, with its dirty bit) is queued for
+                // redistribution into the rebuilt PC; until a block's turn
+                // comes, the MigrationMap serves it from its old slot in
+                // this generation's preserved geometry.
+                let drained = self.monitor.begin_migration(&mut self.pc);
+                let mut order: Vec<u64> = drained.iter().map(|&(pa, _)| pa).collect();
+                if self.config.background_priority == BackgroundPriority::HotFirst {
+                    self.monitor.rank_hot_desc(&mut order);
+                }
+                report.enqueued_blocks = order.len() as u64;
+                let generation = self.background.push_migration(
+                    now,
+                    order,
+                    self.config
+                        .migration_rate_blocks_per_sec
+                        .expect("paced expansions have a finite rate"),
+                );
+                self.old_pcs.insert(generation, self.pc.clone());
+                for (pa_block, mapping) in drained {
+                    self.migration.insert(
+                        pa_block,
+                        OldHome {
+                            pc_slot: mapping.pc_block,
+                            dirty: mapping.dirty,
+                            generation,
+                        },
+                    );
+                }
+                self.devices.add_hdds(added_disks);
+                self.pc.rebuild(pc_layout, 0, 0);
+                self.monitor.resize(self.pc.capacity());
+                self.migration_stats.migrations_started += 1;
+                self.migration_stats.effective_priority = Some(self.config.background_priority);
+            } else {
+                // Instant upgrade: the dirty copies are written back now,
+                // the rest is simply invalidated and re-copied on demand as
+                // the working set is touched again.
+                let tasks = self.monitor.invalidate_all(&mut self.pc);
+                self.write_back(now, &tasks, &mut report);
+                self.devices.add_hdds(added_disks);
+                self.pc.rebuild(pc_layout, 0, 0);
+                self.monitor.resize(self.pc.capacity());
+            }
+        } else {
+            // A dedicated-SSD cache tier keeps its contents when mechanical
+            // disks are added; only the SSDs' device indices shift, because
+            // the new spindles are spliced in front of them.
+            self.devices.add_hdds(added_disks);
+            self.pc.rebind_first_device(new_disks);
+        }
+        if paced && !self.config.strategy.archive_is_aggregated() {
+            // The ideal archive's reshape onto the grown set is no longer
+            // free: it streams as its own rate-paced task (the paper's
+            // conventional-upgrade cost, reported on the archive line of
+            // MigrationStats). Pushed even when the move set is empty —
+            // like the baseline's restripe — so its completion always
+            // fires and a deferred expansion queued behind it can never be
+            // stranded. The restripe cursor walks sequentially regardless
+            // of the configured priority; when this expansion started no
+            // PC redistribution (the SSD-cached variants), record that
+            // *effective* order so a hot-first knob cannot masquerade as
+            // having run.
+            let mut state =
+                RestripeState::new(self.pa.clone(), &new_pa, self.config.dataset_blocks);
+            state.task = self.background.push_restripe(
+                now,
+                state.total_moves(),
+                self.config
+                    .migration_rate_blocks_per_sec
+                    .expect("paced expansions have a finite rate"),
+            );
+            self.archive_restripe = Some(state);
+            self.migration_stats.archive_restripes_started += 1;
+            if self.migration_stats.effective_priority.is_none() || report.enqueued_blocks == 0 {
+                self.migration_stats.effective_priority = Some(BackgroundPriority::Sequential);
+            }
+        }
+        self.pa = new_pa;
+        self.expansion_sets = new_sets;
+        self.disks = new_disks;
+        report
     }
 }
 
@@ -385,17 +604,20 @@ impl StorageArray for CraidArray {
         // from there; everything the client touches otherwise (clean reads,
         // all writes) proceeds against the post-upgrade layout and
         // supersedes the pending move — writes land at the new home.
-        let mut old_slot_reads: Vec<u64> = Vec::new();
-        let mut plan = if self.migration.is_empty() {
-            // Fast path: no migration in flight, no per-block triage (and
-            // no block-list allocation).
-            redirector::plan_request(&mut self.monitor, &mut self.pc, &self.pa, kind, range)
+        let mut old_slot_reads: BTreeMap<TaskId, Vec<u64>> = BTreeMap::new();
+        let mut pending_hits = 0u64;
+        let plan_blocks: Option<Vec<u64>> = if self.migration.is_empty() {
+            None
         } else {
             let mut fresh = Vec::with_capacity(range.len() as usize);
             for pa_block in range.blocks() {
                 match self.migration.get(pa_block) {
                     Some(home) if home.dirty && kind == IoKind::Read => {
-                        old_slot_reads.push(home.pc_slot.expect("CRAID migrations track PC slots"));
+                        pending_hits += 1;
+                        old_slot_reads
+                            .entry(home.generation)
+                            .or_default()
+                            .push(home.pc_slot);
                     }
                     Some(_) => {
                         self.migration.remove(pa_block);
@@ -405,24 +627,38 @@ impl StorageArray for CraidArray {
                     None => fresh.push(pa_block),
                 }
             }
-            redirector::plan_request_blocks(
-                &mut self.monitor,
-                &mut self.pc,
-                &self.pa,
-                kind,
-                &fresh,
-                range.len(),
-            )
+            Some(fresh)
         };
-        let mut old_ios: Vec<PartitionIo> = Vec::new();
-        if !old_slot_reads.is_empty() {
-            let old_pc = self
-                .old_pc
-                .as_ref()
-                .expect("pending dirty blocks imply a preserved old PC geometry");
-            plan.cache_hit_blocks += old_slot_reads.len() as u64;
-            old_ios = old_pc.plan_blocks(IoKind::Read, &old_slot_reads);
-        }
+        let mut plan = {
+            let mut access = match self.archive_restripe.as_mut() {
+                Some(state) => ArchiveAccess::Restriping {
+                    current: &self.pa,
+                    restripe: state,
+                },
+                None => ArchiveAccess::Plain(&self.pa),
+            };
+            match &plan_blocks {
+                // Fast path: no PC migration in flight, no per-block triage
+                // (and no block-list allocation).
+                None => redirector::plan_request_via(
+                    &mut self.monitor,
+                    &mut self.pc,
+                    &mut access,
+                    kind,
+                    range,
+                ),
+                Some(fresh) => redirector::plan_request_blocks_via(
+                    &mut self.monitor,
+                    &mut self.pc,
+                    &mut access,
+                    kind,
+                    fresh,
+                    range.len(),
+                ),
+            }
+        };
+        self.flush_archive_forfeits();
+        plan.cache_hit_blocks += pending_hits;
 
         let mut report = RequestReport {
             cache_hit_blocks: plan.cache_hit_blocks,
@@ -432,8 +668,13 @@ impl StorageArray for CraidArray {
             ..RequestReport::default()
         };
         plan.foreground = self.degrade(plan.foreground);
-        if !old_ios.is_empty() {
-            let degraded_old = self.degrade_old_pc(old_ios);
+        for (generation, slots) in old_slot_reads {
+            let old_pc = self
+                .old_pcs
+                .get(&generation)
+                .expect("pending dirty blocks imply a preserved old PC geometry");
+            let old_ios = old_pc.plan_blocks(IoKind::Read, &slots);
+            let degraded_old = self.degrade_old_pc(generation, old_ios);
             plan.foreground.extend(degraded_old);
         }
         plan.background = self.degrade(plan.background);
@@ -457,9 +698,9 @@ impl StorageArray for CraidArray {
 
     fn expand(&mut self, now: SimTime, added_disks: usize) -> Result<ExpansionReport, CraidError> {
         // The upgrade commits transactionally: every precondition is checked
-        // and every new layout is built *before* the cache partition is
-        // touched or any device/geometry state changes, so a rejected
-        // expansion leaves the array exactly as it was.
+        // *before* the cache partition is touched or any device/geometry
+        // state changes, so a rejected expansion leaves the array exactly
+        // as it was.
         if added_disks == 0 {
             return Err(CraidError::InvalidExpansion("no disks added".into()));
         }
@@ -467,7 +708,7 @@ impl StorageArray for CraidArray {
         if let Some((disk, state)) = self.devices.degraded_disk() {
             // A failed disk has no data to redistribute. A *rebuilding* one
             // is fine when the upgrade is paced: the migration task simply
-            // queues behind the rebuild on the background engine. The
+            // fair-shares the background engine with the rebuild. The
             // instant path keeps refusing, bit-for-bit with the pre-engine
             // behaviour. (The in-flight rebuild keeps the segment plan it
             // was created with — a deliberate approximation: the physical
@@ -480,110 +721,39 @@ impl StorageArray for CraidArray {
                 )));
             }
         }
-        if !self.migration.is_empty() || self.background.has_task(TaskKind::ExpansionMigration) {
+        if !paced && !self.migration.is_empty() {
             return Err(CraidError::InvalidExpansion(
                 "a previous upgrade's migration is still in flight".into(),
             ));
         }
-        let new_disks = self.disks + added_disks;
-        let mut new_sets = self.expansion_sets.clone();
+        // Validate the geometry against the *projected* disk count so a
+        // deferred expansion can never fail at activation time.
+        let projected = self.disks + self.deferred.iter().sum::<usize>() + added_disks;
         if self.config.strategy.archive_is_aggregated() {
             if added_disks < 2 {
                 return Err(CraidError::InvalidExpansion(
                     "a new RAID-5 set needs at least 2 disks".into(),
                 ));
             }
-            new_sets.push(added_disks);
-        } else if !new_disks.is_multiple_of(self.config.parity_group) {
+        } else if !projected.is_multiple_of(self.config.parity_group) {
             return Err(CraidError::InvalidExpansion(format!(
-                "the ideal RAID-5 archive needs the disk count ({new_disks}) to stay a multiple of the parity group ({})",
+                "the ideal RAID-5 archive needs the disk count ({projected}) to stay a multiple of the parity group ({})",
                 self.config.parity_group
             )));
         }
-        let new_pa = Self::build_pa(&self.config, new_disks, &new_sets)?;
-        let spreads_pc_over_hdds = !self.config.strategy.uses_ssd_cache();
-        let new_pc_layout = if spreads_pc_over_hdds {
-            // PC must keep using every disk: it is rebuilt over the new set
-            // of spindles and starts refilling immediately. When the count
-            // stops dividing evenly, parity groups stay aligned by treating
-            // the whole array as one group.
-            let group = if new_disks.is_multiple_of(self.config.parity_group) {
-                self.config.parity_group
-            } else {
-                new_disks
-            };
-            Some(Raid5Layout::new(
-                new_disks,
-                group,
-                self.config.stripe_unit,
-                self.config.pc_blocks_per_hdd(),
-            )?)
-        } else {
-            None
-        };
-
-        // Validation complete — commit the upgrade.
-        let mut report = ExpansionReport {
-            added_disks,
-            ..ExpansionReport::default()
-        };
-        if let Some(pc_layout) = new_pc_layout {
-            // Migration for CRAID is bounded by what currently lives in PC.
-            report.migrated_blocks = self.monitor.cached_blocks() as u64;
-            if paced {
-                // The new layout commits now; the block copies stream
-                // through the background engine. Every cached block (clean
-                // and dirty, with its dirty bit) is queued for
-                // redistribution into the rebuilt PC; until a block's turn
-                // comes, the MigrationMap serves it from its old slot.
-                let drained = self.monitor.begin_migration(&mut self.pc);
-                self.old_pc = Some(self.pc.clone());
-                let mut order: Vec<u64> = drained.iter().map(|&(pa, _)| pa).collect();
-                if self.config.background_priority == BackgroundPriority::HotFirst {
-                    self.monitor.rank_hot_desc(&mut order);
-                }
-                for (pa_block, mapping) in drained {
-                    self.migration.insert(
-                        pa_block,
-                        OldHome {
-                            pc_slot: Some(mapping.pc_block),
-                            dirty: mapping.dirty,
-                        },
-                    );
-                }
-                report.enqueued_blocks = order.len() as u64;
-                self.devices.add_hdds(added_disks);
-                self.pc.rebuild(pc_layout, 0, 0);
-                self.monitor.resize(self.pc.capacity());
-                self.background.push_migration(
-                    now,
-                    order,
-                    self.config
-                        .migration_rate_blocks_per_sec
-                        .expect("paced expansions have a finite rate"),
-                );
-                self.migration_stats.migrations_started += 1;
-            } else {
-                // Instant upgrade: the dirty copies are written back now,
-                // the rest is simply invalidated and re-copied on demand as
-                // the working set is touched again.
-                let tasks = self.monitor.invalidate_all(&mut self.pc);
-                self.write_back(now, &tasks, &mut report);
-                self.devices.add_hdds(added_disks);
-                self.pc.rebuild(pc_layout, 0, 0);
-                self.monitor.resize(self.pc.capacity());
-            }
-        } else {
-            // A dedicated-SSD cache tier keeps its contents when mechanical
-            // disks are added; only the SSDs' device indices shift, because
-            // the new spindles are spliced in front of them.
-            self.devices.add_hdds(added_disks);
-            self.pc.rebind_first_device(new_disks);
+        if self.archive_restripe.is_some() {
+            // One archive reshape at a time (a cursor cannot retarget a
+            // moving layout): the expansion queues and activates when the
+            // in-flight restripe drains. PC-only upgrades (the aggregated
+            // `+` variants) never enter this branch and pipeline freely.
+            self.deferred.push_back(added_disks);
+            return Ok(ExpansionReport {
+                added_disks,
+                deferred: true,
+                ..ExpansionReport::default()
+            });
         }
-        self.pa = new_pa;
-        self.expansion_sets = new_sets;
-        self.disks = new_disks;
-        Ok(report)
+        Ok(self.commit_expansion(now, added_disks))
     }
 
     fn fail_disk(&mut self, _now: SimTime, disk: usize) -> Result<(), CraidError> {
@@ -615,41 +785,68 @@ impl StorageArray for CraidArray {
     }
 
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
-        let batch = self.background.poll(now);
-        let events = match batch {
-            Some(Batch::Rebuild {
-                disk,
-                peers,
-                ranges,
-            }) => {
-                let mut events = Vec::new();
-                fault::issue_rebuild_batch(
-                    now,
+        let mut events = Vec::new();
+        for batch in self.background.poll(now) {
+            match batch {
+                Batch::Rebuild {
                     disk,
-                    &peers,
-                    &ranges,
-                    &mut self.devices,
-                    &mut events,
-                    &mut self.fault_stats,
-                );
-                events
+                    peers,
+                    ranges,
+                    ..
+                } => {
+                    fault::issue_rebuild_batch(
+                        now,
+                        disk,
+                        &peers,
+                        &ranges,
+                        &mut self.devices,
+                        &mut events,
+                        &mut self.fault_stats,
+                    );
+                }
+                Batch::Migration { id, blocks } => {
+                    events.extend(self.apply_migration_batch(now, id, &blocks));
+                }
+                Batch::Restripe { budget, .. } => {
+                    events.extend(self.apply_archive_batch(now, budget));
+                }
             }
-            Some(Batch::Migration { blocks }) => self.apply_migration_batch(now, &blocks),
-            None => Vec::new(),
-        };
-        if let Some(done) = self.background.take_completed() {
+        }
+        for done in self.background.take_completed() {
             match done.kind {
                 TaskKind::Rebuild => {
                     fault::complete_rebuild(&done, &mut self.devices, &mut self.fault_stats);
                 }
                 TaskKind::ExpansionMigration => {
                     debug_assert!(
-                        self.migration.is_empty(),
-                        "a drained migration leaves no pending blocks"
+                        self.migration.iter().all(|(_, h)| h.generation != done.id),
+                        "a drained migration leaves no pending blocks of its generation"
                     );
-                    self.old_pc = None;
+                    self.old_pcs.remove(&done.id);
                     self.migration_stats.migrations_completed += 1;
                     self.migration_stats.migration_secs += done.window_secs;
+                }
+                TaskKind::ArchiveRestripe => {
+                    debug_assert!(
+                        self.archive_restripe
+                            .as_ref()
+                            .is_some_and(RestripeState::drained),
+                        "a completed restripe leaves no pending moves"
+                    );
+                    self.archive_restripe = None;
+                    self.migration_stats.archive_restripes_completed += 1;
+                    self.migration_stats.archive_restripe_secs += done.window_secs;
+                    // A queued expansion activates the moment the reshape
+                    // that blocked it drains — even if the array has since
+                    // degraded (a deliberate modeling choice: the
+                    // activation was accepted while healthy, and all of its
+                    // maintenance I/O runs through `degrade` like any other
+                    // traffic, so the model stays total and deterministic
+                    // rather than stranding the queue on a disk that may
+                    // never be repaired).
+                    if let Some(added) = self.deferred.pop_front() {
+                        self.commit_expansion(now, added);
+                    }
                 }
             }
         }
@@ -657,7 +854,11 @@ impl StorageArray for CraidArray {
     }
 
     fn background_idle(&self) -> bool {
-        self.background.is_idle()
+        self.background.is_idle() && self.deferred.is_empty()
+    }
+
+    fn background_drain_eta(&self) -> Option<SimTime> {
+        self.background.drain_eta()
     }
 
     fn fault_stats(&self) -> FaultStats {
@@ -667,6 +868,7 @@ impl StorageArray for CraidArray {
     fn migration_stats(&self) -> MigrationStats {
         MigrationStats {
             pending_blocks: self.migration.len() as u64,
+            archive_pending_blocks: self.pending_archive_blocks(),
             ..self.migration_stats
         }
     }
@@ -704,6 +906,15 @@ mod tests {
             .with_migration_rate(Some(rate))
             .with_background_priority(priority);
         CraidArray::new(config).unwrap()
+    }
+
+    fn drain(a: &mut CraidArray, mut t: f64) -> f64 {
+        while !a.background_idle() && t < 5_000.0 {
+            a.pump_background(SimTime::from_secs(t));
+            t += 1.0;
+        }
+        assert!(a.background_idle());
+        t
     }
 
     #[test]
@@ -1086,6 +1297,10 @@ mod tests {
         assert_eq!(report.writeback_blocks, 0, "dirty copies move, not flush");
         assert_eq!(a.pending_migration_blocks(), cached);
         assert!(!a.background_idle());
+        assert_eq!(
+            a.migration_stats().effective_priority,
+            Some(BackgroundPriority::Sequential)
+        );
         // ...and the copies stream through the background engine.
         let mut t = 11.0;
         let mut migrate_events = 0usize;
@@ -1102,8 +1317,99 @@ mod tests {
         assert_eq!(stats.migrated_blocks + stats.superseded_blocks, cached);
         assert_eq!(stats.pending_blocks, 0);
         assert!(stats.migration_secs > 0.0, "a nonzero upgrade window");
+        assert_eq!(
+            stats.archive_restripes_started, 0,
+            "aggregated archives never restripe"
+        );
         // The migrated working set is resident again: hot reads hit.
         assert_eq!(a.monitor().cached_blocks() as u64, stats.migrated_blocks);
+    }
+
+    #[test]
+    fn paced_craid5_upgrade_pays_the_archive_restripe() {
+        let mut a = paced(
+            StrategyKind::Craid5,
+            100_000.0,
+            BackgroundPriority::Sequential,
+        );
+        warm(&mut a);
+        let report = a.expand(SimTime::from_secs(10.0), 4).unwrap();
+        assert!(report.enqueued_blocks > 0, "the PC redistribution enqueued");
+        // The ideal archive's reshape is no longer free: it rides the
+        // engine as its own paced task with its own stats line.
+        let stats = a.migration_stats();
+        assert_eq!(stats.archive_restripes_started, 1);
+        assert!(
+            stats.archive_pending_blocks as f64 > 0.5 * 10_000.0,
+            "the reshape moves most of the dataset, got {}",
+            stats.archive_pending_blocks
+        );
+        assert!(a.pending_archive_blocks() > 0);
+        let mut t = 11.0;
+        let mut migrate_events = 0usize;
+        while !a.background_idle() && t < 500.0 {
+            let events = a.pump_background(SimTime::from_secs(t));
+            migrate_events += events.iter().filter(|e| e.purpose.is_migration()).count();
+            t += 1.0;
+        }
+        migrate_events.checked_sub(1).expect("restripe I/O flowed");
+        let stats = a.migration_stats();
+        assert_eq!(stats.archive_restripes_completed, 1);
+        assert!(stats.archive_restripe_secs > 0.0, "a nonzero reshape cost");
+        assert_eq!(stats.archive_pending_blocks, 0);
+        assert!(
+            stats.archive_migrated_blocks + stats.archive_superseded_blocks > 5_000,
+            "the conventional cost is visible: {} blocks reshaped",
+            stats.archive_migrated_blocks
+        );
+        // The PC redistribution completed alongside it (fair share).
+        assert_eq!(stats.migrations_completed, 1);
+        // After the drain the array serves normally.
+        assert!(a
+            .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+            .is_ok());
+    }
+
+    #[test]
+    fn archive_pending_reads_resolve_through_the_old_layout() {
+        let mut a = paced(StrategyKind::Craid5, 1.0, BackgroundPriority::Sequential);
+        let old_pa = a.pa.clone();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        // Find an uncached block whose archive location changed.
+        let state = a.archive_restripe.as_ref().unwrap();
+        let pending = (0..10_000u64)
+            .find(|&b| state.is_pending(&a.pa, b) && a.monitor.cached_slot(b).is_none())
+            .expect("an 8→12 reshape moves uncached blocks");
+        let old_plan = old_pa.plan_blocks(IoKind::Read, &[pending]);
+        let new_plan = a.pa.plan_blocks(IoKind::Read, &[pending]);
+        assert_ne!(old_plan, new_plan, "the block's location changed");
+        let r = a
+            .submit(
+                SimTime::from_secs(1.5),
+                IoKind::Read,
+                BlockRange::new(pending, 1),
+            )
+            .unwrap();
+        // The archive read (foreground, non-PC) targets the old location.
+        assert!(
+            r.events
+                .iter()
+                .any(|e| e.device == old_plan[0].disk
+                    && e.start_block == old_plan[0].range.start()),
+            "the pending read resolves through the pre-reshape volume"
+        );
+        // A dirty write-back of the same block supersedes the pending move:
+        // force it by writing (the write is absorbed by PC, so instead
+        // check the supersession API directly through eviction pressure is
+        // overkill — assert the bookkeeping path).
+        let before = a.pending_archive_blocks();
+        a.archive_restripe
+            .as_mut()
+            .unwrap()
+            .supersede(&a.pa, pending);
+        a.flush_archive_forfeits();
+        assert_eq!(a.pending_archive_blocks(), before - 1);
+        assert_eq!(a.migration_stats().archive_superseded_blocks, 1);
     }
 
     #[test]
@@ -1191,6 +1497,7 @@ mod tests {
             )
             .unwrap();
             a.expand(SimTime::from_secs(1.0), 4).unwrap();
+            assert_eq!(a.migration_stats().effective_priority, Some(priority));
             // At 2 blocks/s, one block is due at t = 1.5s.
             a.pump_background(SimTime::from_secs(1.5));
             let moved_9000_first = !a.migration.contains(9_000);
@@ -1206,7 +1513,7 @@ mod tests {
     }
 
     #[test]
-    fn expand_during_rebuild_queues_behind_it_when_paced() {
+    fn expand_during_rebuild_fair_shares_when_paced() {
         let mut config = ArrayConfig::small_test(StrategyKind::Craid5Plus, 10_000)
             .with_migration_rate(Some(1_000_000.0));
         config.rebuild_rate_blocks_per_sec = 1_000_000.0;
@@ -1214,30 +1521,149 @@ mod tests {
         warm(&mut a);
         a.fail_disk(SimTime::from_secs(1.0), 2).unwrap();
         a.repair_disk(SimTime::from_secs(2.0), 2).unwrap();
-        // Mid-rebuild expansion is now legal: it enqueues behind the
-        // rebuild on the same engine.
+        // Mid-rebuild expansion is legal: both tasks are live on the same
+        // fair-share engine and advance in the same pump.
         let report = a.expand(SimTime::from_secs(3.0), 4).unwrap();
         assert!(report.enqueued_blocks > 0);
         assert_eq!(a.disk_count(), 12);
-        let mut t = 4.0;
-        while !a.background_idle() && t < 400.0 {
-            a.pump_background(SimTime::from_secs(t));
-            t += 1.0;
-        }
-        assert!(a.background_idle());
+        let migrated_before = a.migration_stats().migrated_blocks;
+        let rebuilt_before = a.fault_stats().rebuild_write_blocks;
+        a.pump_background(SimTime::from_secs(3.5));
+        assert!(a.fault_stats().rebuild_write_blocks > rebuilt_before);
+        assert!(a.migration_stats().migrated_blocks > migrated_before);
+        let _ = drain(&mut a, 4.0);
         assert_eq!(a.fault_stats().rebuilds_completed, 1, "rebuild finished");
-        assert_eq!(a.migration_stats().migrations_completed, 1, "then the move");
-        // A second expansion while one migration is pending is refused.
-        let mut b = paced(
+        assert_eq!(a.migration_stats().migrations_completed, 1, "and the move");
+    }
+
+    #[test]
+    fn second_pc_migration_queues_and_both_generations_resolve() {
+        // Aggregated archives have no reshape to serialize on, so a second
+        // expand may start its own PC redistribution while the first is
+        // still streaming: two preserved geometries are live at once.
+        let mut a = paced(
             StrategyKind::Craid5Plus,
-            1.0,
+            2.0,
             BackgroundPriority::Sequential,
         );
-        warm(&mut b);
-        b.expand(SimTime::from_secs(1.0), 4).unwrap();
-        assert!(matches!(
-            b.expand(SimTime::from_secs(2.0), 4),
-            Err(CraidError::InvalidExpansion(_))
-        ));
+        // A dirty block pins a generation-1 entry.
+        a.submit(SimTime::ZERO, IoKind::Write, BlockRange::new(123, 1))
+            .unwrap();
+        a.submit(SimTime::ZERO, IoKind::Write, BlockRange::new(456, 1))
+            .unwrap();
+        let first = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(!first.deferred);
+        assert_eq!(a.pending_migration_blocks(), 2);
+        // Touch a different block so generation 2 has its own content.
+        a.submit(
+            SimTime::from_secs(1.2),
+            IoKind::Write,
+            BlockRange::new(789, 1),
+        )
+        .unwrap();
+        let second = a.expand(SimTime::from_secs(2.0), 4).unwrap();
+        assert!(!second.deferred, "aggregated archives pipeline upgrades");
+        assert_eq!(a.disk_count(), 16);
+        assert_eq!(a.old_pcs.len(), 2, "two preserved geometries are live");
+        let gens: Vec<TaskId> = a.migration.iter().map(|(_, h)| h.generation).collect();
+        assert!(
+            gens.iter().any(|&g| g != gens[0]),
+            "entries from both generations are pending: {gens:?}"
+        );
+        // Dirty pending reads of both generations resolve correctly.
+        for block in [123u64, 789] {
+            let r = a
+                .submit(
+                    SimTime::from_secs(2.5),
+                    IoKind::Read,
+                    BlockRange::new(block, 1),
+                )
+                .unwrap();
+            assert_eq!(r.cache_hit_blocks, 1, "block {block} served from its slot");
+        }
+        let _ = drain(&mut a, 3.0);
+        let stats = a.migration_stats();
+        assert_eq!(stats.migrations_started, 2);
+        assert_eq!(stats.migrations_completed, 2);
+        assert_eq!(stats.pending_blocks, 0);
+        assert!(a.old_pcs.is_empty(), "both geometries were released");
+    }
+
+    #[test]
+    fn ssd_variant_reports_sequential_effective_priority_for_its_restripe() {
+        // Craid5Ssd starts no PC redistribution (the SSD cache survives);
+        // its only paced stream is the archive-restripe cursor, which walks
+        // sequentially no matter what was configured. The report must say
+        // so instead of echoing the no-op hot-first knob.
+        let mut a = paced(
+            StrategyKind::Craid5Ssd,
+            100_000.0,
+            BackgroundPriority::HotFirst,
+        );
+        warm(&mut a);
+        let report = a.expand(SimTime::from_secs(10.0), 4).unwrap();
+        assert_eq!(
+            report.enqueued_blocks, 0,
+            "the SSD cache is kept, not moved"
+        );
+        let stats = a.migration_stats();
+        assert_eq!(stats.archive_restripes_started, 1);
+        assert_eq!(
+            stats.effective_priority,
+            Some(BackgroundPriority::Sequential),
+            "only the sequential reshape actually ran"
+        );
+        let _ = drain(&mut a, 11.0);
+        assert_eq!(a.migration_stats().archive_restripes_completed, 1);
+    }
+
+    #[test]
+    fn zero_move_activation_cannot_strand_later_deferred_expansions() {
+        // A one-block dataset keeps its location across the width change,
+        // so the reshape's move set is empty. The restripe task must be
+        // pushed anyway: its completion is what activates the next queued
+        // expansion — without it the deferred queue would hang the drain.
+        let config =
+            ArrayConfig::small_test(StrategyKind::Craid5, 1).with_migration_rate(Some(1_000.0));
+        let mut a = CraidArray::new(config).unwrap();
+        a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        let second = a.expand(SimTime::from_secs(2.0), 4).unwrap();
+        assert!(second.deferred);
+        let third = a.expand(SimTime::from_secs(3.0), 4).unwrap();
+        assert!(third.deferred);
+        let _ = drain(&mut a, 4.0);
+        assert_eq!(a.disk_count(), 20, "every queued expansion activated");
+        assert_eq!(a.deferred_expansions(), 0);
+        let stats = a.migration_stats();
+        assert_eq!(stats.archive_restripes_started, 3);
+        assert_eq!(stats.archive_restripes_completed, 3);
+    }
+
+    #[test]
+    fn craid5_second_expand_defers_behind_the_archive_restripe() {
+        let mut a = paced(
+            StrategyKind::Craid5,
+            50_000.0,
+            BackgroundPriority::Sequential,
+        );
+        warm(&mut a);
+        let first = a.expand(SimTime::from_secs(1.0), 4).unwrap();
+        assert!(!first.deferred);
+        assert_eq!(a.disk_count(), 12);
+        let second = a.expand(SimTime::from_secs(2.0), 4).unwrap();
+        assert!(second.deferred, "the reshape serializes ideal archives");
+        assert_eq!(a.disk_count(), 12, "the deferred layout is not committed");
+        assert_eq!(a.deferred_expansions(), 1);
+        // 12 + 4 + 3 = 19 breaks the projected parity alignment.
+        assert!(a.expand(SimTime::from_secs(2.5), 3).is_err());
+        let t = drain(&mut a, 3.0);
+        assert_eq!(a.disk_count(), 16, "the queued expansion activated");
+        let stats = a.migration_stats();
+        assert_eq!(stats.archive_restripes_started, 2);
+        assert_eq!(stats.archive_restripes_completed, 2);
+        assert_eq!(stats.migrations_completed, stats.migrations_started);
+        assert!(a
+            .submit(SimTime::from_secs(t), IoKind::Read, BlockRange::new(0, 4))
+            .is_ok());
     }
 }

@@ -52,6 +52,13 @@ pub struct ExpansionReport {
     /// Blocks enqueued on the background engine for paced migration (0 for
     /// an instant upgrade, which moves everything at event time).
     pub enqueued_blocks: u64,
+    /// True when the expansion was *queued* instead of committed: an
+    /// archive restripe from a previous upgrade was still in flight, so
+    /// this one activates (commits its layout and starts its own paced
+    /// migration) when that restripe drains. All counters above are zero
+    /// for a deferred report — the activation accounts into
+    /// [`MigrationStats`] instead.
+    pub deferred: bool,
     /// Device I/Os issued by the upgrade itself at event time (instant-mode
     /// write-backs; empty for a paced upgrade — its I/O streams through the
     /// background engine instead).
@@ -140,9 +147,16 @@ pub trait StorageArray {
     /// own loops should do the same.
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent>;
 
-    /// True when no background task (rebuild or migration) is queued or
-    /// active.
+    /// True when no background task (rebuild, migration or archive
+    /// restripe) is live and no deferred expansion awaits activation.
     fn background_idle(&self) -> bool;
+
+    /// The earliest simulated instant at which a live background task's
+    /// pace alone would complete it, or `None` when idle. The simulation's
+    /// end-of-trace drain jumps time here instead of stepping blindly, so
+    /// rebuilds and migrations outliving the trace still finish (and MTTR /
+    /// upgrade windows stay finite) at their exact paced completion times.
+    fn background_drain_eta(&self) -> Option<SimTime>;
 
     /// Degraded-mode and rebuild counters accumulated so far (all zero if
     /// no disk ever failed).

@@ -1,18 +1,24 @@
 //! The generic background I/O engine.
 //!
-//! Two maintenance activities stream large amounts of block I/O through an
+//! Three maintenance activities stream large amounts of block I/O through an
 //! array while it keeps serving clients: reconstructing a failed disk onto a
-//! hot spare (*rebuild*) and moving data to its post-upgrade home after an
-//! online expansion (*migration*). Both share the same skeleton — a body of
-//! work, a pace expressed in blocks per simulated second, and an ordering
-//! policy for which blocks go first — so this module hosts the one scheduler
-//! both ride on:
+//! hot spare (*rebuild*), redistributing the cache partition after an online
+//! expansion (*expansion migration*), and reshaping an ideal RAID-5 archive
+//! onto the grown disk set (*archive restripe*). All three share the same
+//! skeleton — a body of work, a pace expressed in blocks per simulated
+//! second, and an ordering policy for which blocks go first — so this module
+//! hosts the one scheduler they all ride on:
 //!
-//! * a [`BackgroundEngine`] owns a FIFO queue of [`TaskKind`]s. Exactly one
-//!   task is active at a time; an `Expand` scheduled during a rebuild (or a
-//!   `DiskRepair` during a migration) simply enqueues behind it, which is
-//!   what makes those previously illegal overlaps well-defined.
-//! * each task is paced lazily: by time `t` after it became active,
+//! * a [`BackgroundEngine`] owns a set of live [`TaskKind`]s scheduled by
+//!   **weighted fair share**: every queued task paces from the moment it is
+//!   pushed, and when more catch-up work is due than one poll's batch cap
+//!   allows, the cap is split across the hungry tasks proportionally to the
+//!   configured [`FairShares`] (`rebuild_share` for rebuilds,
+//!   `migration_share` for migrations and restripes). A rebuild and a
+//!   migration therefore genuinely *contend* for device time — neither
+//!   starves the other, and their issue counts track the weights — instead
+//!   of serialising FIFO as the first version of this engine did.
+//! * each task is paced lazily: by time `t` after it was pushed,
 //!   `rate × t` blocks should have been issued. The owning array polls the
 //!   engine once per client request ([`BackgroundEngine::poll`]), so
 //!   background batches interleave with client traffic instead of
@@ -24,6 +30,12 @@
 //!   the hot working set regains its steady-state placement (and the cache
 //!   partition its hit ratio) long before the cold tail has moved.
 //!
+//! Work bodies come in three shapes: physical ranges (rebuilds), explicit
+//! block lists (cache-partition redistributions, bounded by PC capacity),
+//! and **streams** — a bare remaining-count whose blocks the owning array
+//! produces lazily from a cursor ([`crate::restripe`]), so a paced archive
+//! restripe never materialises its O(dataset) move set.
+//!
 //! A [`MigrationMap`] records, per logical block, where the authoritative
 //! copy of a not-yet-migrated block still lives; the arrays consult it on
 //! every request so reads stay correct mid-upgrade while writes land at the
@@ -32,12 +44,14 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use craid_diskmodel::BlockRange;
-use craid_simkit::SimTime;
+use craid_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize, Value};
 
-/// Upper bound on one background batch (8 MiB): keeps a single catch-up
-/// step from turning into a device-monopolising monster transfer when the
-/// configured rate is high or client traffic is sparse.
+/// Upper bound on one engine poll's combined issue budget (8 MiB): keeps a
+/// single catch-up step from turning into a device-monopolising monster
+/// transfer when the configured rates are high or client traffic is sparse.
+/// When several tasks are behind pace at once they split this cap by their
+/// fair-share weights.
 pub const MAX_BATCH_BLOCKS: u64 = 2_048;
 
 /// Upper bound on the number of distinct device I/Os one rebuild batch may
@@ -53,7 +67,10 @@ pub enum BackgroundPriority {
     Sequential,
     /// Blocks the I/O monitor has observed the most accesses on go first
     /// (falls back to [`Sequential`](BackgroundPriority::Sequential) for
-    /// baseline arrays, which have no monitor to rank heat with).
+    /// baseline arrays, which have no monitor to rank heat with — the
+    /// *effective* priority is recorded in
+    /// [`MigrationStats`](crate::report::MigrationStats) so a no-op knob
+    /// cannot masquerade as a null result).
     HotFirst,
 }
 
@@ -107,8 +124,49 @@ impl Deserialize for BackgroundPriority {
 pub enum TaskKind {
     /// Streaming a failed disk's image onto its hot spare.
     Rebuild,
-    /// Moving blocks to their post-upgrade location after an expansion.
+    /// Redistributing cached blocks to their post-upgrade cache-partition
+    /// slots after an expansion (CRAID's paced PC redistribution).
     ExpansionMigration,
+    /// Reshaping an ideal RAID-5 archive onto the grown disk set — the
+    /// conventional-upgrade cost (mdadm-style), streamed from a cursor.
+    ArchiveRestripe,
+}
+
+/// Identifies one task pushed onto a [`BackgroundEngine`] (ids are unique
+/// per engine, in push order). Batches and completions carry the id so the
+/// owning array can route work to per-task state — e.g. the cache-partition
+/// geometry generation a migration's blocks came from.
+pub type TaskId = u64;
+
+/// The relative scheduling weights of the background task classes. When
+/// several tasks are behind pace in the same poll, the batch cap is split
+/// proportionally: a rebuild with `rebuild_share = 3.0` against a migration
+/// with `migration_share = 1.0` gets three quarters of the contended budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairShares {
+    /// Weight of [`TaskKind::Rebuild`] tasks.
+    pub rebuild: f64,
+    /// Weight of [`TaskKind::ExpansionMigration`] and
+    /// [`TaskKind::ArchiveRestripe`] tasks.
+    pub migration: f64,
+}
+
+impl Default for FairShares {
+    fn default() -> Self {
+        FairShares {
+            rebuild: 1.0,
+            migration: 1.0,
+        }
+    }
+}
+
+impl FairShares {
+    fn weight(&self, kind: TaskKind) -> f64 {
+        match kind {
+            TaskKind::Rebuild => self.rebuild,
+            TaskKind::ExpansionMigration | TaskKind::ArchiveRestripe => self.migration,
+        }
+    }
 }
 
 /// The body of work a task walks through, in issue order.
@@ -121,9 +179,15 @@ enum Work {
         seg: usize,
         off: u64,
     },
-    /// An explicit logical-block order (a migration's queue, already ordered
-    /// by the priority policy).
+    /// An explicit logical-block order (a PC redistribution's queue, already
+    /// ordered by the priority policy; bounded by the cache partition's
+    /// capacity).
     Blocks { blocks: Vec<u64>, cursor: usize },
+    /// A bare count of blocks the owning array produces lazily from its own
+    /// cursor (archive restripes — O(1) memory regardless of dataset size).
+    /// [`BackgroundEngine::forfeit`] shrinks it when client writes supersede
+    /// pending moves.
+    Stream { remaining: u64 },
 }
 
 impl Work {
@@ -135,6 +199,7 @@ impl Work {
                 .sum::<u64>()
                 .saturating_sub(*off),
             Work::Blocks { blocks, cursor } => (blocks.len() - cursor) as u64,
+            Work::Stream { remaining } => *remaining,
         }
     }
 
@@ -165,6 +230,11 @@ impl Work {
                 *cursor += take;
                 WorkBatch::Blocks(batch)
             }
+            Work::Stream { remaining } => {
+                let take = budget.min(*remaining);
+                *remaining -= take;
+                WorkBatch::Budget(take)
+            }
         }
     }
 }
@@ -174,11 +244,13 @@ impl Work {
 enum WorkBatch {
     Ranges(Vec<BlockRange>),
     Blocks(Vec<u64>),
+    Budget(u64),
 }
 
 /// One paced unit of background work.
 #[derive(Debug, Clone)]
 struct BackgroundTask {
+    id: TaskId,
     kind: TaskKind,
     /// The device slot a rebuild reconstructs (unused for migrations).
     disk: usize,
@@ -186,9 +258,19 @@ struct BackgroundTask {
     peers: Vec<usize>,
     work: Work,
     rate_blocks_per_sec: f64,
-    /// Set when the task reaches the head of the queue and starts pacing.
-    started: Option<SimTime>,
+    /// When the task was pushed — its pacing clock starts immediately
+    /// (every queued task is live under fair share).
+    started: SimTime,
     issued: u64,
+}
+
+impl BackgroundTask {
+    /// The simulated instant this task's pace alone would complete it:
+    /// `started + total_work / rate`. Forfeited stream work shrinks it.
+    fn pace_eta(&self) -> SimTime {
+        let total = self.issued + self.work.remaining();
+        self.started + SimDuration::from_secs(total as f64 / self.rate_blocks_per_sec)
+    }
 }
 
 /// A batch of work the engine has decided is due; the array turns it into
@@ -197,6 +279,8 @@ struct BackgroundTask {
 pub enum Batch {
     /// Reconstruct these physical ranges of `disk` from `peers`.
     Rebuild {
+        /// The issuing task.
+        id: TaskId,
         /// The device slot being rebuilt.
         disk: usize,
         /// Surviving parity-group members to read from.
@@ -206,36 +290,73 @@ pub enum Batch {
     },
     /// Migrate these logical blocks to their post-upgrade home.
     Migration {
+        /// The issuing task.
+        id: TaskId,
         /// Logical blocks to move in this step (priority order).
         blocks: Vec<u64>,
+    },
+    /// Issue the next `budget` moves of a streamed restripe; the owning
+    /// array advances its cursor to find them.
+    Restripe {
+        /// The issuing task.
+        id: TaskId,
+        /// Number of pending moves to issue in this step.
+        budget: u64,
     },
 }
 
 /// A task that ran to completion during the last poll.
 #[derive(Debug, Clone)]
 pub struct CompletedTask {
+    /// The finished task's id.
+    pub id: TaskId,
     /// What finished.
     pub kind: TaskKind,
     /// The rebuilt device slot (meaningful for rebuilds).
     pub disk: usize,
     /// Blocks the task issued over its lifetime.
     pub blocks_issued: u64,
-    /// Simulated seconds from activation to completion — the service window
-    /// the paper's redistribution-time trade-off is about.
+    /// Simulated seconds from push to completion — the service window the
+    /// paper's redistribution-time trade-off is about. Under fair share this
+    /// includes any time spent contending with concurrent tasks.
     pub window_secs: f64,
 }
 
-/// The per-array scheduler: a FIFO of rate-paced background tasks.
+/// The per-array scheduler: a set of live, rate-paced background tasks
+/// sharing each poll's issue budget by [`FairShares`] weights.
 #[derive(Debug, Clone, Default)]
 pub struct BackgroundEngine {
     queue: VecDeque<BackgroundTask>,
-    completed: Option<CompletedTask>,
+    shares: FairShares,
+    next_id: TaskId,
+    completed: Vec<CompletedTask>,
 }
 
 impl BackgroundEngine {
-    /// An empty engine.
+    /// An empty engine with equal (1:1) shares.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty engine with the given scheduling weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either share is not finite and positive.
+    pub fn with_shares(rebuild: f64, migration: f64) -> Self {
+        assert!(
+            rebuild.is_finite() && rebuild > 0.0 && migration.is_finite() && migration > 0.0,
+            "fair shares must be finite and positive, got rebuild {rebuild} / migration {migration}"
+        );
+        BackgroundEngine {
+            shares: FairShares { rebuild, migration },
+            ..Self::default()
+        }
+    }
+
+    /// The configured scheduling weights.
+    pub fn shares(&self) -> FairShares {
+        self.shares
     }
 
     /// True when no task is queued or active.
@@ -243,12 +364,12 @@ impl BackgroundEngine {
         self.queue.is_empty()
     }
 
-    /// True when a task of `kind` is queued or active.
+    /// True when a task of `kind` is live.
     pub fn has_task(&self, kind: TaskKind) -> bool {
         self.queue.iter().any(|t| t.kind == kind)
     }
 
-    /// Blocks still to issue across all queued tasks of `kind`.
+    /// Blocks still to issue across all live tasks of `kind`.
     pub fn backlog_blocks(&self, kind: TaskKind) -> u64 {
         self.queue
             .iter()
@@ -257,10 +378,17 @@ impl BackgroundEngine {
             .sum()
     }
 
+    /// The earliest instant at which any live task's pace alone would
+    /// complete it, or `None` when the engine is idle. The simulation's
+    /// end-of-trace drain jumps time here instead of stepping blindly.
+    pub fn drain_eta(&self) -> Option<SimTime> {
+        self.queue.iter().map(BackgroundTask::pace_eta).min()
+    }
+
     /// Enqueues a rebuild of `disk` (ranges in `segments` order, fed by
-    /// `peers`) paced at `rate_blocks_per_sec`. If the queue is empty the
-    /// task starts pacing at `now`; otherwise its clock starts when it
-    /// reaches the head.
+    /// `peers`) paced at `rate_blocks_per_sec`. The task is live — its
+    /// pacing clock starts at `now` — and contends with every other live
+    /// task under the engine's fair shares.
     ///
     /// # Panics
     ///
@@ -272,23 +400,19 @@ impl BackgroundEngine {
         peers: Vec<usize>,
         segments: Vec<BlockRange>,
         rate_blocks_per_sec: f64,
-    ) {
+    ) -> TaskId {
         self.push(
-            BackgroundTask {
-                kind: TaskKind::Rebuild,
-                disk,
-                peers,
-                work: Work::Ranges {
-                    segments,
-                    seg: 0,
-                    off: 0,
-                },
-                rate_blocks_per_sec,
-                started: None,
-                issued: 0,
+            TaskKind::Rebuild,
+            disk,
+            peers,
+            Work::Ranges {
+                segments,
+                seg: 0,
+                off: 0,
             },
+            rate_blocks_per_sec,
             now,
-        );
+        )
     }
 
     /// Enqueues an expansion migration over `blocks` (already in priority
@@ -297,94 +421,197 @@ impl BackgroundEngine {
     /// # Panics
     ///
     /// Panics if the rate is not finite and positive.
-    pub fn push_migration(&mut self, now: SimTime, blocks: Vec<u64>, rate_blocks_per_sec: f64) {
+    pub fn push_migration(
+        &mut self,
+        now: SimTime,
+        blocks: Vec<u64>,
+        rate_blocks_per_sec: f64,
+    ) -> TaskId {
         self.push(
-            BackgroundTask {
-                kind: TaskKind::ExpansionMigration,
-                disk: 0,
-                peers: Vec::new(),
-                work: Work::Blocks { blocks, cursor: 0 },
-                rate_blocks_per_sec,
-                started: None,
-                issued: 0,
-            },
+            TaskKind::ExpansionMigration,
+            0,
+            Vec::new(),
+            Work::Blocks { blocks, cursor: 0 },
+            rate_blocks_per_sec,
             now,
-        );
+        )
     }
 
-    fn push(&mut self, mut task: BackgroundTask, now: SimTime) {
-        assert!(
-            task.rate_blocks_per_sec.is_finite() && task.rate_blocks_per_sec > 0.0,
-            "background rate must be finite and positive, got {}",
-            task.rate_blocks_per_sec
-        );
-        if self.queue.is_empty() {
-            task.started = Some(now);
-        }
-        self.queue.push_back(task);
-    }
-
-    /// Issues the head task's next catch-up batch at `now`, or `None` when
-    /// the pace is already met (or the engine is idle). When the batch
-    /// drains the task, it is popped and stashed for
-    /// [`BackgroundEngine::take_completed`] and the next queued task starts
-    /// its pacing clock at `now`.
-    pub fn poll(&mut self, now: SimTime) -> Option<Batch> {
-        let task = self.queue.front_mut()?;
-        let started = *task.started.get_or_insert(now);
-        let remaining = task.work.remaining();
-        if remaining == 0 {
-            // An empty task (e.g. a migration with nothing to move) completes
-            // on its first poll without issuing anything.
-            self.finish_head(now, started);
-            return None;
-        }
-        let elapsed = now.saturating_since(started).as_secs();
-        let target = (task.rate_blocks_per_sec * elapsed) as u64;
-        if target <= task.issued {
-            return None;
-        }
-        let budget = (target - task.issued)
-            .clamp(1, MAX_BATCH_BLOCKS)
-            .min(remaining);
-        let batch = task.work.take(budget);
-        let taken = match &batch {
-            WorkBatch::Ranges(ranges) => ranges.iter().map(|r| r.len()).sum(),
-            WorkBatch::Blocks(blocks) => blocks.len() as u64,
-        };
-        task.issued += taken;
-        let out = match batch {
-            WorkBatch::Ranges(ranges) => Batch::Rebuild {
-                disk: task.disk,
-                peers: task.peers.clone(),
-                ranges,
+    /// Enqueues a streamed archive restripe of `total_moves` blocks paced at
+    /// `rate_blocks_per_sec`. The engine tracks only the count; the owning
+    /// array produces the actual blocks from its restripe cursor when a
+    /// [`Batch::Restripe`] asks for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn push_restripe(
+        &mut self,
+        now: SimTime,
+        total_moves: u64,
+        rate_blocks_per_sec: f64,
+    ) -> TaskId {
+        self.push(
+            TaskKind::ArchiveRestripe,
+            0,
+            Vec::new(),
+            Work::Stream {
+                remaining: total_moves,
             },
-            WorkBatch::Blocks(blocks) => Batch::Migration { blocks },
-        };
-        if task.work.remaining() == 0 {
-            self.finish_head(now, started);
-        }
-        Some(out)
+            rate_blocks_per_sec,
+            now,
+        )
     }
 
-    fn finish_head(&mut self, now: SimTime, started: SimTime) {
-        let task = self.queue.pop_front().expect("a head task exists");
-        self.completed = Some(CompletedTask {
-            kind: task.kind,
-            disk: task.disk,
-            blocks_issued: task.issued,
-            window_secs: now.saturating_since(started).as_secs(),
+    fn push(
+        &mut self,
+        kind: TaskKind,
+        disk: usize,
+        peers: Vec<usize>,
+        work: Work,
+        rate_blocks_per_sec: f64,
+        now: SimTime,
+    ) -> TaskId {
+        assert!(
+            rate_blocks_per_sec.is_finite() && rate_blocks_per_sec > 0.0,
+            "background rate must be finite and positive, got {rate_blocks_per_sec}"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(BackgroundTask {
+            id,
+            kind,
+            disk,
+            peers,
+            work,
+            rate_blocks_per_sec,
+            started: now,
+            issued: 0,
         });
-        if let Some(next) = self.queue.front_mut() {
-            next.started.get_or_insert(now);
+        id
+    }
+
+    /// Removes `count` blocks of work from streamed task `id` (client
+    /// traffic superseded pending restripe moves — they no longer need
+    /// background I/O). A no-op for unknown ids (the task already drained)
+    /// and for non-stream work bodies.
+    pub fn forfeit(&mut self, id: TaskId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(task) = self.queue.iter_mut().find(|t| t.id == id) {
+            if let Work::Stream { remaining } = &mut task.work {
+                *remaining = remaining.saturating_sub(count);
+            }
         }
     }
 
-    /// The task the last [`BackgroundEngine::poll`] completed, if any. The
-    /// owning array applies the completion side effects (mark the spare
-    /// healthy, close the migration window) exactly once.
-    pub fn take_completed(&mut self) -> Option<CompletedTask> {
-        self.completed.take()
+    /// Issues every live task's due catch-up work at `now`, split by the
+    /// fair shares when the combined demand exceeds one poll's batch cap
+    /// ([`MAX_BATCH_BLOCKS`]). Returns the issued batches in push order —
+    /// possibly empty when every task is at pace. Tasks whose work drains
+    /// (or was forfeited away) are retired and stashed for
+    /// [`BackgroundEngine::take_completed`].
+    pub fn poll(&mut self, now: SimTime) -> Vec<Batch> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1: how many blocks does each task's pace demand right now?
+        let mut due: Vec<u64> = Vec::with_capacity(self.queue.len());
+        let mut total_due = 0u64;
+        let mut weight_sum = 0.0f64;
+        for task in &self.queue {
+            let remaining = task.work.remaining();
+            let elapsed = now.saturating_since(task.started).as_secs();
+            let target = (task.rate_blocks_per_sec * elapsed) as u64;
+            let want = target.saturating_sub(task.issued).min(remaining);
+            due.push(want);
+            if want > 0 {
+                total_due += want;
+                weight_sum += self.shares.weight(task.kind);
+            }
+        }
+        // Phase 2: allocate the poll budget. Uncontended demand passes
+        // through; contended demand splits the cap by weight, with a floor
+        // of one block per hungry task (everyone makes progress every poll)
+        // and leftover budget redistributed in push order so the poll stays
+        // work-conserving.
+        let mut alloc = due.clone();
+        if total_due > MAX_BATCH_BLOCKS {
+            let mut assigned = 0u64;
+            for (task, (alloc, &want)) in self.queue.iter().zip(alloc.iter_mut().zip(&due)) {
+                if want == 0 {
+                    continue;
+                }
+                let share = self.shares.weight(task.kind) / weight_sum;
+                *alloc = ((MAX_BATCH_BLOCKS as f64 * share) as u64).clamp(1, want);
+                assigned += *alloc;
+            }
+            let mut leftover = MAX_BATCH_BLOCKS.saturating_sub(assigned);
+            for (alloc, &want) in alloc.iter_mut().zip(&due) {
+                if leftover == 0 {
+                    break;
+                }
+                let hungry = want - *alloc;
+                let extra = hungry.min(leftover);
+                *alloc += extra;
+                leftover -= extra;
+            }
+        }
+        // Phase 3: issue the batches and retire drained tasks.
+        let mut batches = Vec::new();
+        let mut index = 0;
+        self.queue.retain_mut(|task| {
+            let budget = alloc[index];
+            index += 1;
+            if budget > 0 {
+                let batch = task.work.take(budget);
+                let taken = match &batch {
+                    WorkBatch::Ranges(ranges) => ranges.iter().map(|r| r.len()).sum(),
+                    WorkBatch::Blocks(blocks) => blocks.len() as u64,
+                    WorkBatch::Budget(count) => *count,
+                };
+                task.issued += taken;
+                batches.push(match batch {
+                    WorkBatch::Ranges(ranges) => Batch::Rebuild {
+                        id: task.id,
+                        disk: task.disk,
+                        peers: task.peers.clone(),
+                        ranges,
+                    },
+                    WorkBatch::Blocks(blocks) => Batch::Migration {
+                        id: task.id,
+                        blocks,
+                    },
+                    WorkBatch::Budget(count) => Batch::Restripe {
+                        id: task.id,
+                        budget: count,
+                    },
+                });
+            }
+            if task.work.remaining() == 0 {
+                // Drained (or empty from the start, or forfeited away):
+                // retire the task and record its service window.
+                self.completed.push(CompletedTask {
+                    id: task.id,
+                    kind: task.kind,
+                    disk: task.disk,
+                    blocks_issued: task.issued,
+                    window_secs: now.saturating_since(task.started).as_secs(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        batches
+    }
+
+    /// The tasks the last [`BackgroundEngine::poll`] completed, in push
+    /// order. The owning array applies the completion side effects (mark
+    /// the spare healthy, close the migration window) exactly once.
+    pub fn take_completed(&mut self) -> Vec<CompletedTask> {
+        std::mem::take(&mut self.completed)
     }
 }
 
@@ -392,11 +619,15 @@ impl BackgroundEngine {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OldHome {
     /// The cache-partition slot holding the pre-upgrade copy (CRAID
-    /// redistribution); `None` when the old home is the pre-upgrade archive
-    /// layout (baseline restripe).
-    pub pc_slot: Option<u64>,
+    /// redistribution).
+    pub pc_slot: u64,
     /// True if the copy differs from the archive's — the *only* valid copy.
     pub dirty: bool,
+    /// The migration task ([`TaskId`]) this block was enqueued by — it keys
+    /// the preserved pre-upgrade cache-partition geometry the slot refers
+    /// to. With queued second expansions several geometries can be live at
+    /// once.
+    pub generation: TaskId,
 }
 
 /// Tracks, per logical block, the blocks an in-flight expansion migration
@@ -507,6 +738,13 @@ pub(crate) fn merge_blocks_to_ranges(blocks: &[u64]) -> Vec<BlockRange> {
 mod tests {
     use super::*;
 
+    fn rebuild_blocks(batch: &Batch) -> u64 {
+        match batch {
+            Batch::Rebuild { ranges, .. } => ranges.iter().map(|r| r.len()).sum(),
+            _ => 0,
+        }
+    }
+
     #[test]
     fn priority_parses_and_round_trips() {
         for p in [BackgroundPriority::Sequential, BackgroundPriority::HotFirst] {
@@ -533,67 +771,214 @@ mod tests {
             100.0,
         );
         // At t = 0 nothing is due yet.
-        assert!(engine.poll(SimTime::ZERO).is_none());
+        assert!(engine.poll(SimTime::ZERO).is_empty());
         // At t = 2s the pace demands 200 blocks in one batch.
-        let Some(Batch::Rebuild {
+        let batches = engine.poll(SimTime::from_secs(2.0));
+        assert_eq!(batches.len(), 1);
+        let Batch::Rebuild {
             disk,
             peers,
             ranges,
-        }) = engine.poll(SimTime::from_secs(2.0))
+            ..
+        } = &batches[0]
         else {
             panic!("a rebuild batch is due");
         };
-        assert_eq!(disk, 1);
-        assert_eq!(peers, vec![0, 2, 3]);
-        assert_eq!(ranges, vec![BlockRange::new(0, 200)]);
+        assert_eq!(*disk, 1);
+        assert_eq!(*peers, vec![0, 2, 3]);
+        assert_eq!(*ranges, vec![BlockRange::new(0, 200)]);
         // Already at pace: an immediate second poll is a no-op.
-        assert!(engine.poll(SimTime::from_secs(2.0)).is_none());
+        assert!(engine.poll(SimTime::from_secs(2.0)).is_empty());
         // Far in the future the engine catches up one capped batch at a time.
         let mut total = 200;
-        while let Some(Batch::Rebuild { ranges, .. }) = engine.poll(SimTime::from_secs(100.0)) {
-            let len: u64 = ranges.iter().map(|r| r.len()).sum();
-            assert!(len <= MAX_BATCH_BLOCKS);
-            total += len;
+        loop {
+            let batches = engine.poll(SimTime::from_secs(100.0));
+            if batches.is_empty() {
+                break;
+            }
+            for batch in &batches {
+                let len = rebuild_blocks(batch);
+                assert!(len <= MAX_BATCH_BLOCKS);
+                total += len;
+            }
         }
         assert_eq!(total, 1_000);
-        let done = engine.take_completed().expect("the rebuild finished");
-        assert_eq!(done.kind, TaskKind::Rebuild);
-        assert_eq!(done.blocks_issued, 1_000);
-        assert!(done.window_secs > 0.0);
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1, "the rebuild finished");
+        assert_eq!(done[0].kind, TaskKind::Rebuild);
+        assert_eq!(done[0].blocks_issued, 1_000);
+        assert!(done[0].window_secs > 0.0);
         assert!(engine.is_idle());
-        assert!(engine.take_completed().is_none(), "completion fires once");
+        assert!(engine.take_completed().is_empty(), "completion fires once");
     }
 
     #[test]
-    fn queued_task_starts_pacing_when_it_reaches_the_head() {
+    fn concurrent_tasks_both_progress_every_poll() {
         let mut engine = BackgroundEngine::new();
-        engine.push_rebuild(SimTime::ZERO, 0, vec![1], vec![BlockRange::new(0, 10)], 1e9);
-        engine.push_migration(SimTime::ZERO, (0..50).collect(), 10.0);
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 100_000)],
+            1e9,
+        );
+        engine.push_migration(SimTime::ZERO, (0..100_000).collect(), 1e9);
         assert!(engine.has_task(TaskKind::Rebuild));
         assert!(engine.has_task(TaskKind::ExpansionMigration));
-        assert_eq!(engine.backlog_blocks(TaskKind::ExpansionMigration), 50);
-        // The rebuild drains in one poll; the migration's clock starts there
-        // (t = 5), not at push time (t = 0).
-        let t = SimTime::from_secs(5.0);
-        assert!(matches!(engine.poll(t), Some(Batch::Rebuild { .. })));
-        assert_eq!(engine.take_completed().unwrap().kind, TaskKind::Rebuild);
-        assert!(engine.poll(t).is_none(), "migration elapsed time is zero");
-        let Some(Batch::Migration { blocks }) = engine.poll(SimTime::from_secs(7.0)) else {
-            panic!("20 migration blocks are due 2s later");
+        // Both are saturated: every poll issues work for both, splitting the
+        // cap half and half at equal weights.
+        let batches = engine.poll(SimTime::from_secs(1.0));
+        assert_eq!(batches.len(), 2);
+        let rebuild: u64 = batches.iter().map(rebuild_blocks).sum();
+        let migration: u64 = batches
+            .iter()
+            .map(|b| match b {
+                Batch::Migration { blocks, .. } => blocks.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        assert!(rebuild > 0 && migration > 0, "both make progress");
+        assert_eq!(rebuild, MAX_BATCH_BLOCKS / 2);
+        assert_eq!(migration, MAX_BATCH_BLOCKS / 2);
+    }
+
+    #[test]
+    fn contended_budget_follows_the_shares() {
+        let mut engine = BackgroundEngine::with_shares(3.0, 1.0);
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 1_000_000)],
+            1e9,
+        );
+        engine.push_migration(SimTime::ZERO, (0..100_000).collect(), 1e9);
+        let mut rebuild = 0u64;
+        let mut migration = 0u64;
+        for i in 1..=20 {
+            for batch in engine.poll(SimTime::from_secs(i as f64)) {
+                match batch {
+                    Batch::Rebuild { ranges, .. } => {
+                        rebuild += ranges.iter().map(|r| r.len()).sum::<u64>()
+                    }
+                    Batch::Migration { blocks, .. } => migration += blocks.len() as u64,
+                    Batch::Restripe { .. } => unreachable!("no stream task pushed"),
+                }
+            }
+        }
+        // 3:1 weights → the rebuild issues three times the migration's
+        // blocks, within one batch of tolerance.
+        let expected = 3.0 * migration as f64;
+        assert!(
+            (rebuild as f64 - expected).abs() <= MAX_BATCH_BLOCKS as f64,
+            "rebuild {rebuild} vs migration {migration} should honour 3:1 shares"
+        );
+    }
+
+    #[test]
+    fn uncontended_polls_bypass_the_split() {
+        let mut engine = BackgroundEngine::with_shares(5.0, 1.0);
+        // Slow rates: at t = 1s only 10 + 20 blocks are due — far below the
+        // cap, so both tasks get exactly their pace regardless of weights.
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 500)],
+            10.0,
+        );
+        engine.push_migration(SimTime::ZERO, (0..500).collect(), 20.0);
+        let batches = engine.poll(SimTime::from_secs(1.0));
+        let rebuild: u64 = batches.iter().map(rebuild_blocks).sum();
+        let migration: u64 = batches
+            .iter()
+            .map(|b| match b {
+                Batch::Migration { blocks, .. } => blocks.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(rebuild, 10);
+        assert_eq!(migration, 20);
+    }
+
+    #[test]
+    fn stream_task_issues_budgets_and_forfeits() {
+        let mut engine = BackgroundEngine::new();
+        let id = engine.push_restripe(SimTime::ZERO, 100, 10.0);
+        assert!(engine.has_task(TaskKind::ArchiveRestripe));
+        assert_eq!(engine.backlog_blocks(TaskKind::ArchiveRestripe), 100);
+        let batches = engine.poll(SimTime::from_secs(2.0));
+        assert_eq!(batches.len(), 1);
+        let Batch::Restripe { id: got, budget } = batches[0] else {
+            panic!("a restripe budget is due");
         };
-        assert_eq!(blocks, (0..20).collect::<Vec<u64>>());
-        assert_eq!(engine.backlog_blocks(TaskKind::ExpansionMigration), 30);
+        assert_eq!(got, id);
+        assert_eq!(budget, 20);
+        // Client writes supersede 70 of the remaining 80 moves.
+        engine.forfeit(id, 70);
+        assert_eq!(engine.backlog_blocks(TaskKind::ArchiveRestripe), 10);
+        // The pace-completion estimate shrank accordingly: 30 effective
+        // blocks at 10 blocks/s.
+        assert_eq!(engine.drain_eta().unwrap(), SimTime::from_secs(3.0));
+        let batches = engine.poll(SimTime::from_secs(100.0));
+        assert!(matches!(batches[0], Batch::Restripe { budget: 10, .. }));
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, TaskKind::ArchiveRestripe);
+        assert_eq!(done[0].blocks_issued, 30);
+        assert!(engine.is_idle());
+        // Forfeiting a drained task is a harmless no-op.
+        engine.forfeit(id, 5);
+    }
+
+    #[test]
+    fn forfeiting_all_work_completes_without_issuing() {
+        let mut engine = BackgroundEngine::new();
+        let id = engine.push_restripe(SimTime::ZERO, 10, 1.0);
+        engine.forfeit(id, 10);
+        assert!(engine.poll(SimTime::from_secs(0.5)).is_empty());
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].blocks_issued, 0);
+        assert!(engine.is_idle());
     }
 
     #[test]
     fn empty_migration_completes_without_issuing() {
         let mut engine = BackgroundEngine::new();
         engine.push_migration(SimTime::ZERO, Vec::new(), 100.0);
-        assert!(engine.poll(SimTime::from_secs(1.0)).is_none());
-        let done = engine.take_completed().unwrap();
-        assert_eq!(done.kind, TaskKind::ExpansionMigration);
-        assert_eq!(done.blocks_issued, 0);
+        assert!(engine.poll(SimTime::from_secs(1.0)).is_empty());
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, TaskKind::ExpansionMigration);
+        assert_eq!(done[0].blocks_issued, 0);
         assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn drain_eta_is_the_earliest_pace_completion() {
+        let mut engine = BackgroundEngine::new();
+        assert!(engine.drain_eta().is_none());
+        engine.push_rebuild(
+            SimTime::from_secs(1.0),
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 100)],
+            10.0, // completes at t = 11
+        );
+        engine.push_migration(SimTime::from_secs(2.0), (0..30).collect(), 10.0); // t = 5
+        assert_eq!(engine.drain_eta().unwrap(), SimTime::from_secs(5.0));
+        // Draining at the eta retires the migration; the rebuild remains.
+        while engine
+            .poll(SimTime::from_secs(5.0))
+            .iter()
+            .any(|b| matches!(b, Batch::Migration { .. }))
+        {}
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, TaskKind::ExpansionMigration);
+        assert_eq!(done[0].window_secs, 3.0);
+        assert_eq!(engine.drain_eta().unwrap(), SimTime::from_secs(11.0));
     }
 
     #[test]
@@ -610,7 +995,8 @@ mod tests {
             ],
             1e9,
         );
-        let Some(Batch::Rebuild { ranges, .. }) = engine.poll(SimTime::from_secs(1.0)) else {
+        let batches = engine.poll(SimTime::from_secs(1.0));
+        let Batch::Rebuild { ranges, .. } = &batches[0] else {
             panic!("everything is due");
         };
         // Hot segments first, in the given order, then the tail.
@@ -627,26 +1013,29 @@ mod tests {
         map.insert(
             7,
             OldHome {
-                pc_slot: Some(3),
+                pc_slot: 3,
                 dirty: true,
+                generation: 0,
             },
         );
         map.insert(
             2,
             OldHome {
-                pc_slot: None,
+                pc_slot: 9,
                 dirty: false,
+                generation: 1,
             },
         );
         assert_eq!(map.len(), 2);
         assert!(map.contains(7));
-        assert_eq!(map.get(7).unwrap().pc_slot, Some(3));
+        assert_eq!(map.get(7).unwrap().pc_slot, 3);
+        assert_eq!(map.get(2).unwrap().generation, 1);
         assert_eq!(
             map.iter().map(|(b, _)| b).collect::<Vec<_>>(),
             vec![2, 7],
             "iteration is in logical order"
         );
-        assert_eq!(map.remove(2).unwrap().pc_slot, None);
+        assert_eq!(map.remove(2).unwrap().pc_slot, 9);
         assert!(map.remove(2).is_none());
         map.clear();
         assert!(map.is_empty());
@@ -700,5 +1089,11 @@ mod tests {
             ]
         );
         assert!(merge_blocks_to_ranges(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn invalid_shares_are_rejected() {
+        BackgroundEngine::with_shares(0.0, 1.0);
     }
 }

@@ -186,6 +186,14 @@ pub struct ArrayConfig {
     /// by default; `HotFirst` moves the I/O monitor's hottest blocks first —
     /// the CRAID move).
     pub background_priority: crate::background::BackgroundPriority,
+    /// Fair-share weight of rebuild tasks on the background engine. When a
+    /// rebuild and a migration are both behind pace in the same poll, the
+    /// contended batch budget is split `rebuild_share : migration_share`
+    /// between them (default 1.0 — equal shares).
+    pub rebuild_share: f64,
+    /// Fair-share weight of expansion-migration and archive-restripe tasks
+    /// on the background engine (default 1.0 — equal shares).
+    pub migration_share: f64,
 }
 
 impl ArrayConfig {
@@ -222,6 +230,8 @@ impl ArrayConfig {
             rebuild_rate_blocks_per_sec: 25_600.0,
             migration_rate_blocks_per_sec: None,
             background_priority: crate::background::BackgroundPriority::Sequential,
+            rebuild_share: 1.0,
+            migration_share: 1.0,
         }
     }
 
@@ -247,6 +257,8 @@ impl ArrayConfig {
             rebuild_rate_blocks_per_sec: 25_600.0,
             migration_rate_blocks_per_sec: None,
             background_priority: crate::background::BackgroundPriority::Sequential,
+            rebuild_share: 1.0,
+            migration_share: 1.0,
         }
     }
 
@@ -284,6 +296,19 @@ impl ArrayConfig {
     /// `None` restores the instant-expand behaviour.
     pub fn with_migration_rate(mut self, blocks_per_sec: Option<f64>) -> Self {
         self.migration_rate_blocks_per_sec = blocks_per_sec;
+        self
+    }
+
+    /// Sets the background engine's fair-share weight for rebuild tasks.
+    pub fn with_rebuild_share(mut self, share: f64) -> Self {
+        self.rebuild_share = share;
+        self
+    }
+
+    /// Sets the background engine's fair-share weight for migration and
+    /// archive-restripe tasks.
+    pub fn with_migration_share(mut self, share: f64) -> Self {
+        self.migration_share = share;
         self
     }
 
@@ -409,6 +434,14 @@ impl ArrayConfig {
                 "rebuild rate must be finite and positive, got {}",
                 self.rebuild_rate_blocks_per_sec
             ));
+        }
+        for (name, share) in [
+            ("rebuild_share", self.rebuild_share),
+            ("migration_share", self.migration_share),
+        ] {
+            if !share.is_finite() || share <= 0.0 {
+                return fail(format!("{name} must be finite and positive, got {share}"));
+            }
         }
         if let Some(rate) = self.migration_rate_blocks_per_sec {
             // +inf is legal and means "instant", exactly like omitting the
@@ -565,6 +598,8 @@ mod tests {
             .with_rebuild_rate(1_000.0)
             .with_migration_rate(Some(2_000.0))
             .with_background_priority(BackgroundPriority::HotFirst)
+            .with_rebuild_share(3.0)
+            .with_migration_share(0.5)
             .with_instant_devices();
         assert_eq!(cfg.policy, PolicyKind::Arc);
         assert_eq!(cfg.pc_capacity_blocks, 512);
@@ -573,7 +608,21 @@ mod tests {
         assert_eq!(cfg.migration_rate_blocks_per_sec, Some(2_000.0));
         assert!(!cfg.instant_migration());
         assert_eq!(cfg.background_priority, BackgroundPriority::HotFirst);
+        assert_eq!(cfg.rebuild_share, 3.0);
+        assert_eq!(cfg.migration_share, 0.5);
         assert_eq!(cfg.device_tier, DeviceTier::Instant);
+    }
+
+    #[test]
+    fn fair_shares_must_be_finite_and_positive() {
+        let good = ArrayConfig::small_test(StrategyKind::Raid5, 10_000);
+        assert!(good.validate().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = good.clone().with_rebuild_share(bad);
+            assert!(cfg.validate().is_err(), "rebuild_share {bad}");
+            let cfg = good.clone().with_migration_share(bad);
+            assert!(cfg.validate().is_err(), "migration_share {bad}");
+        }
     }
 
     #[test]

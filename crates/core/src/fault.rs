@@ -245,21 +245,23 @@ mod tests {
         assert_eq!(stats.disk_repairs, 1);
 
         // At t = 0 nothing is due yet.
-        assert!(engine.poll(SimTime::ZERO).is_none());
+        assert!(engine.poll(SimTime::ZERO).is_empty());
         // At t = 2 s the pace demands 200 blocks: one batch catches up.
-        let Some(Batch::Rebuild {
+        let batches = engine.poll(SimTime::from_secs(2.0));
+        let [Batch::Rebuild {
             disk,
             peers,
             ranges,
-        }) = engine.poll(SimTime::from_secs(2.0))
+            ..
+        }] = batches.as_slice()
         else {
             panic!("a rebuild batch is due");
         };
         issue_rebuild_batch(
             SimTime::from_secs(2.0),
-            disk,
-            &peers,
-            &ranges,
+            *disk,
+            peers,
+            ranges,
             &mut devices,
             &mut events,
             &mut stats,
@@ -275,25 +277,37 @@ mod tests {
 
         // Far in the future the engine catches up in capped batches until
         // the spare holds the whole live image.
-        while let Some(Batch::Rebuild {
-            disk,
-            peers,
-            ranges,
-        }) = engine.poll(SimTime::from_secs(100.0))
-        {
-            issue_rebuild_batch(
-                SimTime::from_secs(100.0),
-                disk,
-                &peers,
-                &ranges,
-                &mut devices,
-                &mut events,
-                &mut stats,
-            );
+        loop {
+            let batches = engine.poll(SimTime::from_secs(100.0));
+            if batches.is_empty() {
+                break;
+            }
+            for batch in batches {
+                let Batch::Rebuild {
+                    disk,
+                    peers,
+                    ranges,
+                    ..
+                } = batch
+                else {
+                    panic!("only a rebuild is queued");
+                };
+                issue_rebuild_batch(
+                    SimTime::from_secs(100.0),
+                    disk,
+                    &peers,
+                    &ranges,
+                    &mut devices,
+                    &mut events,
+                    &mut stats,
+                );
+            }
         }
-        let done = engine.take_completed().expect("the rebuild finished");
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1, "the rebuild finished");
+        let done = &done[0];
         assert_eq!(done.kind, TaskKind::Rebuild);
-        complete_rebuild(&done, &mut devices, &mut stats);
+        complete_rebuild(done, &mut devices, &mut stats);
         assert_eq!(stats.rebuilds_completed, 1);
         assert_eq!(stats.rebuild_write_blocks, 1_000);
         assert_eq!(stats.rebuild_secs, 100.0);

@@ -90,6 +90,7 @@ pub mod observer;
 pub mod partition;
 pub mod redirector;
 pub mod report;
+pub mod restripe;
 pub mod scenario;
 pub mod sim;
 

@@ -248,6 +248,7 @@ impl MetricsCollector {
             // migration counters after the trackers are consumed.
             fault: crate::report::FaultStats::default(),
             migration: crate::report::MigrationStats::default(),
+            background_drain_secs: 0.0,
             requests: self.requests,
             read: summarize_response(&self.read_summary, &mut self.read_quantiles),
             write: summarize_response(&self.write_summary, &mut self.write_quantiles),

@@ -20,6 +20,54 @@ use craid_diskmodel::{BlockRange, IoKind};
 
 use crate::monitor::IoMonitor;
 use crate::partition::{ArchiveLayout, CachePartition, Partition, PartitionIo};
+use crate::restripe::RestripeState;
+
+/// How the planner reaches the archive partition. While a paced archive
+/// restripe is in flight, reads of blocks the reshape cursor has not
+/// passed resolve through the preserved pre-upgrade volume, and writes —
+/// which always land at the reshaped home — supersede the pending move
+/// (the array forwards the accumulated supersessions to the background
+/// engine as forfeited work after planning).
+pub(crate) enum ArchiveAccess<'a> {
+    /// No restripe in flight: all archive I/O targets the live volume.
+    Plain(&'a Partition<ArchiveLayout>),
+    /// Mid-restripe: split per block between the live volume and the
+    /// preserved pre-upgrade one.
+    Restriping {
+        /// The live (post-upgrade) volume.
+        current: &'a Partition<ArchiveLayout>,
+        /// The in-flight reshape (owns the pre-upgrade volume).
+        restripe: &'a mut RestripeState,
+    },
+}
+
+impl ArchiveAccess<'_> {
+    fn plan_reads(&self, blocks: &[u64]) -> Vec<PartitionIo> {
+        match self {
+            ArchiveAccess::Plain(pa) => pa.plan_blocks(IoKind::Read, blocks),
+            ArchiveAccess::Restriping { current, restripe } => {
+                let (pending, settled): (Vec<u64>, Vec<u64>) = blocks
+                    .iter()
+                    .partition(|&&b| restripe.is_pending(current, b));
+                let mut plan = current.plan_blocks(IoKind::Read, &settled);
+                plan.extend(restripe.old.plan_blocks(IoKind::Read, &pending));
+                plan
+            }
+        }
+    }
+
+    fn plan_writes(&mut self, blocks: &[u64]) -> Vec<PartitionIo> {
+        match self {
+            ArchiveAccess::Plain(pa) => pa.plan_blocks(IoKind::Write, blocks),
+            ArchiveAccess::Restriping { current, restripe } => {
+                for &block in blocks {
+                    restripe.supersede(current, block);
+                }
+                current.plan_blocks(IoKind::Write, blocks)
+            }
+        }
+    }
+}
 
 /// The physical plan for one client request.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +99,25 @@ pub fn plan_request(
     kind: IoKind,
     range: BlockRange,
 ) -> RequestPlan {
+    plan_request_iter(
+        monitor,
+        pc,
+        &mut ArchiveAccess::Plain(pa),
+        kind,
+        range.blocks(),
+        range.len(),
+    )
+}
+
+/// [`plan_request`] against an [`ArchiveAccess`] — the arrays use this
+/// while a paced archive restripe is in flight.
+pub(crate) fn plan_request_via(
+    monitor: &mut IoMonitor,
+    pc: &mut CachePartition,
+    pa: &mut ArchiveAccess<'_>,
+    kind: IoKind,
+    range: BlockRange,
+) -> RequestPlan {
     plan_request_iter(monitor, pc, pa, kind, range.blocks(), range.len())
 }
 
@@ -70,6 +137,25 @@ pub fn plan_request_blocks(
     plan_request_iter(
         monitor,
         pc,
+        &mut ArchiveAccess::Plain(pa),
+        kind,
+        blocks.iter().copied(),
+        request_blocks,
+    )
+}
+
+/// [`plan_request_blocks`] against an [`ArchiveAccess`].
+pub(crate) fn plan_request_blocks_via(
+    monitor: &mut IoMonitor,
+    pc: &mut CachePartition,
+    pa: &mut ArchiveAccess<'_>,
+    kind: IoKind,
+    blocks: &[u64],
+    request_blocks: u64,
+) -> RequestPlan {
+    plan_request_iter(
+        monitor,
+        pc,
         pa,
         kind,
         blocks.iter().copied(),
@@ -80,7 +166,7 @@ pub fn plan_request_blocks(
 fn plan_request_iter(
     monitor: &mut IoMonitor,
     pc: &mut CachePartition,
-    pa: &Partition<ArchiveLayout>,
+    pa: &mut ArchiveAccess<'_>,
     kind: IoKind,
     blocks: impl Iterator<Item = u64>,
     request_blocks: u64,
@@ -115,11 +201,12 @@ fn plan_request_iter(
 
     match kind {
         IoKind::Read => {
-            // Cached blocks are read from PC, missing blocks from PA.
+            // Cached blocks are read from PC, missing blocks from PA (from
+            // their pre-reshape location while an archive restripe has not
+            // reached them).
             plan.foreground
                 .extend(pc.plan_blocks(IoKind::Read, &hit_slots));
-            plan.foreground
-                .extend(pa.plan_blocks(IoKind::Read, &admitted_pa_blocks));
+            plan.foreground.extend(pa.plan_reads(&admitted_pa_blocks));
             // Copying the admitted blocks into their new PC slots happens in
             // the background (B.1 in the paper's control-flow figure).
             plan.background
@@ -136,11 +223,11 @@ fn plan_request_iter(
 
     // Dirty evictions: read the stale copy back from PC and rewrite the
     // original data (and its parity) in the archive — the "4 additional
-    // I/Os" of §5.1.
+    // I/Os" of §5.1. Archive writes land at the reshaped home and
+    // supersede any pending restripe move of the same block.
     plan.background
         .extend(pc.plan_blocks(IoKind::Read, &writeback_slots));
-    plan.background
-        .extend(pa.plan_blocks(IoKind::Write, &writeback_pa_blocks));
+    plan.background.extend(pa.plan_writes(&writeback_pa_blocks));
 
     plan
 }

@@ -376,6 +376,12 @@ pub struct ArraySpec {
     /// Block-ordering policy for the background engine (`"sequential"` by
     /// default, `"hot-first"` for CRAID's heat-ranked maintenance).
     pub background_priority: Option<crate::background::BackgroundPriority>,
+    /// Fair-share weight of rebuild tasks on the background engine
+    /// (default 1.0; see [`ArrayConfig::rebuild_share`]).
+    pub rebuild_share: Option<f64>,
+    /// Fair-share weight of migration and archive-restripe tasks on the
+    /// background engine (default 1.0; see [`ArrayConfig::migration_share`]).
+    pub migration_share: Option<f64>,
 }
 
 impl ArraySpec {
@@ -392,6 +398,8 @@ impl ArraySpec {
             rebuild_rate: None,
             migration_rate: None,
             background_priority: None,
+            rebuild_share: None,
+            migration_share: None,
         }
     }
 }
@@ -543,6 +551,12 @@ impl Scenario {
         }
         if let Some(priority) = self.array.background_priority {
             config.background_priority = priority;
+        }
+        if let Some(share) = self.array.rebuild_share {
+            config.rebuild_share = share;
+        }
+        if let Some(share) = self.array.migration_share {
+            config.migration_share = share;
         }
         config
     }
@@ -808,6 +822,21 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn background_priority(mut self, priority: crate::background::BackgroundPriority) -> Self {
         self.scenario.array.background_priority = Some(priority);
+        self
+    }
+
+    /// Overrides the background engine's fair-share weight for rebuilds.
+    #[must_use]
+    pub fn rebuild_share(mut self, share: f64) -> Self {
+        self.scenario.array.rebuild_share = Some(share);
+        self
+    }
+
+    /// Overrides the background engine's fair-share weight for migrations
+    /// and archive restripes.
+    #[must_use]
+    pub fn migration_share(mut self, share: f64) -> Self {
+        self.scenario.array.migration_share = Some(share);
         self
     }
 
@@ -1161,6 +1190,8 @@ mod tests {
             .repair_disk_at(SimTime::from_secs(80.0), 3)
             .migration_rate(640.0)
             .background_priority(crate::background::BackgroundPriority::HotFirst)
+            .rebuild_share(2.0)
+            .migration_share(0.25)
             .observe(ObserverSpec::Progress { every: 100 })
             .build();
 

@@ -108,7 +108,9 @@ impl DatasetMapper {
     }
 }
 
-fn gcd(mut a: u64, mut b: u64) -> u64 {
+/// Euclid's algorithm (shared with the baseline array's coprime-stride
+/// restripe sampler).
+pub(crate) fn gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         (a, b) = (b, a % b);
     }
@@ -169,9 +171,15 @@ impl Simulation {
     /// time and continues with the new workload's records from there.
     ///
     /// One interleaving loop drives every background task the array has in
-    /// flight (rebuilds, paced expansion migrations): the engine is pumped
-    /// once per client request, so maintenance I/O contends with traffic
-    /// exactly as the paper's online claim requires.
+    /// flight (rebuilds, paced expansion migrations, paced archive
+    /// restripes): the engine is pumped once per client request and splits
+    /// each pump's budget across concurrent tasks by the configured fair
+    /// shares, so maintenance I/O contends with traffic exactly as the
+    /// paper's online claim requires. Work still in flight when the trace
+    /// (and any post-trace events) end is drained afterwards, outside the
+    /// measurement window, and reported as
+    /// [`SimulationReport::background_drain_secs`] — a short trace cannot
+    /// freeze a rebuild mid-air or leave an MTTR unrecorded.
     ///
     /// # Errors
     ///
@@ -211,8 +219,10 @@ impl Simulation {
 
         let mut expansion_reports = Vec::new();
         let mut applied_events = Vec::new();
+        let mut end_time = SimTime::ZERO;
 
         for record in trace {
+            end_time = end_time.max(record.time);
             // Apply every event whose time has come.
             while let Some(event) = pending.peek() {
                 if event.at() > record.time {
@@ -262,6 +272,7 @@ impl Simulation {
         // the measurement window.
         metrics.close();
         for event in pending {
+            end_time = end_time.max(event.at());
             let expansion = apply_event(array.as_mut(), event)?;
             metrics.on_event(event, expansion.as_ref());
             observer.on_event(event, expansion.as_ref());
@@ -274,6 +285,30 @@ impl Simulation {
                 expansion_reports.push(report);
             }
         }
+
+        // End-of-trace drain: a rebuild or migration still in flight when
+        // the workload ends must not freeze forever (MTTR never recorded,
+        // pending moves stuck nonzero). Like post-trace events, the drain
+        // runs *outside* the measurement window; time jumps to each task's
+        // exact pace-completion instant (`background_drain_eta`) so the
+        // recorded windows match what an uncut trace would have produced.
+        let drain_started = end_time;
+        let mut drain_at = end_time;
+        while !array.background_idle() {
+            if let Some(eta) = array.background_drain_eta() {
+                drain_at = drain_at.max(eta);
+            }
+            let events = array.pump_background(drain_at);
+            if events.is_empty() && !array.background_idle() {
+                // The eta is computed in f64 and can round a hair short of
+                // the instant the final block comes due (`rate × elapsed`
+                // floors to `total − 1`), which would otherwise spin this
+                // loop forever. An idle pump with work still queued means
+                // exactly that: nudge time forward past the rounding error.
+                drain_at += craid_simkit::SimDuration::from_millis(1.0);
+            }
+        }
+        let drain_secs = drain_at.saturating_since(drain_started).as_secs();
 
         let craid = array.monitor_stats().map(|m| CraidStats {
             pc_capacity_blocks: array.pc_capacity_blocks(),
@@ -290,6 +325,7 @@ impl Simulation {
         let mut report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
         report.fault = array.fault_stats();
         report.migration = array.migration_stats();
+        report.background_drain_secs = drain_secs;
         observer.on_finish(&report);
         Ok((report, expansion_reports, applied_events))
     }

@@ -65,6 +65,35 @@ pub fn migration_stream<'a, A: Layout, B: Layout>(
     })
 }
 
+/// [`migration_stream`] resumed at a logical cursor: the moves of the
+/// reshape whose logical block is in `[cursor, used_blocks)`, in ascending
+/// order. Paced restripe engines call this once per background batch with
+/// their saved cursor instead of materialising (or re-walking) the whole
+/// move set, so an in-flight reshape costs O(1) memory regardless of the
+/// dataset size.
+///
+/// # Panics
+///
+/// Panics if `used_blocks` exceeds the data capacity of either layout.
+pub fn migration_stream_from<'a, A: Layout, B: Layout>(
+    old: &'a A,
+    new: &'a B,
+    cursor: u64,
+    used_blocks: u64,
+) -> impl Iterator<Item = MigrationUnit> + 'a {
+    assert!(
+        used_blocks <= old.data_capacity() && used_blocks <= new.data_capacity(),
+        "used_blocks ({used_blocks}) exceeds a layout capacity (old {}, new {})",
+        old.data_capacity(),
+        new.data_capacity()
+    );
+    (cursor.min(used_blocks)..used_blocks).filter_map(move |logical| {
+        let from = old.locate(logical);
+        let to = new.locate(logical);
+        (from != to).then_some(MigrationUnit { logical, from, to })
+    })
+}
+
 /// Number of blocks a round-robin-preserving restripe must migrate — the
 /// length of [`migration_stream`].
 ///
@@ -218,6 +247,25 @@ mod tests {
         // The stream is strictly ordered by logical block (iterable from a
         // cursor, as a paced migration engine needs).
         assert!(units.windows(2).all(|w| w[0].logical < w[1].logical));
+    }
+
+    #[test]
+    fn resumed_stream_is_a_suffix_of_the_full_stream() {
+        let old = Raid0Layout::new(4, 1, 1024).unwrap();
+        let new = Raid0Layout::new(5, 1, 1024).unwrap();
+        let used = 500;
+        let full: Vec<MigrationUnit> = migration_stream(&old, &new, used).collect();
+        // Resuming at any cursor yields exactly the moves at or past it.
+        for cursor in [0u64, 1, 123, 499, 500, 700] {
+            let resumed: Vec<MigrationUnit> =
+                migration_stream_from(&old, &new, cursor, used).collect();
+            let expected: Vec<MigrationUnit> = full
+                .iter()
+                .copied()
+                .filter(|u| u.logical >= cursor)
+                .collect();
+            assert_eq!(resumed, expected, "cursor {cursor}");
+        }
     }
 
     #[test]

@@ -8,19 +8,32 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example scenario_file [path/to/scenario.toml]
+//! cargo run --release --example scenario_file [path/to/scenario.toml] [--json]
 //! ```
+//!
+//! With `--json` the full `SimulationReport` is printed as JSON (and
+//! nothing else), which makes the output byte-diffable: CI runs the
+//! online-upgrade drill twice and diffs the two reports to pin scheduler
+//! determinism.
 
 use craid::Scenario;
 
 const DEFAULT_SCENARIO: &str = include_str!("scenarios/upgrade_drill.toml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)?,
+    let (paths, flags): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| !a.starts_with("--"));
+    let json_only = flags.iter().any(|f| f == "--json");
+    let text = match paths.first() {
+        Some(path) => std::fs::read_to_string(path)?,
         None => DEFAULT_SCENARIO.to_string(),
     };
     let scenario = Scenario::from_toml(&text)?;
+    if json_only {
+        let outcome = scenario.run()?;
+        println!("{}", outcome.report.to_json());
+        return Ok(());
+    }
     println!(
         "scenario '{}': {} on {} ({} requests, seed {})",
         scenario.name,
@@ -71,11 +84,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if report.migration.any_migrations() {
         println!(
             "online upgrade: {:.1}s window, {} blocks moved in the background \
-             ({} superseded by client traffic, {} still pending at the end)",
+             ({} superseded by client traffic, {} still pending at the end, \
+             effective order {})",
             report.migration.migration_secs,
             report.migration.migrated_blocks,
             report.migration.superseded_blocks,
-            report.migration.pending_blocks
+            report.migration.pending_blocks,
+            report
+                .migration
+                .effective_priority
+                .map(|p| p.name())
+                .unwrap_or("n/a"),
+        );
+    }
+    if report.migration.any_archive_restripes() {
+        println!(
+            "archive restripe: {:.1}s window, {} blocks reshaped \
+             ({} superseded, {} still pending at the end)",
+            report.migration.archive_restripe_secs,
+            report.migration.archive_migrated_blocks,
+            report.migration.archive_superseded_blocks,
+            report.migration.archive_pending_blocks
+        );
+    }
+    if report.background_drain_secs > 0.0 {
+        println!(
+            "end-of-trace drain: background work ran {:.1}s past the last request",
+            report.background_drain_secs
         );
     }
     println!();
