@@ -55,8 +55,13 @@ pub struct CraidArray {
     /// Expansions accepted while an archive restripe was in flight; each
     /// activates when the restripe drains (a reshape cursor cannot retarget
     /// a moving layout, so ideal-archive upgrades serialize like mdadm
-    /// reshapes, while the aggregated `+` variants pipeline freely).
+    /// reshapes, while the aggregated `+` variants pipeline freely) — and,
+    /// under [`ActivationPolicy::WaitForRepair`](crate::config::ActivationPolicy),
+    /// only once the array is healthy again.
     deferred: VecDeque<usize>,
+    /// Deferred expansions that activated since the driver last drained
+    /// them ([`StorageArray::take_activations`]).
+    activations: Vec<super::ActivatedExpansion>,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
 }
@@ -79,10 +84,17 @@ impl CraidArray {
         let pc = Self::build_pc(&config, config.disks)?;
         let pa = Self::build_pa(&config, config.disks, &config.expansion_sets)?;
         let monitor = IoMonitor::new(config.policy, pc.capacity());
+        let mut background =
+            BackgroundEngine::with_shares(config.rebuild_share, config.migration_share);
+        if let Some(spec) = &config.qos {
+            // A QoS-steered array pays attention to the controller: attach
+            // the throttle (at full scale) so retargets can scale pacing.
+            background.attach_throttle(spec.floor);
+        }
         Ok(CraidArray {
             disks: config.disks,
             expansion_sets: config.expansion_sets.clone(),
-            background: BackgroundEngine::with_shares(config.rebuild_share, config.migration_share),
+            background,
             config,
             devices,
             monitor,
@@ -92,9 +104,35 @@ impl CraidArray {
             old_pcs: BTreeMap::new(),
             archive_restripe: None,
             deferred: VecDeque::new(),
+            activations: Vec::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
         })
+    }
+
+    /// Activates queued deferred expansions whose preconditions now hold:
+    /// the blocking archive restripe has drained and — under the
+    /// wait-for-repair policy — the array is healthy. Committing an
+    /// ideal-archive expansion starts a new restripe, which re-blocks the
+    /// rest of the queue (one reshape at a time, like serialized mdadm
+    /// grows).
+    fn maybe_activate_deferred(&mut self, now: SimTime) {
+        while let Some(&added) = self.deferred.front() {
+            if self.archive_restripe.is_some() {
+                break;
+            }
+            if self.config.activation == crate::config::ActivationPolicy::WaitForRepair
+                && self.devices.degraded_disk().is_some()
+            {
+                break;
+            }
+            self.deferred.pop_front();
+            self.commit_expansion(now, added);
+            self.activations.push(super::ActivatedExpansion {
+                at: now,
+                added_disks: added,
+            });
+        }
     }
 
     fn build_pc(config: &ArrayConfig, disks: usize) -> Result<CachePartition, CraidError> {
@@ -836,25 +874,39 @@ impl StorageArray for CraidArray {
                     self.archive_restripe = None;
                     self.migration_stats.archive_restripes_completed += 1;
                     self.migration_stats.archive_restripe_secs += done.window_secs;
-                    // A queued expansion activates the moment the reshape
-                    // that blocked it drains — even if the array has since
-                    // degraded (a deliberate modeling choice: the
-                    // activation was accepted while healthy, and all of its
-                    // maintenance I/O runs through `degrade` like any other
-                    // traffic, so the model stays total and deterministic
-                    // rather than stranding the queue on a disk that may
-                    // never be repaired).
-                    if let Some(added) = self.deferred.pop_front() {
-                        self.commit_expansion(now, added);
-                    }
                 }
             }
         }
+        // A queued expansion activates the moment the reshape that blocked
+        // it drains — by default even if the array has since degraded (a
+        // deliberate modeling choice: the activation was accepted while
+        // healthy, and all of its maintenance I/O runs through `degrade`
+        // like any other traffic, so the model stays total and
+        // deterministic rather than stranding the queue on a disk that may
+        // never be repaired). With `activation = "wait-for-repair"` the
+        // activation instead holds until the rebuild completes; the same
+        // check after the completions loop is what releases it then.
+        self.maybe_activate_deferred(now);
         events
     }
 
     fn background_idle(&self) -> bool {
-        self.background.is_idle() && self.deferred.is_empty()
+        // A deferred expansion blocked by wait-for-repair on a *failed*
+        // disk (no repair scheduled, so no rebuild task exists) counts as
+        // idle: nothing can make progress until a `disk-repair` event
+        // arrives, and the end-of-trace drain must not spin on it.
+        let deferred_blocked = self.config.activation
+            == crate::config::ActivationPolicy::WaitForRepair
+            && self.devices.degraded_disk().is_some();
+        self.background.is_idle() && (self.deferred.is_empty() || deferred_blocked)
+    }
+
+    fn set_background_throttle(&mut self, now: SimTime, scale: f64) {
+        self.background.set_throttle(now, scale);
+    }
+
+    fn take_activations(&mut self) -> Vec<super::ActivatedExpansion> {
+        std::mem::take(&mut self.activations)
     }
 
     fn background_drain_eta(&self) -> Option<SimTime> {

@@ -65,6 +65,19 @@ pub struct ExpansionReport {
     pub events: Vec<DeviceIoEvent>,
 }
 
+/// One deferred expansion that activated during a background pump: the
+/// queued upgrade's layout committed and its own paced migration started.
+/// Drained by the simulation driver via [`StorageArray::take_activations`]
+/// and surfaced through
+/// [`Observer::on_deferred_activation`](crate::observer::Observer::on_deferred_activation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivatedExpansion {
+    /// The simulated instant the activation fired.
+    pub at: SimTime,
+    /// Disks the activated expansion added.
+    pub added_disks: usize,
+}
+
 /// A simulated array that serves block requests and can be upgraded online.
 pub trait StorageArray {
     /// The allocation policy this array implements.
@@ -138,6 +151,19 @@ pub trait StorageArray {
     /// Returns [`CraidError::InvalidFault`] unless `disk` is currently
     /// failed.
     fn repair_disk(&mut self, now: SimTime, disk: usize) -> Result<(), CraidError>;
+
+    /// Retargets the array's background-maintenance throttle at `now` (the
+    /// QoS controller's output, a fraction of the configured maintenance
+    /// rates in `[floor, 1.0]`). A no-op unless the array was built with a
+    /// QoS spec (which attaches the throttle to its background engine).
+    fn set_background_throttle(&mut self, _now: SimTime, _scale: f64) {}
+
+    /// Drains the deferred expansions that activated since the last call
+    /// (in activation order). The simulation driver forwards them to
+    /// [`Observer::on_deferred_activation`](crate::observer::Observer::on_deferred_activation).
+    fn take_activations(&mut self) -> Vec<ActivatedExpansion> {
+        Vec::new()
+    }
 
     /// Runs one catch-up step of the array's background engine at `now`:
     /// if a rebuild or expansion migration is in flight and behind its

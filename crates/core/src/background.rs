@@ -51,7 +51,10 @@ use serde::{Deserialize, Serialize, Value};
 /// single catch-up step from turning into a device-monopolising monster
 /// transfer when the configured rates are high or client traffic is sparse.
 /// When several tasks are behind pace at once they split this cap by their
-/// fair-share weights.
+/// fair-share weights. With a QoS throttle attached
+/// ([`BackgroundEngine::attach_throttle`]) the *effective* cap is this
+/// constant scaled by the current throttle, so a backoff shrinks both the
+/// pace and the largest burst a single poll may issue.
 pub const MAX_BATCH_BLOCKS: u64 = 2_048;
 
 /// Upper bound on the number of distinct device I/Os one rebuild batch may
@@ -247,6 +250,20 @@ enum WorkBatch {
     Budget(u64),
 }
 
+/// The QoS throttle attached to an engine: the controller's current scale
+/// and the maintenance-rate floor it is clamped to. Attaching one switches
+/// every task's pacing clock from absolute (`rate × elapsed`) to
+/// *accumulated scaled time* (`rate × Σ scale·Δt`), so retargets apply
+/// going forward without rewriting a task's past.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Throttle {
+    /// Current throttle in `[floor, 1.0]`.
+    scale: f64,
+    /// Lower clamp: maintenance never paces below this fraction of each
+    /// task's configured rate, so throttled work always finishes.
+    floor: f64,
+}
+
 /// One paced unit of background work.
 #[derive(Debug, Clone)]
 struct BackgroundTask {
@@ -262,14 +279,42 @@ struct BackgroundTask {
     /// (every queued task is live under fair share).
     started: SimTime,
     issued: u64,
+    /// Throttle-scaled seconds accumulated so far (`Σ scale·Δt` since
+    /// push); only consulted when a throttle is attached.
+    paced_secs: f64,
+    /// The instant `paced_secs` was last advanced to.
+    last_advance: SimTime,
 }
 
 impl BackgroundTask {
+    /// Blocks due by the pacing clock at `now`. Unthrottled tasks use the
+    /// original absolute formula (`rate × elapsed` — the pinned no-QoS
+    /// path); throttled tasks use the accumulated scaled clock, which the
+    /// caller must have advanced to `now` first.
+    fn pace_target(&self, now: SimTime, throttle: Option<&Throttle>) -> u64 {
+        match throttle {
+            None => {
+                let elapsed = now.saturating_since(self.started).as_secs();
+                (self.rate_blocks_per_sec * elapsed) as u64
+            }
+            Some(_) => (self.rate_blocks_per_sec * self.paced_secs) as u64,
+        }
+    }
+
     /// The simulated instant this task's pace alone would complete it:
-    /// `started + total_work / rate`. Forfeited stream work shrinks it.
-    fn pace_eta(&self) -> SimTime {
+    /// `started + total_work / rate`, or — throttled — the instant the
+    /// scaled clock reaches the remaining work at the current effective
+    /// rate. Forfeited stream work shrinks it.
+    fn pace_eta(&self, throttle: Option<&Throttle>) -> SimTime {
         let total = self.issued + self.work.remaining();
-        self.started + SimDuration::from_secs(total as f64 / self.rate_blocks_per_sec)
+        match throttle {
+            None => self.started + SimDuration::from_secs(total as f64 / self.rate_blocks_per_sec),
+            Some(t) => {
+                let deficit_secs =
+                    (total as f64 / self.rate_blocks_per_sec - self.paced_secs).max(0.0);
+                self.last_advance + SimDuration::from_secs(deficit_secs / t.scale)
+            }
+        }
     }
 }
 
@@ -330,6 +375,9 @@ pub struct BackgroundEngine {
     shares: FairShares,
     next_id: TaskId,
     completed: Vec<CompletedTask>,
+    /// The QoS throttle, when a controller is attached. `None` keeps the
+    /// original absolute pacing — bit-for-bit the pre-QoS behaviour.
+    throttle: Option<Throttle>,
 }
 
 impl BackgroundEngine {
@@ -359,6 +407,74 @@ impl BackgroundEngine {
         self.shares
     }
 
+    /// Attaches a QoS throttle with the given maintenance-rate floor
+    /// (fraction of each task's configured rate, in `(0, 1]`). The engine
+    /// starts at full scale (1.0); a controller retargets it via
+    /// [`BackgroundEngine::set_throttle`]. Attaching switches pacing to the
+    /// accumulated scaled clock — the unthrottled engine keeps the original
+    /// absolute formula untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floor is not in `(0, 1]` or a throttle is already
+    /// attached.
+    pub fn attach_throttle(&mut self, floor: f64) {
+        assert!(
+            floor.is_finite() && floor > 0.0 && floor <= 1.0,
+            "throttle floor must be in (0, 1], got {floor}"
+        );
+        assert!(
+            self.throttle.is_none(),
+            "a throttle is already attached to this engine"
+        );
+        self.throttle = Some(Throttle { scale: 1.0, floor });
+    }
+
+    /// Retargets the attached throttle at `now`: every live task's pacing
+    /// clock is first advanced to `now` at the *old* scale (a retarget
+    /// applies going forward, never rewriting the past), then the new
+    /// scale — clamped to `[floor, 1.0]` — takes effect. A no-op when no
+    /// throttle is attached.
+    pub fn set_throttle(&mut self, now: SimTime, scale: f64) {
+        let Some(throttle) = self.throttle else {
+            return;
+        };
+        self.advance_clocks(now);
+        let scale = if scale.is_finite() { scale } else { 1.0 };
+        self.throttle = Some(Throttle {
+            scale: scale.clamp(throttle.floor, 1.0),
+            ..throttle
+        });
+    }
+
+    /// The attached throttle's current scale, or `None` when unthrottled.
+    pub fn throttle_scale(&self) -> Option<f64> {
+        self.throttle.map(|t| t.scale)
+    }
+
+    /// Advances every task's accumulated scaled clock to `now` at the
+    /// current scale. Only meaningful with a throttle attached.
+    fn advance_clocks(&mut self, now: SimTime) {
+        let Some(throttle) = self.throttle else {
+            return;
+        };
+        for task in &mut self.queue {
+            let dt = now.saturating_since(task.last_advance).as_secs();
+            task.paced_secs += throttle.scale * dt;
+            task.last_advance = now;
+        }
+    }
+
+    /// One poll's combined issue budget: the static cap, scaled down by the
+    /// throttle when one is attached (never below one block — a throttled
+    /// poll still makes progress).
+    fn batch_cap(&self) -> u64 {
+        match self.throttle {
+            None => MAX_BATCH_BLOCKS,
+            Some(t) => ((MAX_BATCH_BLOCKS as f64 * t.scale) as u64).max(1),
+        }
+    }
+
     /// True when no task is queued or active.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
@@ -382,7 +498,10 @@ impl BackgroundEngine {
     /// complete it, or `None` when the engine is idle. The simulation's
     /// end-of-trace drain jumps time here instead of stepping blindly.
     pub fn drain_eta(&self) -> Option<SimTime> {
-        self.queue.iter().map(BackgroundTask::pace_eta).min()
+        self.queue
+            .iter()
+            .map(|t| t.pace_eta(self.throttle.as_ref()))
+            .min()
     }
 
     /// Enqueues a rebuild of `disk` (ranges in `segments` order, fed by
@@ -487,6 +606,8 @@ impl BackgroundEngine {
             rate_blocks_per_sec,
             started: now,
             issued: 0,
+            paced_secs: 0.0,
+            last_advance: now,
         });
         id
     }
@@ -516,14 +637,18 @@ impl BackgroundEngine {
         if self.queue.is_empty() {
             return Vec::new();
         }
+        // With a throttle attached, bring the scaled pacing clocks up to
+        // `now` first (unthrottled pacing reads absolute time and needs no
+        // advance).
+        self.advance_clocks(now);
+        let cap = self.batch_cap();
         // Phase 1: how many blocks does each task's pace demand right now?
         let mut due: Vec<u64> = Vec::with_capacity(self.queue.len());
         let mut total_due = 0u64;
         let mut weight_sum = 0.0f64;
         for task in &self.queue {
             let remaining = task.work.remaining();
-            let elapsed = now.saturating_since(task.started).as_secs();
-            let target = (task.rate_blocks_per_sec * elapsed) as u64;
+            let target = task.pace_target(now, self.throttle.as_ref());
             let want = target.saturating_sub(task.issued).min(remaining);
             due.push(want);
             if want > 0 {
@@ -537,17 +662,17 @@ impl BackgroundEngine {
         // and leftover budget redistributed in push order so the poll stays
         // work-conserving.
         let mut alloc = due.clone();
-        if total_due > MAX_BATCH_BLOCKS {
+        if total_due > cap {
             let mut assigned = 0u64;
             for (task, (alloc, &want)) in self.queue.iter().zip(alloc.iter_mut().zip(&due)) {
                 if want == 0 {
                     continue;
                 }
                 let share = self.shares.weight(task.kind) / weight_sum;
-                *alloc = ((MAX_BATCH_BLOCKS as f64 * share) as u64).clamp(1, want);
+                *alloc = ((cap as f64 * share) as u64).clamp(1, want);
                 assigned += *alloc;
             }
-            let mut leftover = MAX_BATCH_BLOCKS.saturating_sub(assigned);
+            let mut leftover = cap.saturating_sub(assigned);
             for (alloc, &want) in alloc.iter_mut().zip(&due) {
                 if leftover == 0 {
                     break;
@@ -1095,5 +1220,112 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn invalid_shares_are_rejected() {
         BackgroundEngine::with_shares(0.0, 1.0);
+    }
+
+    #[test]
+    fn throttled_task_paces_at_the_scaled_rate() {
+        let mut engine = BackgroundEngine::new();
+        engine.attach_throttle(0.1);
+        assert_eq!(engine.throttle_scale(), Some(1.0));
+        engine.push_rebuild(
+            SimTime::ZERO,
+            1,
+            vec![0],
+            vec![BlockRange::new(0, 10_000)],
+            100.0,
+        );
+        engine.set_throttle(SimTime::ZERO, 0.5);
+        assert_eq!(engine.throttle_scale(), Some(0.5));
+        // Two seconds at half scale: 100 blocks due instead of 200.
+        let issued: u64 = engine
+            .poll(SimTime::from_secs(2.0))
+            .iter()
+            .map(rebuild_blocks)
+            .sum();
+        assert_eq!(issued, 100);
+        // Retarget mid-flight: one more second at full scale adds 100.
+        engine.set_throttle(SimTime::from_secs(2.0), 1.0);
+        let issued: u64 = engine
+            .poll(SimTime::from_secs(3.0))
+            .iter()
+            .map(rebuild_blocks)
+            .sum();
+        assert_eq!(issued, 100);
+    }
+
+    #[test]
+    fn throttle_clamps_to_the_floor_and_work_still_finishes() {
+        let mut engine = BackgroundEngine::new();
+        engine.attach_throttle(0.25);
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 100)],
+            100.0,
+        );
+        // A zero request clamps to the floor: pacing continues at a quarter
+        // of the configured rate, never below it.
+        engine.set_throttle(SimTime::ZERO, 0.0);
+        assert_eq!(engine.throttle_scale(), Some(0.25));
+        let issued: u64 = engine
+            .poll(SimTime::from_secs(1.0))
+            .iter()
+            .map(rebuild_blocks)
+            .sum();
+        assert_eq!(issued, 25, "floor pace is 25 blocks/s");
+        // The drain eta accounts for the floored pace: 75 blocks left at
+        // 25 blocks/s from t = 1.
+        assert_eq!(engine.drain_eta().unwrap(), SimTime::from_secs(4.0));
+        engine.poll(SimTime::from_secs(4.0));
+        assert!(engine.is_idle(), "floored work still finishes");
+        assert_eq!(engine.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn throttle_scales_the_batch_cap() {
+        let mut engine = BackgroundEngine::new();
+        engine.attach_throttle(0.01);
+        engine.push_migration(SimTime::ZERO, (0..100_000).collect(), 1e9);
+        engine.set_throttle(SimTime::ZERO, 0.25);
+        let batches = engine.poll(SimTime::from_secs(1.0));
+        let issued: u64 = batches
+            .iter()
+            .map(|b| match b {
+                Batch::Migration { blocks, .. } => blocks.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(
+            issued,
+            MAX_BATCH_BLOCKS / 4,
+            "the cap shrinks with the throttle"
+        );
+    }
+
+    #[test]
+    fn unthrottled_engines_ignore_set_throttle() {
+        let mut engine = BackgroundEngine::new();
+        engine.set_throttle(SimTime::from_secs(1.0), 0.5);
+        assert_eq!(engine.throttle_scale(), None);
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 1_000)],
+            100.0,
+        );
+        let issued: u64 = engine
+            .poll(SimTime::from_secs(2.0))
+            .iter()
+            .map(rebuild_blocks)
+            .sum();
+        assert_eq!(issued, 200, "absolute pacing is untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be in (0, 1]")]
+    fn invalid_throttle_floor_is_rejected() {
+        BackgroundEngine::new().attach_throttle(0.0);
     }
 }

@@ -121,6 +121,69 @@ impl Deserialize for StrategyKind {
     }
 }
 
+/// When a deferred expansion (queued behind an in-flight archive restripe)
+/// is allowed to activate once that restripe drains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ActivationPolicy {
+    /// Activate unconditionally the moment the blocking restripe drains —
+    /// even on a degraded array (the activation's maintenance I/O runs
+    /// through the degraded planner like any other traffic). The
+    /// pre-existing behaviour and the default.
+    #[default]
+    Immediate,
+    /// Wait until the array is healthy: an activation that comes due while
+    /// a disk is failed or rebuilding holds until the rebuild completes
+    /// (or, if the disk is never repaired, indefinitely — the deferred
+    /// queue then survives the run and is visible via
+    /// `deferred_expansions`).
+    WaitForRepair,
+}
+
+impl ActivationPolicy {
+    /// The serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActivationPolicy::Immediate => "immediate",
+            ActivationPolicy::WaitForRepair => "wait-for-repair",
+        }
+    }
+}
+
+impl std::fmt::Display for ActivationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ActivationPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
+            "immediate" => Ok(ActivationPolicy::Immediate),
+            "wait-for-repair" | "waitforrepair" => Ok(ActivationPolicy::WaitForRepair),
+            other => Err(format!(
+                "unknown activation policy '{other}' (expected immediate or wait-for-repair)"
+            )),
+        }
+    }
+}
+
+impl Serialize for ActivationPolicy {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for ActivationPolicy {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("activation policy name", value))?;
+        s.parse().map_err(serde::Error::custom)
+    }
+}
+
 /// Which device model backs the simulated spindles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DeviceTier {
@@ -194,6 +257,16 @@ pub struct ArrayConfig {
     /// Fair-share weight of expansion-migration and archive-restripe tasks
     /// on the background engine (default 1.0 — equal shares).
     pub migration_share: f64,
+    /// Service-level objective for the QoS control subsystem. When set, a
+    /// [`QosController`](crate::qos::QosController) watches client service
+    /// quality and adaptively throttles the background engine between the
+    /// spec's maintenance floor and the configured rates. `None` (the
+    /// default) disables QoS entirely — the engine keeps its static cap,
+    /// bit-for-bit the pre-QoS behaviour.
+    pub qos: Option<crate::qos::SloSpec>,
+    /// When a deferred expansion may activate once the archive restripe
+    /// blocking it drains (default: immediately, even on a degraded array).
+    pub activation: ActivationPolicy,
 }
 
 impl ArrayConfig {
@@ -232,6 +305,8 @@ impl ArrayConfig {
             background_priority: crate::background::BackgroundPriority::Sequential,
             rebuild_share: 1.0,
             migration_share: 1.0,
+            qos: None,
+            activation: ActivationPolicy::Immediate,
         }
     }
 
@@ -259,6 +334,8 @@ impl ArrayConfig {
             background_priority: crate::background::BackgroundPriority::Sequential,
             rebuild_share: 1.0,
             migration_share: 1.0,
+            qos: None,
+            activation: ActivationPolicy::Immediate,
         }
     }
 
@@ -309,6 +386,20 @@ impl ArrayConfig {
     /// archive-restripe tasks.
     pub fn with_migration_share(mut self, share: f64) -> Self {
         self.migration_share = share;
+        self
+    }
+
+    /// Attaches a QoS service-level objective: the background engine's pace
+    /// becomes a function of observed client service quality, throttled
+    /// between the spec's maintenance floor and the configured rates.
+    pub fn with_qos(mut self, spec: crate::qos::SloSpec) -> Self {
+        self.qos = Some(spec);
+        self
+    }
+
+    /// Sets the deferred-expansion activation policy.
+    pub fn with_activation(mut self, policy: ActivationPolicy) -> Self {
+        self.activation = policy;
         self
     }
 
@@ -442,6 +533,9 @@ impl ArrayConfig {
             if !share.is_finite() || share <= 0.0 {
                 return fail(format!("{name} must be finite and positive, got {share}"));
             }
+        }
+        if let Some(spec) = &self.qos {
+            spec.validate()?;
         }
         if let Some(rate) = self.migration_rate_blocks_per_sec {
             // +inf is legal and means "instant", exactly like omitting the
@@ -623,6 +717,42 @@ mod tests {
             let cfg = good.clone().with_migration_share(bad);
             assert!(cfg.validate().is_err(), "migration_share {bad}");
         }
+    }
+
+    #[test]
+    fn activation_policy_parses_and_round_trips() {
+        for p in [ActivationPolicy::Immediate, ActivationPolicy::WaitForRepair] {
+            assert_eq!(p.name().parse::<ActivationPolicy>().unwrap(), p);
+            let v = Serialize::serialize(&p);
+            assert_eq!(ActivationPolicy::deserialize(&v).unwrap(), p);
+        }
+        assert_eq!(
+            "Wait_For_Repair".parse::<ActivationPolicy>().unwrap(),
+            ActivationPolicy::WaitForRepair
+        );
+        assert!("eventually".parse::<ActivationPolicy>().is_err());
+        assert!(ActivationPolicy::deserialize(&serde::Value::Int(1)).is_err());
+        assert_eq!(
+            ActivationPolicy::WaitForRepair.to_string(),
+            "wait-for-repair"
+        );
+    }
+
+    #[test]
+    fn qos_spec_is_validated_through_the_config() {
+        use crate::qos::SloSpec;
+        let good = ArrayConfig::small_test(StrategyKind::Craid5, 10_000)
+            .with_qos(SloSpec::latency_target(25.0))
+            .with_activation(ActivationPolicy::WaitForRepair);
+        assert!(good.validate().is_ok());
+        assert_eq!(good.activation, ActivationPolicy::WaitForRepair);
+        // An SLO without any target is rejected at config validation.
+        let bad =
+            ArrayConfig::small_test(StrategyKind::Craid5, 10_000).with_qos(SloSpec::default());
+        assert!(bad.validate().is_err());
+        let bad = ArrayConfig::small_test(StrategyKind::Craid5, 10_000)
+            .with_qos(SloSpec::latency_target(25.0).with_floor(0.0));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -37,7 +37,13 @@
 //!   queue with pluggable [`BackgroundPriority`] block ordering
 //!   (`Sequential` or heat-ranked `HotFirst`), a [`MigrationMap`] keeping
 //!   reads correct mid-upgrade, and [`MigrationStats`] (upgrade window,
-//!   blocks moved) in every report.
+//!   blocks moved) in every report;
+//! * a QoS control subsystem ([`qos`]): a per-array [`SloSpec`] (client
+//!   latency percentile and/or queue-depth targets, a maintenance-rate
+//!   floor, AIMD gains) steers a [`QosController`] that adaptively
+//!   throttles the background engine between the floor and the configured
+//!   rates, with [`QosStats`] (throttle timeline, SLO-violation seconds,
+//!   effective maintenance rate) in every report.
 //!
 //! # Quick start
 //!
@@ -88,15 +94,18 @@ pub mod mapping;
 pub mod monitor;
 pub mod observer;
 pub mod partition;
+pub mod qos;
 pub mod redirector;
 pub mod report;
 pub mod restripe;
 pub mod scenario;
 pub mod sim;
 
-pub use array::{BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray};
+pub use array::{
+    ActivatedExpansion, BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray,
+};
 pub use background::{BackgroundEngine, BackgroundPriority, MigrationMap};
-pub use config::{ArrayConfig, DeviceTier, StrategyKind};
+pub use config::{ActivationPolicy, ArrayConfig, DeviceTier, StrategyKind};
 pub use devices::DiskState;
 pub use error::CraidError;
 pub use mapping::MappingCache;
@@ -105,7 +114,8 @@ pub use observer::{
     MetricsCollector, MultiObserver, NullObserver, Observer, ProgressObserver, RequestOutcome,
 };
 pub use partition::CachePartition;
-pub use report::{CraidStats, FaultStats, MigrationStats, SimulationReport};
+pub use qos::{QosController, SloSpec};
+pub use report::{CraidStats, FaultStats, MigrationStats, QosStats, SimulationReport};
 pub use scenario::{
     AppliedEvent, ArrayPreset, ArraySpec, Campaign, ObserverSpec, Scenario, ScenarioBuilder,
     ScenarioOutcome, ScheduledEvent, WorkloadSource,

@@ -55,6 +55,20 @@ pub trait Observer {
     /// upgrade report when the event was an [`ScheduledEvent::Expand`].
     fn on_event(&mut self, _event: &ScheduledEvent, _expansion: Option<&ExpansionReport>) {}
 
+    /// Called when the QoS controller makes a *notable* throttle change —
+    /// a multiplicative backoff, or the throttle reaching its maintenance
+    /// floor or regaining the ceiling. `scale` is the new maintenance
+    /// throttle in `[floor, 1.0]`. Never called on a run without a `[qos]`
+    /// spec.
+    fn on_throttle(&mut self, _now: craid_simkit::SimTime, _scale: f64) {}
+
+    /// Called when a deferred expansion — one that was queued behind an
+    /// in-flight archive restripe — activates: its layout commits and its
+    /// own paced migration starts. `at` is the activation instant (the
+    /// pump that drained the blocking restripe, or — under the
+    /// wait-for-repair policy — the one that completed the rebuild).
+    fn on_deferred_activation(&mut self, _at: craid_simkit::SimTime, _added_disks: usize) {}
+
     /// Called once with the finished report.
     fn on_finish(&mut self, _report: &SimulationReport) {}
 }
@@ -109,6 +123,18 @@ impl Observer for MultiObserver {
     fn on_event(&mut self, event: &ScheduledEvent, expansion: Option<&ExpansionReport>) {
         for o in &mut self.observers {
             o.on_event(event, expansion);
+        }
+    }
+
+    fn on_throttle(&mut self, now: craid_simkit::SimTime, scale: f64) {
+        for o in &mut self.observers {
+            o.on_throttle(now, scale);
+        }
+    }
+
+    fn on_deferred_activation(&mut self, at: craid_simkit::SimTime, added_disks: usize) {
+        for o in &mut self.observers {
+            o.on_deferred_activation(at, added_disks);
         }
     }
 
@@ -170,6 +196,24 @@ impl Observer for ProgressObserver {
                 event.describe()
             ),
         }
+    }
+
+    fn on_throttle(&mut self, now: craid_simkit::SimTime, scale: f64) {
+        eprintln!(
+            "[{}] t = {:.1}s: maintenance throttled to {:.0}% of configured rate",
+            self.label,
+            now.as_secs(),
+            scale * 100.0
+        );
+    }
+
+    fn on_deferred_activation(&mut self, at: craid_simkit::SimTime, added_disks: usize) {
+        eprintln!(
+            "[{}] t = {:.1}s: deferred expansion activated (+{} disks)",
+            self.label,
+            at.as_secs(),
+            added_disks
+        );
     }
 }
 
@@ -248,6 +292,7 @@ impl MetricsCollector {
             // migration counters after the trackers are consumed.
             fault: crate::report::FaultStats::default(),
             migration: crate::report::MigrationStats::default(),
+            qos: crate::report::QosStats::default(),
             background_drain_secs: 0.0,
             requests: self.requests,
             read: summarize_response(&self.read_summary, &mut self.read_quantiles),
@@ -322,6 +367,8 @@ mod tests {
     struct Counting {
         requests: u64,
         events: u64,
+        throttles: u64,
+        activations: u64,
         finished: bool,
     }
 
@@ -333,6 +380,12 @@ mod tests {
         }
         fn on_event(&mut self, _e: &ScheduledEvent, _x: Option<&ExpansionReport>) {
             self.0.borrow_mut().events += 1;
+        }
+        fn on_throttle(&mut self, _now: craid_simkit::SimTime, _scale: f64) {
+            self.0.borrow_mut().throttles += 1;
+        }
+        fn on_deferred_activation(&mut self, _at: craid_simkit::SimTime, _added: usize) {
+            self.0.borrow_mut().activations += 1;
         }
         fn on_finish(&mut self, _r: &SimulationReport) {
             self.0.borrow_mut().finished = true;
@@ -356,11 +409,14 @@ mod tests {
         multi.on_request(&record, &outcome);
         let event = ScheduledEvent::expand(SimTime::ZERO, 2);
         multi.on_event(&event, None);
+        multi.on_throttle(SimTime::from_secs(1.0), 0.5);
+        multi.on_deferred_activation(SimTime::from_secs(2.0), 4);
         multi.on_finish(&SimulationReport::default());
 
         for c in [a, b] {
             let c = c.borrow();
             assert_eq!((c.requests, c.events), (1, 1));
+            assert_eq!((c.throttles, c.activations), (1, 1));
             assert!(c.finished);
         }
     }

@@ -187,6 +187,54 @@ impl MigrationStats {
     }
 }
 
+/// What the QoS control subsystem did during a run: the maintenance
+/// throttle's trajectory and how much of the run violated the configured
+/// SLO (all zero, with `enabled = false`, when the array had no `[qos]`
+/// spec — the no-QoS path never runs the controller).
+///
+/// Produced by [`QosController::finish`](crate::qos::QosController::finish)
+/// and carried on every [`SimulationReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosStats {
+    /// True when a QoS controller steered this run.
+    pub enabled: bool,
+    /// Control decisions taken (one per engine pump).
+    pub decisions: u64,
+    /// Decisions that actually changed the throttle.
+    pub throttle_changes: u64,
+    /// Throttle trajectory samples: `(simulated seconds, scale)`, recorded
+    /// on notable changes (backoffs, floor/ceiling transitions) and on
+    /// every ≥ 0.05 drift of the additive recovery ramp.
+    pub throttle_timeline: Vec<(f64, f64)>,
+    /// Timeline samples dropped beyond the storage cap (0 in practice; a
+    /// nonzero value means the timeline above is a truncated prefix).
+    pub timeline_dropped: u64,
+    /// Simulated seconds the throttle sat at the maintenance floor.
+    pub time_at_floor_secs: f64,
+    /// Simulated seconds the throttle sat at the ceiling (full configured
+    /// maintenance rate).
+    pub time_at_ceiling_secs: f64,
+    /// Simulated seconds during which the sliding-window observation
+    /// violated the SLO.
+    pub slo_violation_secs: f64,
+    /// Blocks of background maintenance I/O issued while the controller
+    /// watched.
+    pub maintenance_blocks: u64,
+    /// `maintenance_blocks` over the controlled window — the maintenance
+    /// pace the array *actually* sustained under throttling, in blocks per
+    /// simulated second.
+    pub effective_maintenance_rate: f64,
+    /// The throttle scale at the end of the measurement window.
+    pub final_scale: f64,
+}
+
+impl QosStats {
+    /// True when any control decision changed the throttle.
+    pub fn any_throttling(&self) -> bool {
+        self.enabled && self.throttle_changes > 0
+    }
+}
+
 /// Load-balance measurements (Fig. 7 / Table 6).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LoadBalanceSummary {
@@ -232,6 +280,9 @@ pub struct SimulationReport {
     /// Online-upgrade migration measurements (all zero without paced
     /// expansions).
     pub migration: MigrationStats,
+    /// QoS throttling measurements (all zero, `enabled = false`, when the
+    /// array had no `[qos]` spec).
+    pub qos: QosStats,
     /// Simulated seconds the engine kept pumping background work *after*
     /// the last trace record (the end-of-trace drain): rebuilds and
     /// migrations still in flight when the workload ends run to completion
@@ -312,6 +363,19 @@ mod tests {
                 effective_priority: Some(crate::background::BackgroundPriority::HotFirst),
                 ..MigrationStats::default()
             },
+            qos: QosStats {
+                enabled: true,
+                decisions: 40,
+                throttle_changes: 6,
+                throttle_timeline: vec![(1.0, 0.5), (3.0, 0.25), (9.0, 1.0)],
+                timeline_dropped: 0,
+                time_at_floor_secs: 2.0,
+                time_at_ceiling_secs: 5.0,
+                slo_violation_secs: 3.5,
+                maintenance_blocks: 4_000,
+                effective_maintenance_rate: 400.0,
+                final_scale: 1.0,
+            },
             background_drain_secs: 4.5,
             ..SimulationReport::default()
         };
@@ -332,6 +396,17 @@ mod tests {
             Some(crate::background::BackgroundPriority::HotFirst)
         );
         assert_eq!(back.background_drain_secs, 4.5);
+        assert!(back.qos.any_throttling());
+        assert_eq!(back.qos.throttle_timeline.len(), 3);
+        assert_eq!(back.qos.effective_maintenance_rate, 400.0);
+    }
+
+    #[test]
+    fn qos_stats_handle_empty_runs() {
+        let stats = QosStats::default();
+        assert!(!stats.any_throttling());
+        assert!(!stats.enabled);
+        assert_eq!(stats.slo_violation_secs, 0.0);
     }
 
     #[test]

@@ -382,6 +382,15 @@ pub struct ArraySpec {
     /// Fair-share weight of migration and archive-restripe tasks on the
     /// background engine (default 1.0; see [`ArrayConfig::migration_share`]).
     pub migration_share: Option<f64>,
+    /// Service-level objective for the QoS control subsystem (the
+    /// `[array.qos]` table). When set, background maintenance is
+    /// adaptively throttled between the spec's floor and the configured
+    /// rates; omitted keeps the static pacing (see [`ArrayConfig::qos`]).
+    pub qos: Option<crate::qos::SloSpec>,
+    /// Deferred-expansion activation policy override (`"immediate"` by
+    /// default; `"wait-for-repair"` holds queued activations until the
+    /// array is healthy — see [`ArrayConfig::activation`]).
+    pub activation: Option<crate::config::ActivationPolicy>,
 }
 
 impl ArraySpec {
@@ -400,6 +409,8 @@ impl ArraySpec {
             background_priority: None,
             rebuild_share: None,
             migration_share: None,
+            qos: None,
+            activation: None,
         }
     }
 }
@@ -558,6 +569,12 @@ impl Scenario {
         if let Some(share) = self.array.migration_share {
             config.migration_share = share;
         }
+        if let Some(spec) = &self.array.qos {
+            config.qos = Some(spec.clone());
+        }
+        if let Some(policy) = self.array.activation {
+            config.activation = policy;
+        }
         config
     }
 
@@ -683,6 +700,16 @@ impl Observer for PairObserver<'_> {
     fn on_event(&mut self, event: &ScheduledEvent, expansion: Option<&ExpansionReport>) {
         self.first.on_event(event, expansion);
         self.second.on_event(event, expansion);
+    }
+
+    fn on_throttle(&mut self, now: SimTime, scale: f64) {
+        self.first.on_throttle(now, scale);
+        self.second.on_throttle(now, scale);
+    }
+
+    fn on_deferred_activation(&mut self, at: SimTime, added_disks: usize) {
+        self.first.on_deferred_activation(at, added_disks);
+        self.second.on_deferred_activation(at, added_disks);
     }
 
     fn on_finish(&mut self, report: &SimulationReport) {
@@ -837,6 +864,22 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn migration_share(mut self, share: f64) -> Self {
         self.scenario.array.migration_share = Some(share);
+        self
+    }
+
+    /// Attaches a QoS service-level objective: background maintenance is
+    /// adaptively throttled between the spec's floor and the configured
+    /// rates while client service quality demands it.
+    #[must_use]
+    pub fn qos(mut self, spec: crate::qos::SloSpec) -> Self {
+        self.scenario.array.qos = Some(spec);
+        self
+    }
+
+    /// Overrides the deferred-expansion activation policy.
+    #[must_use]
+    pub fn activation(mut self, policy: crate::config::ActivationPolicy) -> Self {
+        self.scenario.array.activation = Some(policy);
         self
     }
 
@@ -1192,6 +1235,8 @@ mod tests {
             .background_priority(crate::background::BackgroundPriority::HotFirst)
             .rebuild_share(2.0)
             .migration_share(0.25)
+            .qos(crate::qos::SloSpec::latency_target(30.0).with_floor(0.2))
+            .activation(crate::config::ActivationPolicy::WaitForRepair)
             .observe(ObserverSpec::Progress { every: 100 })
             .build();
 
@@ -1220,6 +1265,11 @@ mod tests {
             pc_fraction = 0.2
             disks = 4
             expansion_sets = [4]
+            activation = "wait-for-repair"
+
+            [array.qos]
+            target_latency_ms = 25.0
+            floor = 0.15
 
             [[events]]
             kind = "expand"
@@ -1252,6 +1302,24 @@ mod tests {
         assert_eq!(s.strategy, StrategyKind::Craid5Plus);
         assert_eq!(s.workload.id, WorkloadId::Webusers);
         assert_eq!(s.array.disks, Some(4));
+        assert_eq!(
+            s.array.activation,
+            Some(crate::config::ActivationPolicy::WaitForRepair)
+        );
+        let qos = s.array.qos.as_ref().expect("the [array.qos] table parsed");
+        assert_eq!(qos.target_latency_ms, Some(25.0));
+        assert_eq!(qos.floor, 0.15);
+        assert_eq!(
+            qos.window_secs,
+            crate::qos::SloSpec::default().window_secs,
+            "omitted QoS fields take their defaults"
+        );
+        let config = s.array_config(&s.trace());
+        assert!(config.qos.is_some(), "the spec reaches the array config");
+        assert_eq!(
+            config.activation,
+            crate::config::ActivationPolicy::WaitForRepair
+        );
         assert_eq!(s.events.len(), 5);
         assert_eq!(
             s.events[4],

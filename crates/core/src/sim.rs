@@ -181,6 +181,14 @@ impl Simulation {
     /// [`SimulationReport::background_drain_secs`] — a short trace cannot
     /// freeze a rebuild mid-air or leave an MTTR unrecorded.
     ///
+    /// When the configuration carries a QoS spec ([`ArrayConfig::qos`]), a
+    /// [`QosController`](crate::qos::QosController) additionally watches
+    /// every client completion and retargets the array's maintenance
+    /// throttle ahead of each pump (AIMD between the spec's floor and the
+    /// configured rates); its [`QosStats`](crate::report::QosStats) ride
+    /// on the report. Without a spec no controller exists and the engine's
+    /// static pacing is untouched.
+    ///
     /// # Errors
     ///
     /// Returns a [`CraidError`] if the configuration or an event is
@@ -221,6 +229,13 @@ impl Simulation {
         let mut applied_events = Vec::new();
         let mut end_time = SimTime::ZERO;
 
+        // The QoS control loop, when the configuration carries an SLO: the
+        // controller watches client completions through a sliding window
+        // and retargets the array's maintenance throttle ahead of every
+        // background pump. Without a `[qos]` spec no controller exists and
+        // the engine's static pacing is untouched.
+        let mut qos = config.qos.clone().map(crate::qos::QosController::new);
+
         for record in trace {
             end_time = end_time.max(record.time);
             // Apply every event whose time has come.
@@ -242,18 +257,37 @@ impl Simulation {
                 }
             }
 
+            // One control decision ahead of the pump: while the sliding
+            // window violates the SLO the maintenance throttle backs off
+            // multiplicatively; while it is met it recovers additively.
+            if let Some(controller) = qos.as_mut() {
+                if let Some(retarget) = controller.evaluate(record.time) {
+                    array.set_background_throttle(record.time, retarget.scale);
+                    if retarget.notable {
+                        observer.on_throttle(record.time, retarget.scale);
+                    }
+                }
+            }
+
             // One catch-up step of the background engine ahead of the
             // client I/O: rebuild and migration batches occupy devices (the
             // client does not wait on them) and count into the measurement
             // window like any other traffic.
             let background = array.pump_background(record.time);
+            if let Some(controller) = qos.as_mut() {
+                controller.note_maintenance(&background);
+            }
+            for activation in array.take_activations() {
+                observer.on_deferred_activation(activation.at, activation.added_disks);
+            }
 
             let ranges = mapper.map(BlockRange::new(record.offset, record.length));
             let mut outcome = RequestOutcome {
                 worst_ms: 0.0,
                 reports: Vec::with_capacity(ranges.len() + 1),
             };
-            if !background.is_empty() {
+            let has_background_report = !background.is_empty();
+            if has_background_report {
                 outcome.reports.push(RequestReport {
                     events: background,
                     ..RequestReport::default()
@@ -264,6 +298,18 @@ impl Simulation {
                 outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
                 outcome.reports.push(report);
             }
+            if let Some(controller) = qos.as_mut() {
+                // The first report carries the pump's maintenance batch
+                // (when one was issued); the controller must only see the
+                // *client* I/O, or it would throttle against the queue
+                // depths of the very maintenance it paces.
+                let client_from = usize::from(has_background_report);
+                controller.observe(
+                    record.time,
+                    outcome.worst_ms,
+                    &outcome.reports[client_from..],
+                );
+            }
             metrics.on_request(record, &outcome);
             observer.on_request(record, &outcome);
         }
@@ -271,6 +317,7 @@ impl Simulation {
         // Events scheduled after the last request still execute, outside
         // the measurement window.
         metrics.close();
+        let measured_end = end_time;
         for event in pending {
             end_time = end_time.max(event.at());
             let expansion = apply_event(array.as_mut(), event)?;
@@ -294,11 +341,23 @@ impl Simulation {
         // recorded windows match what an uncut trace would have produced.
         let drain_started = end_time;
         let mut drain_at = end_time;
+        if qos.is_some() {
+            // No clients are left to protect: release the throttle so the
+            // drain runs at the full configured rates. Leaving the last
+            // in-trace backoff frozen would inflate the drain (and any
+            // still-running rebuild's MTTR) by up to 1/floor for no one's
+            // benefit — exactly what a real controller's additive recovery
+            // would undo on an idle array.
+            array.set_background_throttle(drain_started, 1.0);
+        }
         while !array.background_idle() {
             if let Some(eta) = array.background_drain_eta() {
                 drain_at = drain_at.max(eta);
             }
             let events = array.pump_background(drain_at);
+            for activation in array.take_activations() {
+                observer.on_deferred_activation(activation.at, activation.added_disks);
+            }
             if events.is_empty() && !array.background_idle() {
                 // The eta is computed in f64 and can round a hair short of
                 // the instant the final block comes due (`rate × elapsed`
@@ -325,6 +384,13 @@ impl Simulation {
         let mut report = metrics.finish(config.strategy.name(), trace.name(), craid, device_bytes);
         report.fault = array.fault_stats();
         report.migration = array.migration_stats();
+        if let Some(controller) = qos {
+            // The controller's watch ends with the measurement window (the
+            // last trace record); post-trace events and the drain run
+            // outside it and must not dilute the time accounting or the
+            // effective-rate denominator.
+            report.qos = controller.finish(measured_end);
+        }
         report.background_drain_secs = drain_secs;
         observer.on_finish(&report);
         Ok((report, expansion_reports, applied_events))

@@ -107,6 +107,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.migration.archive_pending_blocks
         );
     }
+    if report.qos.enabled {
+        println!(
+            "qos: {} decisions, {} throttle changes, {:.1}s in violation of the SLO, \
+             {:.1}s at the floor / {:.1}s at full rate, effective maintenance \
+             {:.0} blocks/s (final throttle {:.0}%)",
+            report.qos.decisions,
+            report.qos.throttle_changes,
+            report.qos.slo_violation_secs,
+            report.qos.time_at_floor_secs,
+            report.qos.time_at_ceiling_secs,
+            report.qos.effective_maintenance_rate,
+            report.qos.final_scale * 100.0
+        );
+    }
     if report.background_drain_secs > 0.0 {
         println!(
             "end-of-trace drain: background work ran {:.1}s past the last request",
