@@ -1,0 +1,708 @@
+//! Symbolic interpretation of a [`ScheduledEvent`] timeline.
+//!
+//! The schedule is replayed abstractly — no devices, no I/O, no clock —
+//! over per-disk state machines and the expansion/activation rules the
+//! engine enforces at run time. Time-unknown outcomes (how far a paced
+//! rebuild or restripe has progressed) are treated **optimistically**:
+//! a finding is an error only when it is provable for every possible
+//! pacing, and a warning when some pacing makes the schedule misbehave.
+//! That asymmetry is what lets every shipped drill analyse clean while
+//! impossible schedules are still rejected with stable codes.
+//!
+//! Symbolic per-disk states:
+//!
+//! * `Healthy` — definitely present and clean;
+//! * `Failed` — a `disk-failure` applied and no repair has;
+//! * `Rebuilding` — a repair applied; completion time is unknown, so
+//!   later checks assume the rebuild may already have finished.
+//!
+//! Expansion generations are tracked as *committed* disks (definitely
+//! installed) plus *pending* disks from deferred expansions (queued
+//! behind an in-flight archive restripe; installed at an unknown later
+//! time). A deferred expansion is *provably* deferred when it shares
+//! its timestamp with the restripe that blocks it — nothing drains in
+//! zero simulated time — which is the anchor for the provably-stuck
+//! `wait-for-repair` finding ([`codes::UNREACHABLE_ACTIVATION`]).
+
+use craid_simkit::SimTime;
+use craid_trace::SyntheticWorkload;
+
+use crate::analyze::{codes, Diagnostic};
+use crate::config::{ActivationPolicy, ArrayConfig};
+use crate::scenario::ScheduledEvent;
+
+/// Symbolic state of one mechanical disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SymDisk {
+    Healthy,
+    Failed,
+    Rebuilding,
+}
+
+/// One expansion the symbolic replay decided is deferred.
+#[derive(Debug, Clone, Copy)]
+struct DeferredExpansion {
+    index: usize,
+    at: SimTime,
+    /// True when the blocking restripe provably cannot have drained
+    /// (it started at this very timestamp).
+    provable: bool,
+}
+
+/// Relative slack applied to the estimated replay horizon before
+/// flagging an event as beyond it: arrival times are stochastic, so the
+/// statically-computed duration is an expectation, not a bound.
+const HORIZON_SLACK: f64 = 0.10;
+
+/// Abstractly replays `events` against `config`'s rules and returns
+/// every finding. `base_duration_secs` is the statically-scaled replay
+/// duration of the scenario's workload, when known — it enables the
+/// beyond-replay reach check ([`codes::EVENT_BEYOND_REPLAY`]).
+pub fn check_schedule(
+    config: &ArrayConfig,
+    events: &[ScheduledEvent],
+    base_duration_secs: Option<f64>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Mirror the engine: stable sort by time, equal times keep
+    // declaration order. Original indices anchor diagnostic paths.
+    let mut schedule: Vec<(usize, &ScheduledEvent)> = events.iter().enumerate().collect();
+    schedule.sort_by_key(|(_, e)| e.at());
+
+    // The replay horizon: the base workload's scaled duration, rewound
+    // and extended by each trace-swapping phase (the composite trace
+    // truncates at the swap and continues with the new segment).
+    let horizon = base_duration_secs.map(|base| {
+        let mut end = base;
+        for (_, event) in &schedule {
+            if let ScheduledEvent::WorkloadPhase {
+                at,
+                workload: Some(source),
+                ..
+            } = event
+            {
+                if source.requests > 0 {
+                    end = at.as_secs()
+                        + SyntheticWorkload::paper_scaled_to(source.id, source.requests)
+                            .scaled_duration_secs();
+                }
+            }
+        }
+        end
+    });
+
+    let paced = !config.instant_migration();
+    let aggregated = config.strategy.archive_is_aggregated();
+
+    let mut disks: Vec<SymDisk> = vec![SymDisk::Healthy; config.disks];
+    // Failure times of disks currently in `Failed`, for the activation
+    // analysis at the end ([index], set on failure, cleared on repair).
+    let mut failed_at: Vec<(usize, SimTime)> = Vec::new();
+    // Disks added by deferred expansions: possibly installed, possibly
+    // still queued. Index range [disks.len(), disks.len() + pending).
+    let mut pending_disks: usize = 0;
+    // Indices in the pending range that a (possibly-applied) failure
+    // targeted; repairs of them are unprovable either way.
+    let mut maybe_failed: Vec<usize> = Vec::new();
+    // Start time of the most recent committed archive restripe.
+    let mut restripe_since: Option<SimTime> = None;
+    let mut deferred: Vec<DeferredExpansion> = Vec::new();
+
+    for (position, &(index, event)) in schedule.iter().enumerate() {
+        let at = event.at();
+        let path = |field: &str| {
+            if field.is_empty() {
+                format!("events[{index}]")
+            } else {
+                format!("events[{index}].{field}")
+            }
+        };
+
+        // Exact duplicates at the same timestamp. Failures/repairs are
+        // judged by the state machine below; expansions legitimately
+        // repeat (each adds another generation); switches and phases
+        // are almost certainly author mistakes.
+        if matches!(
+            event,
+            ScheduledEvent::PolicySwitch { .. } | ScheduledEvent::WorkloadPhase { .. }
+        ) && schedule[..position]
+            .iter()
+            .any(|&(_, prior)| prior.at() == at && prior == event)
+        {
+            out.push(
+                Diagnostic::warning(
+                    codes::DUPLICATE_EVENT,
+                    path(""),
+                    format!(
+                        "duplicate event at t = {}s: {}",
+                        at.as_secs(),
+                        event.describe()
+                    ),
+                )
+                .with_help(
+                    "a duplicated trace-swapping phase splices its records in twice, \
+                     double-counting the workload",
+                ),
+            );
+        }
+
+        match event {
+            ScheduledEvent::Expand { added_disks, .. } => {
+                let added = *added_disks;
+                if added == 0 {
+                    out.push(
+                        Diagnostic::error(
+                            codes::EXPAND_ADDS_NOTHING,
+                            path("added_disks"),
+                            format!("expansion at t = {}s adds no disks", at.as_secs()),
+                        )
+                        .with_help("the engine rejects shrink/no-op expansions; remove the event"),
+                    );
+                    continue;
+                }
+                if let Some(&(disk, failed)) = failed_at.first() {
+                    out.push(
+                        Diagnostic::error(
+                            codes::EXPAND_ON_FAILED_ARRAY,
+                            path(""),
+                            format!(
+                                "expansion at t = {}s while disk {disk} is failed \
+                                 (since t = {}s, never repaired before the expansion)",
+                                at.as_secs(),
+                                failed.as_secs()
+                            ),
+                        )
+                        .with_help("schedule a disk-repair before the expansion"),
+                    );
+                    continue;
+                }
+                if aggregated {
+                    if added < 2 {
+                        out.push(
+                            Diagnostic::error(
+                                codes::EXPAND_SET_TOO_SMALL,
+                                path("added_disks"),
+                                format!(
+                                    "aggregated expansion at t = {}s adds {added} disk(s); \
+                                     every new RAID set needs at least 2",
+                                    at.as_secs()
+                                ),
+                            )
+                            .with_help("`+` archives grow by whole parity sets"),
+                        );
+                        continue;
+                    }
+                } else {
+                    let projected = disks.len() + pending_disks + added;
+                    if config.parity_group >= 2 && !projected.is_multiple_of(config.parity_group) {
+                        out.push(
+                            Diagnostic::error(
+                                codes::EXPAND_BREAKS_PARITY,
+                                path("added_disks"),
+                                format!(
+                                    "expansion at t = {}s grows the array to {projected} disks, \
+                                     which the parity group {} does not divide",
+                                    at.as_secs(),
+                                    config.parity_group
+                                ),
+                            )
+                            .with_help(
+                                "ideally-restriped archives keep full-width parity groups; \
+                                 add a multiple of the group width",
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                // Deferral: a paced, non-aggregated expansion queues
+                // behind an in-flight archive restripe. Provably still
+                // in flight only at the restripe's own timestamp.
+                if paced && !aggregated {
+                    if let Some(since) = restripe_since {
+                        deferred.push(DeferredExpansion {
+                            index,
+                            at,
+                            provable: at == since,
+                        });
+                        pending_disks += added;
+                        continue;
+                    }
+                    restripe_since = Some(at);
+                }
+                // Committed: the new disks join healthy.
+                disks.extend(std::iter::repeat_n(SymDisk::Healthy, added));
+            }
+            ScheduledEvent::DiskFailure { disk, .. } => {
+                let disk = *disk;
+                if disk >= disks.len() + pending_disks {
+                    out.push(
+                        Diagnostic::error(
+                            codes::NO_SUCH_DISK,
+                            path("disk"),
+                            format!(
+                                "disk {disk} does not exist at t = {}s: the array has \
+                                 {} mechanical disk(s) then (and {} more pending activation)",
+                                at.as_secs(),
+                                disks.len(),
+                                pending_disks
+                            ),
+                        )
+                        .with_help("disk indices are zero-based and count mechanical disks only"),
+                    );
+                    continue;
+                }
+                if disk >= disks.len() {
+                    out.push(
+                        Diagnostic::warning(
+                            codes::DISK_MAY_NOT_EXIST_YET,
+                            path("disk"),
+                            format!(
+                                "disk {disk} belongs to an expansion that may still be \
+                                 deferred at t = {}s; the failure is rejected unless the \
+                                 expansion activated first",
+                                at.as_secs()
+                            ),
+                        )
+                        .with_help("target a disk of the initial array, or move the event later"),
+                    );
+                    if !maybe_failed.contains(&disk) {
+                        maybe_failed.push(disk);
+                    }
+                    continue;
+                }
+                if let Some(&(failed_disk, since)) = failed_at.first() {
+                    out.push(
+                        Diagnostic::error(
+                            codes::DOUBLE_FAILURE,
+                            path("disk"),
+                            format!(
+                                "disk {disk} fails at t = {}s while disk {failed_disk} is \
+                                 already failed (since t = {}s); the single-fault model \
+                                 supports one concurrent failure",
+                                at.as_secs(),
+                                since.as_secs()
+                            ),
+                        )
+                        .with_help("repair the first disk before failing another"),
+                    );
+                    continue;
+                }
+                // A rebuilding disk may have finished by now; the
+                // engine only refuses while the rebuild is in flight,
+                // so optimistically complete outstanding rebuilds.
+                for state in disks.iter_mut() {
+                    if *state == SymDisk::Rebuilding {
+                        *state = SymDisk::Healthy;
+                    }
+                }
+                disks[disk] = SymDisk::Failed;
+                failed_at.push((disk, at));
+            }
+            ScheduledEvent::DiskRepair { disk, .. } => {
+                let disk = *disk;
+                if disk >= disks.len() + pending_disks {
+                    out.push(
+                        Diagnostic::error(
+                            codes::NO_SUCH_DISK,
+                            path("disk"),
+                            format!(
+                                "disk {disk} does not exist at t = {}s: the array has \
+                                 {} mechanical disk(s) then (and {} more pending activation)",
+                                at.as_secs(),
+                                disks.len(),
+                                pending_disks
+                            ),
+                        )
+                        .with_help("disk indices are zero-based and count mechanical disks only"),
+                    );
+                    continue;
+                }
+                if disk >= disks.len() {
+                    // A pending-range disk: only repairable if its
+                    // failure (itself only maybe-applied) went through.
+                    if let Some(i) = maybe_failed.iter().position(|&d| d == disk) {
+                        maybe_failed.swap_remove(i);
+                    } else {
+                        out.push(Diagnostic::error(
+                            codes::REPAIR_WITHOUT_FAILURE,
+                            path("disk"),
+                            format!(
+                                "disk {disk} is repaired at t = {}s but cannot be failed \
+                                 then (it is pending activation and no failure targeted it)",
+                                at.as_secs()
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                if disks[disk] != SymDisk::Failed {
+                    // Healthy and rebuilding disks alike: even if an
+                    // outstanding rebuild already completed, the disk
+                    // is healthy — the repair is invalid either way.
+                    out.push(
+                        Diagnostic::error(
+                            codes::REPAIR_WITHOUT_FAILURE,
+                            path("disk"),
+                            format!(
+                                "disk {disk} is repaired at t = {}s but is not failed then",
+                                at.as_secs()
+                            ),
+                        )
+                        .with_help("repairs must follow a disk-failure of the same disk"),
+                    );
+                    continue;
+                }
+                disks[disk] = SymDisk::Rebuilding;
+                failed_at.retain(|&(d, _)| d != disk);
+            }
+            ScheduledEvent::PolicySwitch { policy, .. } => {
+                if let Some(&(other_index, _)) = schedule[..position].iter().find(|&&(_, prior)| {
+                    matches!(prior, ScheduledEvent::PolicySwitch { policy: p, .. }
+                             if prior.at() == at && p != policy)
+                }) {
+                    out.push(
+                        Diagnostic::warning(
+                            codes::CONFLICTING_POLICY_SWITCH,
+                            path("policy"),
+                            format!(
+                                "conflicting policy switches at t = {}s (events[{other_index}] \
+                                 switches to a different policy at the same instant); the \
+                                 later declaration wins",
+                                at.as_secs()
+                            ),
+                        )
+                        .with_help("keep one switch per instant"),
+                    );
+                }
+            }
+            ScheduledEvent::WorkloadPhase { .. } => {}
+        }
+    }
+
+    // Reach: events strictly beyond the (slack-padded) replay horizon
+    // execute after the last request, outside the measurement window.
+    // Trace-swapping phases extend the horizon instead, and are exempt.
+    if let Some(end) = horizon {
+        let padded = end * (1.0 + HORIZON_SLACK) + 1.0;
+        for (index, event) in events.iter().enumerate() {
+            let swaps_trace = matches!(
+                event,
+                ScheduledEvent::WorkloadPhase {
+                    workload: Some(_),
+                    ..
+                }
+            );
+            if !swaps_trace && event.at().as_secs() > padded {
+                out.push(
+                    Diagnostic::warning(
+                        codes::EVENT_BEYOND_REPLAY,
+                        format!("events[{index}].at_secs"),
+                        format!(
+                            "event at t = {}s is beyond the replay's estimated end \
+                             (~{end:.0}s): it executes after the last request, outside \
+                             the measurement window",
+                            event.at().as_secs()
+                        ),
+                    )
+                    .with_help("move the event earlier or scale the workload up"),
+                );
+            }
+        }
+    }
+
+    // Activation analysis: under wait-for-repair, a deferred expansion
+    // only activates once the blocking restripe drains *and* the array
+    // is healthy. A failure that is never repaired can therefore
+    // strand the activation — provably, when failure, restripe start
+    // and deferral all share one timestamp (the restripe cannot have
+    // drained in zero time, so the activation comes due strictly after
+    // the failure, against a permanently degraded array).
+    if config.activation == ActivationPolicy::WaitForRepair && !deferred.is_empty() {
+        let terminal_failure = failed_at.first().copied();
+        for d in &deferred {
+            match terminal_failure {
+                Some((disk, failed)) if d.provable && failed == d.at => {
+                    out.push(
+                        Diagnostic::error(
+                            codes::UNREACHABLE_ACTIVATION,
+                            format!("events[{}]", d.index),
+                            format!(
+                                "deferred expansion at t = {}s can never activate: it is \
+                                 queued behind a restripe still in flight when disk {disk} \
+                                 fails at the same instant, the failure is never repaired, \
+                                 and activation = \"wait-for-repair\" requires a healthy array",
+                                d.at.as_secs()
+                            ),
+                        )
+                        .with_help("schedule a disk-repair, or use activation = \"immediate\""),
+                    );
+                }
+                Some((disk, failed)) if failed >= d.at => {
+                    out.push(
+                        Diagnostic::warning(
+                            codes::ACTIVATION_MAY_STALL,
+                            format!("events[{}]", d.index),
+                            format!(
+                                "deferred expansion at t = {}s may never activate: disk \
+                                 {disk} fails at t = {}s without a later repair, and \
+                                 activation = \"wait-for-repair\" holds the queue while \
+                                 the array is degraded",
+                                d.at.as_secs(),
+                                failed.as_secs()
+                            ),
+                        )
+                        .with_help("repair the disk, or use activation = \"immediate\""),
+                    );
+                }
+                _ => {
+                    if let Some(&disk) = maybe_failed.first() {
+                        out.push(
+                            Diagnostic::warning(
+                                codes::ACTIVATION_MAY_STALL,
+                                format!("events[{}]", d.index),
+                                format!(
+                                    "deferred expansion at t = {}s may never activate: a \
+                                     failure targeting pending disk {disk} is never \
+                                     repaired under activation = \"wait-for-repair\"",
+                                    d.at.as_secs()
+                                ),
+                            )
+                            .with_help("repair the disk, or use activation = \"immediate\""),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyKind;
+
+    fn craid(migration_rate: Option<f64>) -> ArrayConfig {
+        let mut config = ArrayConfig::small_test(StrategyKind::Craid5, 10_000);
+        config.migration_rate_blocks_per_sec = migration_rate;
+        config
+    }
+
+    fn codes_of(config: &ArrayConfig, events: &[ScheduledEvent]) -> Vec<&'static str> {
+        check_schedule(config, events, None)
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_failure_drill_has_no_findings() {
+        let t = SimTime::from_secs;
+        let events = vec![
+            ScheduledEvent::disk_failure(t(25.0), 2),
+            ScheduledEvent::disk_repair(t(50.0), 2),
+            ScheduledEvent::expand(t(75.0), 4),
+        ];
+        assert!(codes_of(&craid(None), &events).is_empty());
+    }
+
+    #[test]
+    fn repair_of_healthy_and_double_failure_are_errors() {
+        let t = SimTime::from_secs;
+        let events = vec![ScheduledEvent::disk_repair(t(10.0), 1)];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::REPAIR_WITHOUT_FAILURE]
+        );
+
+        let events = vec![
+            ScheduledEvent::disk_failure(t(10.0), 1),
+            ScheduledEvent::disk_failure(t(20.0), 3),
+        ];
+        assert_eq!(codes_of(&craid(None), &events), vec![codes::DOUBLE_FAILURE]);
+
+        // Repair of a *rebuilding* disk is provably invalid too: even
+        // a completed rebuild leaves it healthy.
+        let events = vec![
+            ScheduledEvent::disk_failure(t(10.0), 1),
+            ScheduledEvent::disk_repair(t(20.0), 1),
+            ScheduledEvent::disk_repair(t(30.0), 1),
+        ];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::REPAIR_WITHOUT_FAILURE]
+        );
+    }
+
+    #[test]
+    fn failure_after_optimistic_rebuild_completion_is_clean() {
+        let t = SimTime::from_secs;
+        let events = vec![
+            ScheduledEvent::disk_failure(t(10.0), 1),
+            ScheduledEvent::disk_repair(t(20.0), 1),
+            ScheduledEvent::disk_failure(t(500.0), 2),
+            ScheduledEvent::disk_repair(t(510.0), 2),
+        ];
+        assert!(codes_of(&craid(None), &events).is_empty());
+    }
+
+    #[test]
+    fn expansion_shape_errors() {
+        let t = SimTime::from_secs;
+        let events = vec![ScheduledEvent::expand(t(10.0), 0)];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::EXPAND_ADDS_NOTHING]
+        );
+
+        // small_test: 8 disks, parity group 4 — adding 3 breaks it.
+        let events = vec![ScheduledEvent::expand(t(10.0), 3)];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::EXPAND_BREAKS_PARITY]
+        );
+
+        // Aggregated archives need sets of >= 2.
+        let mut plus = ArrayConfig::small_test(StrategyKind::Craid5Plus, 10_000);
+        plus.migration_rate_blocks_per_sec = None;
+        let events = vec![ScheduledEvent::expand(t(10.0), 1)];
+        assert_eq!(codes_of(&plus, &events), vec![codes::EXPAND_SET_TOO_SMALL]);
+
+        let events = vec![
+            ScheduledEvent::disk_failure(t(10.0), 1),
+            ScheduledEvent::expand(t(20.0), 4),
+        ];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::EXPAND_ON_FAILED_ARRAY]
+        );
+    }
+
+    #[test]
+    fn disk_indices_track_expansion_generations() {
+        let t = SimTime::from_secs;
+        // Disk 9 exists only after the instant expansion at t=10.
+        let events = vec![
+            ScheduledEvent::disk_failure(t(5.0), 9),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(20.0), 9),
+            ScheduledEvent::disk_repair(t(30.0), 9),
+        ];
+        assert_eq!(codes_of(&craid(None), &events), vec![codes::NO_SUCH_DISK]);
+
+        // With paced migration the second expansion defers, so its
+        // disks are only *maybe* installed.
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(20.0), 14),
+        ];
+        assert_eq!(
+            codes_of(&craid(Some(100.0)), &events),
+            vec![codes::DISK_MAY_NOT_EXIST_YET]
+        );
+    }
+
+    #[test]
+    fn same_instant_expansions_defer_provably() {
+        let t = SimTime::from_secs;
+        let config = {
+            let mut c = craid(Some(100.0));
+            c.activation = ActivationPolicy::WaitForRepair;
+            c
+        };
+        // expand A commits and starts the restripe; expand B (same
+        // instant) provably defers; the failure at the same instant is
+        // never repaired -> the activation provably never fires.
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(10.0), 0),
+        ];
+        assert_eq!(
+            codes_of(&config, &events),
+            vec![codes::UNREACHABLE_ACTIVATION]
+        );
+
+        // A later failure only *may* strand it (the restripe may have
+        // drained and activated the queue first).
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(400.0), 0),
+        ];
+        assert_eq!(
+            codes_of(&config, &events),
+            vec![codes::ACTIVATION_MAY_STALL]
+        );
+
+        // With a repair, the activation eventually fires: clean.
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(400.0), 0),
+            ScheduledEvent::disk_repair(t(420.0), 0),
+        ];
+        assert!(codes_of(&config, &events).is_empty());
+
+        // Under the default immediate activation the queue drains
+        // regardless of array health: clean.
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::disk_failure(t(10.0), 0),
+        ];
+        assert!(codes_of(&craid(Some(100.0)), &events).is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_conflicting_same_instant_events_warn() {
+        use craid_cache::PolicyKind;
+        let t = SimTime::from_secs;
+        let events = vec![
+            ScheduledEvent::policy_switch(t(10.0), PolicyKind::Arc),
+            ScheduledEvent::policy_switch(t(10.0), PolicyKind::Lru),
+        ];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::CONFLICTING_POLICY_SWITCH]
+        );
+
+        let events = vec![
+            ScheduledEvent::workload_phase(t(10.0), "x"),
+            ScheduledEvent::workload_phase(t(10.0), "x"),
+        ];
+        assert_eq!(
+            codes_of(&craid(None), &events),
+            vec![codes::DUPLICATE_EVENT]
+        );
+
+        // Repeated *expansions* at one instant are legitimate growth.
+        let mut plus = ArrayConfig::small_test(StrategyKind::Craid5Plus, 10_000);
+        plus.migration_rate_blocks_per_sec = None;
+        let events = vec![
+            ScheduledEvent::expand(t(10.0), 4),
+            ScheduledEvent::expand(t(10.0), 4),
+        ];
+        assert!(codes_of(&plus, &events).is_empty());
+    }
+
+    #[test]
+    fn horizon_flags_unreachable_events() {
+        let t = SimTime::from_secs;
+        let events = vec![
+            ScheduledEvent::expand(t(4.0), 4),
+            ScheduledEvent::expand(t(5_000.0), 4),
+        ];
+        let findings = check_schedule(&craid(None), &events, Some(84.0));
+        assert_eq!(
+            findings.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![codes::EVENT_BEYOND_REPLAY]
+        );
+        assert_eq!(findings[0].path, "events[1].at_secs");
+        // Without a horizon the check is skipped entirely.
+        assert!(check_schedule(&craid(None), &events, None).is_empty());
+    }
+}

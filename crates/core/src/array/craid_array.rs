@@ -77,7 +77,11 @@ impl CraidArray {
         config.validate()?;
         if !config.strategy.is_craid() {
             return Err(CraidError::InvalidConfig(
-                "CraidArray requires a CRAID strategy".into(),
+                crate::analyze::Diagnostic::error(
+                    crate::analyze::codes::STRATEGY_MISMATCH,
+                    "array.strategy",
+                    "CraidArray requires a CRAID strategy",
+                ),
             ));
         }
         let devices = DeviceSet::from_config(&config);

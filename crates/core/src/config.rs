@@ -473,91 +473,23 @@ impl ArrayConfig {
         }
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration by running the static analyser's
+    /// storage-graph rules ([`crate::analyze::graph`]) and returning the
+    /// first error-severity finding — so this legacy `Result` surface
+    /// and [`crate::analyze`] render identical diagnostics.
     ///
     /// # Errors
     ///
-    /// Returns [`CraidError::InvalidConfig`] describing the first violated
-    /// constraint.
+    /// Returns [`CraidError::InvalidConfig`] carrying the first violated
+    /// constraint's [`crate::analyze::Diagnostic`].
     pub fn validate(&self) -> Result<(), CraidError> {
-        let fail = |msg: String| Err(CraidError::InvalidConfig(msg));
-        if self.disks < 2 {
-            return fail(format!("need at least 2 disks, got {}", self.disks));
-        }
-        if self.parity_group < 2 || !self.disks.is_multiple_of(self.parity_group) {
-            return fail(format!(
-                "parity group {} must be >= 2 and divide the disk count {}",
-                self.parity_group, self.disks
-            ));
-        }
-        if self.stripe_unit == 0 {
-            return fail("stripe unit must be positive".into());
-        }
-        if self.dataset_blocks == 0 {
-            return fail("dataset must contain at least one block".into());
-        }
-        if self.strategy.is_craid() && self.pc_capacity_blocks == 0 {
-            return fail("CRAID strategies need a non-empty cache partition".into());
-        }
-        if self.strategy.uses_ssd_cache() && self.ssd_cache_devices < 2 {
-            return fail("the SSD cache tier needs at least 2 devices".into());
-        }
-        if self.strategy.archive_is_aggregated() {
-            if self.expansion_sets.is_empty() {
-                return fail("an aggregated archive needs at least one RAID set".into());
-            }
-            if self.expansion_sets.iter().sum::<usize>() != self.disks {
-                return fail(format!(
-                    "expansion sets {:?} must sum to the disk count {}",
-                    self.expansion_sets, self.disks
-                ));
-            }
-            if self.expansion_sets.iter().any(|&s| s < 2) {
-                return fail("every RAID set needs at least 2 disks".into());
-            }
-        }
-        if self.hdd_capacity_blocks < self.stripe_unit {
-            return fail("disks are smaller than one stripe unit".into());
-        }
-        if !self.rebuild_rate_blocks_per_sec.is_finite() || self.rebuild_rate_blocks_per_sec <= 0.0
+        match crate::analyze::graph::check_config(self)
+            .into_iter()
+            .find(|d| d.is_error())
         {
-            return fail(format!(
-                "rebuild rate must be finite and positive, got {}",
-                self.rebuild_rate_blocks_per_sec
-            ));
+            Some(d) => Err(CraidError::InvalidConfig(d)),
+            None => Ok(()),
         }
-        for (name, share) in [
-            ("rebuild_share", self.rebuild_share),
-            ("migration_share", self.migration_share),
-        ] {
-            if !share.is_finite() || share <= 0.0 {
-                return fail(format!("{name} must be finite and positive, got {share}"));
-            }
-        }
-        if let Some(spec) = &self.qos {
-            spec.validate()?;
-        }
-        if let Some(rate) = self.migration_rate_blocks_per_sec {
-            // +inf is legal and means "instant", exactly like omitting the
-            // knob: an unbounded pace degenerates to the atomic upgrade.
-            if rate.is_nan() || rate <= 0.0 {
-                return fail(format!(
-                    "migration rate must be positive (or +inf / omitted for an \
-                     instant migration), got {rate}"
-                ));
-            }
-        }
-        // The scattered dataset must fit in the archive partition.
-        let pa_data_capacity = self.pa_blocks_per_hdd() / self.stripe_unit
-            * self.data_units_per_row()
-            * self.stripe_unit;
-        if pa_data_capacity < self.dataset_blocks {
-            return fail(format!(
-                "archive partition ({pa_data_capacity} blocks) cannot hold the dataset ({} blocks)",
-                self.dataset_blocks
-            ));
-        }
-        Ok(())
     }
 }
 

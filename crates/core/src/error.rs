@@ -4,11 +4,20 @@ use std::fmt;
 
 use craid_raid::LayoutError;
 
+use crate::analyze::Diagnostic;
+
 /// Errors surfaced by the CRAID configuration and simulation APIs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CraidError {
-    /// An array configuration parameter is inconsistent.
-    InvalidConfig(String),
+    /// An array configuration parameter is inconsistent. Carries the
+    /// static analyser's [`Diagnostic`] — stable code, field path and
+    /// message — so `validate()` errors and `analyze()` findings render
+    /// identically.
+    InvalidConfig(Diagnostic),
+    /// An event schedule is impossible (a `CRAID-E2xx` timeline
+    /// finding promoted to an error by [`crate::Scenario::load`] or the
+    /// analyser's deny mode).
+    InvalidSchedule(Diagnostic),
     /// A RAID layout could not be constructed from the configuration.
     Layout(LayoutError),
     /// A client request addressed blocks outside the volume.
@@ -25,12 +34,51 @@ pub enum CraidError {
     /// A fault-injection request was invalid (e.g. failing a disk that is
     /// already failed, or repairing a healthy one).
     InvalidFault(String),
+    /// A scenario file could not be read.
+    Io(String),
+    /// A scenario file could not be parsed.
+    Parse(String),
+}
+
+impl CraidError {
+    /// Wraps an analyser finding in the matching error variant:
+    /// timeline codes (`CRAID-E2xx`/`CRAID-W3xx`) become
+    /// [`CraidError::InvalidSchedule`], everything else
+    /// [`CraidError::InvalidConfig`].
+    pub fn from_diagnostic(diagnostic: Diagnostic) -> Self {
+        if diagnostic.code.starts_with("CRAID-E2") || diagnostic.code.starts_with("CRAID-W3") {
+            CraidError::InvalidSchedule(diagnostic)
+        } else {
+            CraidError::InvalidConfig(diagnostic)
+        }
+    }
+
+    /// The analyser diagnostic this error carries, if any.
+    pub fn diagnostic(&self) -> Option<&Diagnostic> {
+        match self {
+            CraidError::InvalidConfig(d) | CraidError::InvalidSchedule(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CraidError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CraidError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CraidError::InvalidConfig(d) => {
+                write!(
+                    f,
+                    "invalid configuration: [{}] {}: {}",
+                    d.code, d.path, d.message
+                )
+            }
+            CraidError::InvalidSchedule(d) => {
+                write!(
+                    f,
+                    "invalid schedule: [{}] {}: {}",
+                    d.code, d.path, d.message
+                )
+            }
             CraidError::Layout(e) => write!(f, "layout error: {e}"),
             CraidError::OutOfRange {
                 start,
@@ -42,6 +90,8 @@ impl fmt::Display for CraidError {
             ),
             CraidError::InvalidExpansion(msg) => write!(f, "invalid expansion: {msg}"),
             CraidError::InvalidFault(msg) => write!(f, "invalid fault injection: {msg}"),
+            CraidError::Io(msg) => write!(f, "scenario file error: {msg}"),
+            CraidError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
         }
     }
 }
@@ -64,11 +114,18 @@ impl From<LayoutError> for CraidError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze::codes;
 
     #[test]
     fn display_messages_are_descriptive() {
-        let e = CraidError::InvalidConfig("zero disks".into());
+        let e = CraidError::InvalidConfig(Diagnostic::error(
+            codes::TOO_FEW_DISKS,
+            "array.disks",
+            "zero disks",
+        ));
         assert!(e.to_string().contains("zero disks"));
+        assert!(e.to_string().contains("CRAID-E101"), "{e}");
+        assert!(e.to_string().contains("array.disks"), "{e}");
         let e = CraidError::OutOfRange {
             start: 10,
             blocks: 5,
@@ -79,6 +136,31 @@ mod tests {
         assert!(e.to_string().contains("expansion"));
         let e = CraidError::InvalidFault("disk 3 already failed".into());
         assert!(e.to_string().contains("fault"));
+        let e = CraidError::Io("missing.toml: not found".into());
+        assert!(e.to_string().contains("missing.toml"));
+        let e = CraidError::Parse("bad TOML".into());
+        assert!(e.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn diagnostics_route_to_the_matching_variant() {
+        let config = CraidError::from_diagnostic(Diagnostic::error(
+            codes::QOS_FLOOR,
+            "array.qos.floor",
+            "floor must be in (0, 1], got 2",
+        ));
+        assert!(matches!(config, CraidError::InvalidConfig(_)));
+        assert_eq!(config.diagnostic().unwrap().code, codes::QOS_FLOOR);
+
+        let schedule = CraidError::from_diagnostic(Diagnostic::error(
+            codes::DOUBLE_FAILURE,
+            "events[1].disk",
+            "two concurrent failures",
+        ));
+        assert!(matches!(schedule, CraidError::InvalidSchedule(_)));
+        assert!(schedule.to_string().contains("invalid schedule"));
+
+        assert!(CraidError::Io("x".into()).diagnostic().is_none());
     }
 
     #[test]

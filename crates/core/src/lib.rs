@@ -43,7 +43,13 @@
 //!   floor, AIMD gains) steers a [`QosController`] that adaptively
 //!   throttles the background engine between the floor and the configured
 //!   rates, with [`QosStats`] (throttle timeline, SLO-violation seconds,
-//!   effective maintenance rate) in every report.
+//!   effective maintenance rate) in every report;
+//! * a pre-run static analyser ([`analyze`]): storage-graph rules over
+//!   the resolved configuration and a symbolic interpreter for event
+//!   timelines, reporting every finding as a [`Diagnostic`] with a
+//!   stable `CRAID-Exxx`/`CRAID-Wxxx` code — before any simulated I/O
+//!   ([`Scenario::analyze`], [`Scenario::load`], `scenario_file
+//!   --check`).
 //!
 //! # Quick start
 //!
@@ -84,6 +90,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod array;
 pub mod background;
 pub mod config;
@@ -101,6 +108,7 @@ pub mod restripe;
 pub mod scenario;
 pub mod sim;
 
+pub use analyze::{Analysis, Diagnostic, Severity};
 pub use array::{
     ActivatedExpansion, BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray,
 };

@@ -158,64 +158,23 @@ impl SloSpec {
         self
     }
 
-    /// Validates the spec.
+    /// Validates the spec by running the static analyser's QoS rules
+    /// ([`crate::analyze::graph::check_slo`]) and returning the first
+    /// finding, with paths anchored at `array.qos` — exactly what the
+    /// analyser reports for a scenario's `[array.qos]` table.
     ///
     /// # Errors
     ///
-    /// Returns [`CraidError::InvalidConfig`] describing the first violated
-    /// constraint.
+    /// Returns [`CraidError::InvalidConfig`] carrying the first violated
+    /// constraint's [`crate::analyze::Diagnostic`].
     pub fn validate(&self) -> Result<(), CraidError> {
-        let fail = |msg: String| Err(CraidError::InvalidConfig(msg));
-        if self.target_latency_ms.is_none() && self.max_queue_depth.is_none() {
-            return fail(
-                "an SLO needs at least one target (target_latency_ms or max_queue_depth)".into(),
-            );
-        }
-        if let Some(ms) = self.target_latency_ms {
-            if !ms.is_finite() || ms <= 0.0 {
-                return fail(format!(
-                    "target_latency_ms must be finite and positive, got {ms}"
-                ));
-            }
-        }
-        if !(0.0..=1.0).contains(&self.percentile) || !self.percentile.is_finite() {
-            return fail(format!(
-                "percentile must be in [0, 1], got {}",
-                self.percentile
-            ));
-        }
-        if let Some(depth) = self.max_queue_depth {
-            if !depth.is_finite() || depth <= 0.0 {
-                return fail(format!(
-                    "max_queue_depth must be finite and positive, got {depth}"
-                ));
-            }
-        }
-        if !self.floor.is_finite() || self.floor <= 0.0 || self.floor > 1.0 {
-            return fail(format!("floor must be in (0, 1], got {}", self.floor));
-        }
-        if !self.window_secs.is_finite() || self.window_secs <= 0.0 {
-            return fail(format!(
-                "window_secs must be finite and positive, got {}",
-                self.window_secs
-            ));
-        }
-        if !self.increase_per_sec.is_finite() || self.increase_per_sec <= 0.0 {
-            return fail(format!(
-                "increase_per_sec must be finite and positive, got {}",
-                self.increase_per_sec
-            ));
-        }
-        if !self.decrease_factor.is_finite()
-            || self.decrease_factor <= 0.0
-            || self.decrease_factor >= 1.0
+        match crate::analyze::graph::check_slo(self, "array.qos")
+            .into_iter()
+            .find(|d| d.is_error())
         {
-            return fail(format!(
-                "decrease_factor must be in (0, 1), got {}",
-                self.decrease_factor
-            ));
+            Some(d) => Err(CraidError::InvalidConfig(d)),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 

@@ -523,15 +523,76 @@ impl Scenario {
         serde_json::to_string_pretty(self)
     }
 
+    /// Reads and parses a scenario file (TOML), then rejects it if the
+    /// static analyser finds any error-severity diagnostic. Warnings
+    /// pass (warn-by-default); call [`Scenario::analyze`] to inspect
+    /// them, or use the analysis' deny mode to refuse them too.
+    ///
+    /// # Errors
+    ///
+    /// [`CraidError::Io`] when the file cannot be read,
+    /// [`CraidError::Parse`] on malformed TOML, and the first analyser
+    /// error ([`CraidError::InvalidConfig`] /
+    /// [`CraidError::InvalidSchedule`]) otherwise.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Scenario, CraidError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CraidError::Io(format!("{}: {e}", path.display())))?;
+        let scenario = Scenario::from_toml(&text)
+            .map_err(|e| CraidError::Parse(format!("{}: {e}", path.display())))?;
+        scenario.analyze().into_result()?;
+        Ok(scenario)
+    }
+
+    /// Runs the full static analysis — storage-graph rules over the
+    /// resolved config, symbolic timeline interpretation of the event
+    /// schedule, and the scenario-surface checks — without generating a
+    /// trace or simulating any I/O. See [`crate::analyze`].
+    pub fn analyze(&self) -> crate::analyze::Analysis {
+        crate::analyze::analyze_scenario(self)
+    }
+
     /// Generates the scenario's trace.
     pub fn trace(&self) -> Trace {
         SyntheticWorkload::paper_scaled_to(self.workload.id, self.workload.requests)
             .generate(self.workload.seed)
     }
 
+    /// The workload footprint the generated trace will have, resolved
+    /// statically from the scaling formulas (no generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workload.requests` is zero (the analyser reports
+    /// that as `CRAID-E131` before ever calling this).
+    pub fn static_footprint_blocks(&self) -> u64 {
+        SyntheticWorkload::paper_scaled_to(self.workload.id, self.workload.requests)
+            .scaled_footprint_blocks()
+    }
+
+    /// The replay duration the generated trace is scheduled for, in
+    /// simulated seconds, resolved statically (no generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workload.requests` is zero (the analyser reports
+    /// that as `CRAID-E131` before ever calling this).
+    pub fn static_duration_secs(&self) -> f64 {
+        SyntheticWorkload::paper_scaled_to(self.workload.id, self.workload.requests)
+            .scaled_duration_secs()
+    }
+
     /// Resolves the concrete [`ArrayConfig`] for a generated trace.
     pub fn array_config(&self, trace: &Trace) -> ArrayConfig {
-        let footprint = trace.footprint_blocks();
+        self.array_config_for_footprint(trace.footprint_blocks())
+    }
+
+    /// Resolves the concrete [`ArrayConfig`] for a given workload
+    /// footprint. [`Scenario::array_config`] uses the generated trace's
+    /// footprint; the static analyser passes
+    /// [`Scenario::static_footprint_blocks`] — the same number, without
+    /// generating anything.
+    pub fn array_config_for_footprint(&self, footprint: u64) -> ArrayConfig {
         let pc_blocks = ((footprint as f64 * self.array.pc_fraction) as u64).max(64);
         let mut config = match self.array.preset {
             ArrayPreset::Paper => ArrayConfig::paper(self.strategy, footprint, pc_blocks),
@@ -579,25 +640,39 @@ impl Scenario {
     }
 
     /// Validates the scenario's own knobs (the resolved [`ArrayConfig`] is
-    /// additionally validated when the run builds the array).
+    /// additionally validated when the run builds the array). For the
+    /// full pre-run static analysis — every configuration finding plus
+    /// the symbolic timeline checks — use [`Scenario::analyze`].
     ///
     /// # Errors
     ///
-    /// Returns [`CraidError::InvalidConfig`] describing the first violated
-    /// constraint.
+    /// Returns [`CraidError::InvalidConfig`] carrying the first violated
+    /// constraint's [`crate::analyze::Diagnostic`].
     pub fn validate(&self) -> Result<(), CraidError> {
         let fraction = self.array.pc_fraction;
         if !fraction.is_finite() || fraction <= 0.0 {
-            return Err(CraidError::InvalidConfig(format!(
-                "scenario '{}': pc_fraction must be finite and positive, got {fraction}",
-                self.name
-            )));
+            return Err(CraidError::InvalidConfig(
+                crate::analyze::Diagnostic::error(
+                    crate::analyze::codes::PC_FRACTION,
+                    "array.pc_fraction",
+                    format!(
+                        "scenario '{}': pc_fraction must be finite and positive, got {fraction}",
+                        self.name
+                    ),
+                ),
+            ));
         }
         if self.workload.requests == 0 {
-            return Err(CraidError::InvalidConfig(format!(
-                "scenario '{}': workload needs at least one request",
-                self.name
-            )));
+            return Err(CraidError::InvalidConfig(
+                crate::analyze::Diagnostic::error(
+                    crate::analyze::codes::EMPTY_WORKLOAD,
+                    "workload.requests",
+                    format!(
+                        "scenario '{}': workload needs at least one request",
+                        self.name
+                    ),
+                ),
+            ));
         }
         Ok(())
     }
@@ -1065,6 +1140,15 @@ impl Campaign {
     /// True if the campaign is empty.
     pub fn is_empty(&self) -> bool {
         self.scenarios.is_empty()
+    }
+
+    /// Statically analyses every scenario ([`Scenario::analyze`]), in
+    /// input order, without running anything. Campaign CI gates use
+    /// this warn-by-default (`analysis.into_result()`) or in deny mode
+    /// (`analysis.into_deny_result()`, warnings refused too) before
+    /// spending any simulation time.
+    pub fn analyze(&self) -> Vec<crate::analyze::Analysis> {
+        self.scenarios.iter().map(Scenario::analyze).collect()
     }
 
     /// Runs every scenario in parallel and returns the outcomes in input

@@ -1,0 +1,333 @@
+//! Workspace automation for the CRAID simulator.
+//!
+//! The only subcommand today is `lint`, the workspace determinism lint:
+//!
+//! ```text
+//! cargo xtask lint
+//! ```
+//!
+//! The simulator's reproducibility contract is that identical inputs produce
+//! identical outputs, bit for bit. Three classes of std APIs silently break
+//! that contract, so the lint greps non-test source for them:
+//!
+//! * `std-hash` — `HashMap`/`HashSet` (iteration order varies per process
+//!   unless the hasher is seeded deterministically),
+//! * `wall-clock` — `std::time::*` / `SystemTime` / `Instant::now` (simulated
+//!   time must come from the event loop, never the host clock),
+//! * `ambient-randomness` — `thread_rng`, `from_entropy`, `RandomState`,
+//!   `getrandom`, `/dev/urandom` (all randomness must flow through the
+//!   seeded `rand` shim).
+//!
+//! Pre-existing uses are grandfathered in `crates/xtask/lint.allow`, one
+//! `<path> <rule>` pair per line. The lint fails on any *new* violation and
+//! on any *stale* allowlist entry, so the allowlist can only shrink.
+//!
+//! `#[cfg(test)]` modules are exempt (tests may use wall-clock timeouts and
+//! unordered sets freely), as are the root `tests/` directory, generated
+//! `target/` trees, and this crate itself (its source spells out the very
+//! patterns it greps for).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A determinism rule: a short stable name plus the substrings that flag it.
+struct LintRule {
+    name: &'static str,
+    patterns: &'static [&'static str],
+}
+
+const RULES: &[LintRule] = &[
+    LintRule {
+        name: "std-hash",
+        patterns: &["HashMap", "HashSet"],
+    },
+    LintRule {
+        name: "wall-clock",
+        patterns: &["std::time::", "SystemTime", "Instant::now"],
+    },
+    LintRule {
+        name: "ambient-randomness",
+        patterns: &[
+            "thread_rng",
+            "from_entropy",
+            "RandomState",
+            "getrandom",
+            "/dev/urandom",
+        ],
+    },
+];
+
+/// One flagged `(file, rule)` pair, with a sample line for the report.
+struct Violation {
+    path: String,
+    rule: &'static str,
+    line: usize,
+    excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand '{other}'");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow_path = root.join("crates/xtask/lint.allow");
+    let allowlist = match load_allowlist(&allow_path) {
+        Ok(list) => list,
+        Err(err) => {
+            eprintln!("xtask lint: cannot read {}: {err}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    for dir in ["crates", "examples"] {
+        collect_rust_files(&root.join(dir), &root, &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let source = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("xtask lint: cannot read {rel}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        scan_file(rel, &source, &mut violations);
+    }
+
+    let mut fresh: Vec<&Violation> = Vec::new();
+    let mut used = vec![false; allowlist.len()];
+    for v in &violations {
+        match allowlist
+            .iter()
+            .position(|entry| entry.path == v.path && entry.rule == v.rule)
+        {
+            Some(i) => used[i] = true,
+            None => fresh.push(v),
+        }
+    }
+    let stale: Vec<&AllowEntry> = allowlist
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e)
+        .collect();
+
+    if !fresh.is_empty() {
+        eprintln!("xtask lint: new determinism violations:");
+        for v in &fresh {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "\nSimulated code must use BTreeMap/BTreeSet, SimTime, and the seeded \
+             rand shim. If a use is genuinely deterministic (order never observed, \
+             shim-internal), add '<path> <rule>' to crates/xtask/lint.allow with a \
+             justifying comment."
+        );
+    }
+    if !stale.is_empty() {
+        eprintln!("xtask lint: stale allowlist entries (no matching violation; remove them):");
+        for e in &stale {
+            eprintln!("  {} {}", e.path, e.rule);
+        }
+    }
+
+    if fresh.is_empty() && stale.is_empty() {
+        println!(
+            "xtask lint: {} files scanned, {} grandfathered use(s), no new violations",
+            files.len(),
+            violations.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Repo root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collect `.rs` files under `dir` as root-relative slash paths,
+/// skipping `target/` trees and this crate's own source.
+fn collect_rust_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" {
+                continue;
+            }
+            if path == root.join("crates/xtask") {
+                continue;
+            }
+            collect_rust_files(&path, root, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("collected file lives under the workspace root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+/// Scan one file, recording at most one violation per `(file, rule)` pair.
+fn scan_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    let lines = effective_lines(source);
+    for rule in RULES {
+        let hit = lines.iter().find_map(|(lineno, text)| {
+            rule.patterns
+                .iter()
+                .any(|p| text.contains(p))
+                .then_some((*lineno, text.clone()))
+        });
+        if let Some((line, excerpt)) = hit {
+            out.push(Violation {
+                path: rel.to_string(),
+                rule: rule.name,
+                line,
+                excerpt,
+            });
+        }
+    }
+}
+
+/// The lines of `source` that the lint actually inspects: comments stripped,
+/// `#[cfg(test)]` items (modules or functions) skipped by brace matching.
+fn effective_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut skip_depth: Option<usize> = None; // brace depth at which the skip ends
+    let mut pending_cfg_test = false;
+    let mut depth: usize = 0;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+
+        if skip_depth.is_none() && (pending_cfg_test || trimmed.contains("#[cfg(test)]")) {
+            if trimmed.contains("#[cfg(test)]") || !trimmed.starts_with("#[") {
+                // Either the gating attribute itself or the item it gates;
+                // intervening attributes (`#[allow(...)]`) keep the skip
+                // pending without consuming it.
+                if opens > closes {
+                    skip_depth = Some(depth);
+                    pending_cfg_test = false;
+                } else {
+                    // Item not opened yet (bare attribute line or a
+                    // brace-less item like `mod tests;`).
+                    pending_cfg_test = trimmed.ends_with(']') || trimmed.is_empty();
+                }
+            }
+            depth = (depth + opens).saturating_sub(closes);
+            continue;
+        }
+
+        let in_skip = skip_depth.is_some();
+        depth = (depth + opens).saturating_sub(closes);
+        if let Some(end) = skip_depth {
+            if depth <= end {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if !in_skip && !trimmed.is_empty() {
+            out.push((idx + 1, code.to_string()));
+        }
+    }
+    out
+}
+
+/// Truncate a line at `//`, ignoring occurrences inside string literals.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped byte
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// One grandfathered `(path, rule)` pair from `lint.allow`.
+struct AllowEntry {
+    path: String,
+    rule: String,
+}
+
+/// Parse `lint.allow`: `<path> <rule>` per line, `#` comments, blanks ignored.
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, std::io::Error> {
+    let text = std::fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(r), None) => entries.push(AllowEntry {
+                path: p.to_string(),
+                rule: r.to_string(),
+            }),
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed allowlist line: '{raw}'"),
+                ));
+            }
+        }
+    }
+    Ok(entries)
+}

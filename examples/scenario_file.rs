@@ -8,13 +8,19 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example scenario_file [path/to/scenario.toml] [--json]
+//! cargo run --release --example scenario_file [path/to/scenario.toml] [--json | --check [--deny]]
 //! ```
 //!
 //! With `--json` the full `SimulationReport` is printed as JSON (and
 //! nothing else), which makes the output byte-diffable: CI runs the
 //! online-upgrade drill twice and diffs the two reports to pin scheduler
 //! determinism.
+//!
+//! With `--check` nothing runs at all: the static analyser is applied to
+//! the scenario and every diagnostic is printed (stable code, field
+//! path, help). The exit status is non-zero when any error-severity
+//! finding exists — or, with `--deny` (the CI mode), when any finding
+//! exists at all.
 
 use craid::Scenario;
 
@@ -24,11 +30,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (paths, flags): (Vec<String>, Vec<String>) =
         std::env::args().skip(1).partition(|a| !a.starts_with("--"));
     let json_only = flags.iter().any(|f| f == "--json");
+    let check_only = flags.iter().any(|f| f == "--check");
+    let deny_warnings = flags.iter().any(|f| f == "--deny");
     let text = match paths.first() {
         Some(path) => std::fs::read_to_string(path)?,
         None => DEFAULT_SCENARIO.to_string(),
     };
     let scenario = Scenario::from_toml(&text)?;
+    if check_only {
+        let analysis = scenario.analyze();
+        print!("{analysis}");
+        let errors = analysis.errors().count();
+        let warnings = analysis.warnings().count();
+        println!(
+            "scenario '{}': {errors} error(s), {warnings} warning(s)",
+            scenario.name
+        );
+        let failed = errors > 0 || (deny_warnings && warnings > 0);
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if json_only {
         let outcome = scenario.run()?;
         println!("{}", outcome.report.to_json());
