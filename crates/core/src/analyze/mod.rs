@@ -27,6 +27,12 @@
 //! 3. **Scenario-surface rules** (this module): the scenario's own knobs
 //!    (`pc_fraction`, request counts, phase-swap sources).
 //!
+//! Beyond the static passes, [`explore`] *dynamically* model-checks the
+//! scheduler's decision space on a small-scope projection of the
+//! scenario, judging every interleaving against the [`oracle`] invariant
+//! library and folding violations into the same [`Analysis`] as
+//! `CRAID-E4xx` diagnostics.
+//!
 //! Every diagnostic code is stable and documented in [`codes`]; golden
 //! tests pin the `examples/scenarios/invalid/` corpus to its codes.
 //!
@@ -37,7 +43,9 @@
 //! assert!(analysis.is_clean());
 //! ```
 
+pub mod explore;
 pub mod graph;
+pub mod oracle;
 pub mod timeline;
 
 use std::fmt;
@@ -303,6 +311,26 @@ pub mod codes {
     pub const DUPLICATE_EVENT: &str = "CRAID-W304";
     /// Conflicting policy switches at the same instant.
     pub const CONFLICTING_POLICY_SWITCH: &str = "CRAID-W305";
+
+    // `CRAID-E4xx` are dynamic invariant violations found by the
+    // small-scope model checker ([`super::explore`]): a scheduler
+    // interleaving under which a run of the *real* engine broke one of
+    // the [`super::oracle`] invariants (or panicked).
+
+    /// An explored branch panicked inside the engine.
+    pub const EXPLORE_PANIC: &str = "CRAID-E400";
+    /// A block was pending migration and cache-resident at once.
+    pub const EXACTLY_ONE_LOCATION: &str = "CRAID-E401";
+    /// A move set's block accounting did not balance.
+    pub const BLOCK_CONSERVATION: &str = "CRAID-E402";
+    /// A fair-share poll violated its budget arithmetic.
+    pub const FAIR_SHARE_BUDGET: &str = "CRAID-E403";
+    /// A migration task consumed a map entry of another generation.
+    pub const GENERATION_MONOTONIC: &str = "CRAID-E404";
+    /// An end-of-trace drain failed to terminate within its bound.
+    pub const DRAIN_TERMINATES: &str = "CRAID-E405";
+    /// A throttle retarget escaped the `[floor, 1.0]` clamp.
+    pub const THROTTLE_CLAMP: &str = "CRAID-E406";
 }
 
 /// Analyses a scenario: storage-graph rules over the resolved config,
@@ -377,7 +405,11 @@ pub fn analyze_scenario(scenario: &Scenario) -> Analysis {
                 SyntheticWorkload::paper_scaled_to(source.id, source.requests)
                     .scaled_footprint_blocks(),
             ),
-            _ => None,
+            ScheduledEvent::WorkloadPhase { workload: None, .. }
+            | ScheduledEvent::Expand { .. }
+            | ScheduledEvent::PolicySwitch { .. }
+            | ScheduledEvent::DiskFailure { .. }
+            | ScheduledEvent::DiskRepair { .. } => None,
         })
         .fold(footprint, u64::max);
     let mut config = scenario.array_config_for_footprint(footprint);

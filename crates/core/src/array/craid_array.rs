@@ -22,6 +22,20 @@ use crate::restripe::RestripeState;
 
 use super::{ExpansionReport, RequestReport, StorageArray};
 
+/// True when a pending-map entry of `entry` generation may be consumed by
+/// migration task `task`. Production requires an exact match — the guard
+/// PR 4 added after an older task was caught consuming a newer generation's
+/// entry and migrating the block with a stale geometry. The test-only fault
+/// hook ([`crate::choice::faults`]) re-opens exactly that hole so the model
+/// checker can demonstrate it finds the bug.
+fn generation_matches(entry: TaskId, task: TaskId) -> bool {
+    #[cfg(test)]
+    if crate::choice::faults::stale_generation_guard_disabled() {
+        return true;
+    }
+    entry == task
+}
+
 /// A CRAID volume: the archive partition `PA` holds every block, the cache
 /// partition `PC` holds copies of the hot set, and the monitor/redirector
 /// pair keeps the two coherent (paper §3–4). Maintenance streams — rebuilds,
@@ -128,6 +142,13 @@ impl CraidArray {
             if self.config.activation == crate::config::ActivationPolicy::WaitForRepair
                 && self.devices.degraded_disk().is_some()
             {
+                break;
+            }
+            // Eligible. It normally activates on this very pump; the model
+            // checker may hold it for one more (branch 1) — the window a
+            // real engine thread would leave between noticing the drain and
+            // committing the queued expansion.
+            if crate::choice::choose(crate::choice::DecisionPoint::ActivationTiming, 2) == 1 {
                 break;
             }
             self.deferred.pop_front();
@@ -291,7 +312,12 @@ impl CraidArray {
             // queued second expansion drained it again); that entry belongs
             // to the newer task, so this one must leave it alone.
             let home = match self.migration.get(pa_block) {
-                Some(home) if home.generation == id => {
+                Some(home) if generation_matches(home.generation, id) => {
+                    crate::choice::observe(|| crate::choice::Observation::MigrationApply {
+                        block: pa_block,
+                        entry_generation: home.generation,
+                        task_generation: id,
+                    });
                     self.migration.remove(pa_block);
                     home
                 }
@@ -891,6 +917,18 @@ impl StorageArray for CraidArray {
         // activation instead holds until the rebuild completes; the same
         // check after the completions loop is what releases it then.
         self.maybe_activate_deferred(now);
+        // Under the model checker, audit the exactly-one-location invariant
+        // at every pump boundary: no block may be pending migration and
+        // cache-resident at once (one copy is authoritative).
+        if crate::choice::active() {
+            for (pa_block, _) in self.migration.iter() {
+                if self.monitor.cached_slot(pa_block).is_some() {
+                    crate::choice::observe(|| crate::choice::Observation::Colocated {
+                        block: pa_block,
+                    });
+                }
+            }
+        }
         events
     }
 

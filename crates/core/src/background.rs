@@ -47,6 +47,8 @@ use craid_diskmodel::BlockRange;
 use craid_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize, Value};
 
+use crate::choice::{self, DecisionPoint, Observation, PollLane};
+
 /// Upper bound on one engine poll's combined issue budget (8 MiB): keeps a
 /// single catch-up step from turning into a device-monopolising monster
 /// transfer when the configured rates are high or client traffic is sparse.
@@ -441,10 +443,12 @@ impl BackgroundEngine {
         };
         self.advance_clocks(now);
         let scale = if scale.is_finite() { scale } else { 1.0 };
-        self.throttle = Some(Throttle {
-            scale: scale.clamp(throttle.floor, 1.0),
-            ..throttle
+        let scale = scale.clamp(throttle.floor, 1.0);
+        choice::observe(|| Observation::Throttle {
+            scale,
+            floor: throttle.floor,
         });
+        self.throttle = Some(Throttle { scale, ..throttle });
     }
 
     /// The attached throttle's current scale, or `None` when unthrottled.
@@ -597,6 +601,10 @@ impl BackgroundEngine {
         );
         let id = self.next_id;
         self.next_id += 1;
+        choice::observe(|| Observation::MoveSetEnqueued {
+            kind,
+            blocks: work.remaining(),
+        });
         self.queue.push_back(BackgroundTask {
             id,
             kind,
@@ -673,22 +681,50 @@ impl BackgroundEngine {
                 assigned += *alloc;
             }
             let mut leftover = cap.saturating_sub(assigned);
-            for (alloc, &want) in alloc.iter_mut().zip(&due) {
-                if leftover == 0 {
-                    break;
+            // The refill visits hungry tasks in push order; *where it
+            // starts* is a policy the model checker may rotate (branch 0 =
+            // the first hungry task, the pinned behaviour).
+            let hungry: Vec<usize> = (0..alloc.len()).filter(|&i| due[i] > alloc[i]).collect();
+            if leftover > 0 && !hungry.is_empty() {
+                let start = choice::choose(DecisionPoint::FairShareLeftover, hungry.len());
+                for position in 0..hungry.len() {
+                    if leftover == 0 {
+                        break;
+                    }
+                    let i = hungry[(start + position) % hungry.len()];
+                    let extra = (due[i] - alloc[i]).min(leftover);
+                    alloc[i] += extra;
+                    leftover -= extra;
                 }
-                let hungry = want - *alloc;
-                let extra = hungry.min(leftover);
-                *alloc += extra;
-                leftover -= extra;
             }
         }
+        choice::observe(|| Observation::Poll {
+            cap,
+            total_due,
+            lanes: self
+                .queue
+                .iter()
+                .zip(due.iter().zip(&alloc))
+                .map(|(task, (&want, &granted))| PollLane {
+                    kind: task.kind,
+                    want,
+                    granted,
+                })
+                .collect(),
+        });
         // Phase 3: issue the batches and retire drained tasks.
         let mut batches = Vec::new();
         let mut index = 0;
         self.queue.retain_mut(|task| {
-            let budget = alloc[index];
+            let mut budget = alloc[index];
             index += 1;
+            // The whole allocation normally goes out as one batch; the
+            // model checker may place the batch boundary early instead,
+            // deferring the tail to the next poll (the task stays live and
+            // its pace re-demands the remainder).
+            if budget >= 2 && choice::choose(DecisionPoint::BatchBoundary, 2) == 1 {
+                budget -= budget / 2;
+            }
             if budget > 0 {
                 let batch = task.work.take(budget);
                 let taken = match &batch {

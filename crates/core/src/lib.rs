@@ -49,7 +49,15 @@
 //!   timelines, reporting every finding as a [`Diagnostic`] with a
 //!   stable `CRAID-Exxx`/`CRAID-Wxxx` code — before any simulated I/O
 //!   ([`Scenario::analyze`], [`Scenario::load`], `scenario_file
-//!   --check`).
+//!   --check`);
+//! * a small-scope model checker ([`analyze::explore`], [`choice`]):
+//!   exhaustive exploration of the scheduler's nondeterministic decision
+//!   points (equal-timestamp event orders, fair-share splits, batch
+//!   boundaries, throttle-vs-pump ordering, activation timing) on
+//!   small-scope projections, judging every interleaving against the
+//!   [`InvariantOracle`] library,
+//!   shrinking counterexamples to reproducer TOMLs (`scenario_file
+//!   --explore`).
 //!
 //! # Quick start
 //!
@@ -93,6 +101,7 @@
 pub mod analyze;
 pub mod array;
 pub mod background;
+pub mod choice;
 pub mod config;
 pub mod devices;
 pub mod error;
@@ -108,6 +117,8 @@ pub mod restripe;
 pub mod scenario;
 pub mod sim;
 
+pub use analyze::explore::{explore, Counterexample, Exploration, ExploreScope};
+pub use analyze::oracle::{InvariantOracle, RunEvidence};
 pub use analyze::{Analysis, Diagnostic, Severity};
 pub use array::{
     ActivatedExpansion, BaselineArray, CraidArray, ExpansionReport, RequestReport, StorageArray,

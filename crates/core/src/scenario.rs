@@ -552,6 +552,13 @@ impl Scenario {
         crate::analyze::analyze_scenario(self)
     }
 
+    /// Model-checks the scenario's small-scope projection: explores the
+    /// scheduler's decision space at `scope` and judges every interleaving
+    /// against the invariant oracles. See [`crate::analyze::explore`].
+    pub fn explore(&self, scope: &crate::analyze::explore::ExploreScope) -> crate::Exploration {
+        crate::analyze::explore::explore(self, scope)
+    }
+
     /// Generates the scenario's trace.
     pub fn trace(&self) -> Trace {
         SyntheticWorkload::paper_scaled_to(self.workload.id, self.workload.requests)

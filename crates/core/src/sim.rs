@@ -219,16 +219,22 @@ impl Simulation {
             config.seed,
         );
 
-        // Stable sort: equal times keep declaration order.
+        // Stable sort: equal times keep declaration order. The model
+        // checker may permute equal-time groups (the declaration-order
+        // tie-break is a policy, not a law); branch 0 keeps it.
         let mut schedule: Vec<&ScheduledEvent> = events.iter().collect();
         schedule.sort_by_key(|e| e.at());
+        permute_equal_time_groups(&mut schedule);
         let mut pending = schedule.into_iter().peekable();
 
         let total_added: usize = events
             .iter()
             .map(|e| match e {
                 ScheduledEvent::Expand { added_disks, .. } => *added_disks,
-                _ => 0,
+                ScheduledEvent::PolicySwitch { .. }
+                | ScheduledEvent::WorkloadPhase { .. }
+                | ScheduledEvent::DiskFailure { .. }
+                | ScheduledEvent::DiskRepair { .. } => 0,
             })
             .sum();
         let mut metrics = MetricsCollector::new(array.device_count() + total_added);
@@ -269,6 +275,15 @@ impl Simulation {
             // One control decision ahead of the pump: while the sliding
             // window violates the SLO the maintenance throttle backs off
             // multiplicatively; while it is met it recovers additively.
+            // The control decision normally lands before the pump; the
+            // model checker may let the pump race ahead of it (branch 1),
+            // as a real engine thread would against an async controller.
+            let pump_first = qos.is_some()
+                && crate::choice::choose(crate::choice::DecisionPoint::ThrottlePumpOrder, 2) == 1;
+            let mut background = Vec::new();
+            if pump_first {
+                background = array.pump_background(record.time);
+            }
             if let Some(controller) = qos.as_mut() {
                 if let Some(retarget) = controller.evaluate(record.time) {
                     array.set_background_throttle(record.time, retarget.scale);
@@ -282,7 +297,9 @@ impl Simulation {
             // client I/O: rebuild and migration batches occupy devices (the
             // client does not wait on them) and count into the measurement
             // window like any other traffic.
-            let background = array.pump_background(record.time);
+            if !pump_first {
+                background = array.pump_background(record.time);
+            }
             if let Some(controller) = qos.as_mut() {
                 controller.note_maintenance(&background);
             }
@@ -359,7 +376,19 @@ impl Simulation {
             // would undo on an idle array.
             array.set_background_throttle(drain_started, 1.0);
         }
+        let mut drain_pumps = 0u64;
         while !array.background_idle() {
+            // Under the model checker the drain is bounded: pacing
+            // guarantees termination on the production path, but an
+            // explored branch that breaks that guarantee must surface as a
+            // DrainTerminates violation, not a hang.
+            drain_pumps += 1;
+            if crate::choice::active() && drain_pumps > crate::choice::DRAIN_PUMP_BOUND {
+                crate::choice::observe(|| crate::choice::Observation::DrainAborted {
+                    pumps: drain_pumps,
+                });
+                break;
+            }
             if let Some(eta) = array.background_drain_eta() {
                 drain_at = drain_at.max(eta);
             }
@@ -406,6 +435,60 @@ impl Simulation {
     }
 }
 
+/// Resource footprint of one scheduled event, for the model checker's
+/// sleep-set pruning: equal-time events with pairwise-disjoint footprints
+/// commute, so their alternative orderings are provably equivalent and are
+/// not explored.
+fn event_resources(event: &ScheduledEvent) -> u8 {
+    const DEVICES: u8 = 1;
+    const LAYOUT: u8 = 2;
+    const MONITOR: u8 = 4;
+    match event {
+        ScheduledEvent::Expand { .. } => DEVICES | LAYOUT | MONITOR,
+        ScheduledEvent::PolicySwitch { .. } => MONITOR,
+        ScheduledEvent::WorkloadPhase { .. } => 0,
+        ScheduledEvent::DiskFailure { .. } | ScheduledEvent::DiskRepair { .. } => DEVICES,
+    }
+}
+
+/// Lets an installed chooser permute each equal-timestamp group of the
+/// sorted schedule (selection-style: one [`DecisionPoint::EventOrder`]
+/// choice per position). Branch 0 everywhere keeps declaration order — the
+/// pinned production tie-break — and groups whose events are pairwise
+/// independent are skipped entirely (reported via `prune`).
+fn permute_equal_time_groups(schedule: &mut [&ScheduledEvent]) {
+    use crate::choice::{self, DecisionPoint};
+    if !choice::active() {
+        return;
+    }
+    let mut start = 0;
+    while start < schedule.len() {
+        let mut end = start + 1;
+        while end < schedule.len() && schedule[end].at() == schedule[start].at() {
+            end += 1;
+        }
+        let group = &mut schedule[start..end];
+        if group.len() > 1 {
+            let independent = group.iter().enumerate().all(|(i, a)| {
+                group[i + 1..]
+                    .iter()
+                    .all(|b| event_resources(a) & event_resources(b) == 0)
+            });
+            if independent {
+                choice::prune(DecisionPoint::EventOrder, group.len() - 1);
+            } else {
+                for i in 0..group.len() - 1 {
+                    let pick = choice::choose(DecisionPoint::EventOrder, group.len() - i);
+                    // Move the picked event to position i, preserving the
+                    // relative order of the ones it jumps over.
+                    group[i..=i + pick].rotate_right(1);
+                }
+            }
+        }
+        start = end;
+    }
+}
+
 /// Applies the trace-swap semantics of [`ScheduledEvent::WorkloadPhase`]:
 /// each phase event carrying a workload source truncates the composite at
 /// its time and splices in the new workload's records, shifted to start
@@ -420,7 +503,11 @@ fn compose_phase_swaps(base: &Trace, events: &[ScheduledEvent]) -> Option<Trace>
                 workload: Some(source),
                 ..
             } => Some((*at, source)),
-            _ => None,
+            ScheduledEvent::WorkloadPhase { workload: None, .. }
+            | ScheduledEvent::Expand { .. }
+            | ScheduledEvent::PolicySwitch { .. }
+            | ScheduledEvent::DiskFailure { .. }
+            | ScheduledEvent::DiskRepair { .. } => None,
         })
         .collect();
     if swaps.is_empty() {

@@ -7,7 +7,7 @@
 //! most I/O into 5 devices (deep queues, few active devices); the spread
 //! cache partition keeps queues shallow and many spindles busy.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +32,7 @@ pub struct ConcurrencySummary {
 pub struct ConcurrencyTracker {
     queue_depths: Quantiles,
     current_second: u64,
-    active_this_second: HashSet<usize>,
+    active_this_second: BTreeSet<usize>,
     concurrent_devices: Quantiles,
 }
 
@@ -48,7 +48,7 @@ impl ConcurrencyTracker {
         ConcurrencyTracker {
             queue_depths: Quantiles::new(),
             current_second: 0,
-            active_this_second: HashSet::new(),
+            active_this_second: BTreeSet::new(),
             concurrent_devices: Quantiles::new(),
         }
     }

@@ -6,7 +6,7 @@
 //! the previous access to the same device ended — the condition under which
 //! a disk pays neither seek nor rotational latency.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +20,7 @@ use crate::quantiles::Quantiles;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SequentialityTracker {
     /// Last physical block end per device.
-    last_end: HashMap<usize, u64>,
+    last_end: BTreeMap<usize, u64>,
     current_second: u64,
     accesses_this_second: u64,
     sequential_this_second: u64,

@@ -8,7 +8,7 @@
 //!   (bottom row), for all accessed blocks and for the top-20 % most accessed
 //!   blocks.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -43,9 +43,9 @@ pub struct TraceSummary {
 pub fn summarize(trace: &Trace) -> TraceSummary {
     let mut read_bytes = 0u64;
     let mut write_bytes = 0u64;
-    let mut unique_read: HashSet<u64> = HashSet::new();
-    let mut unique_write: HashSet<u64> = HashSet::new();
-    let mut per_block_accesses: HashMap<u64, u64> = HashMap::new();
+    let mut unique_read: BTreeSet<u64> = BTreeSet::new();
+    let mut unique_write: BTreeSet<u64> = BTreeSet::new();
+    let mut per_block_accesses: BTreeMap<u64, u64> = BTreeMap::new();
     let mut total_block_accesses = 0u64;
 
     for r in trace {
@@ -119,7 +119,7 @@ impl FrequencyCdf {
 /// Computes the access-frequency CDF for the given request kind
 /// (`None` = both kinds combined).
 pub fn frequency_cdf(trace: &Trace, kind: Option<IoKind>) -> FrequencyCdf {
-    let mut per_block: HashMap<u64, u64> = HashMap::new();
+    let mut per_block: BTreeMap<u64, u64> = BTreeMap::new();
     for r in trace {
         if kind.is_none() || kind == Some(r.kind) {
             for b in r.blocks() {
@@ -131,7 +131,7 @@ pub fn frequency_cdf(trace: &Trace, kind: Option<IoKind>) -> FrequencyCdf {
     if total_blocks == 0 {
         return FrequencyCdf { points: Vec::new() };
     }
-    let mut freq_histogram: HashMap<u64, u64> = HashMap::new();
+    let mut freq_histogram: BTreeMap<u64, u64> = BTreeMap::new();
     for &f in per_block.values() {
         *freq_histogram.entry(f).or_default() += 1;
     }
@@ -200,7 +200,7 @@ pub fn overlap_series(trace: &Trace, days: usize) -> OverlapSeries {
     let span = end.saturating_since(start).as_secs().max(1e-9);
     let day_len = span / days as f64;
 
-    let mut daily_counts: Vec<HashMap<u64, u64>> = vec![HashMap::new(); days];
+    let mut daily_counts: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); days];
     for r in trace {
         let elapsed = r.time.saturating_since(start).as_secs();
         let day = ((elapsed / day_len) as usize).min(days - 1);
@@ -209,7 +209,7 @@ pub fn overlap_series(trace: &Trace, days: usize) -> OverlapSeries {
         }
     }
 
-    let top20 = |counts: &HashMap<u64, u64>| -> HashSet<u64> {
+    let top20 = |counts: &BTreeMap<u64, u64>| -> BTreeSet<u64> {
         let mut entries: Vec<(u64, u64)> = counts.iter().map(|(&b, &c)| (b, c)).collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let keep = (entries.len() / 5).max(1);
@@ -219,8 +219,8 @@ pub fn overlap_series(trace: &Trace, days: usize) -> OverlapSeries {
     let mut overlap_all = Vec::new();
     let mut overlap_top20 = Vec::new();
     for d in 0..days - 1 {
-        let today: HashSet<u64> = daily_counts[d].keys().copied().collect();
-        let tomorrow: HashSet<u64> = daily_counts[d + 1].keys().copied().collect();
+        let today: BTreeSet<u64> = daily_counts[d].keys().copied().collect();
+        let tomorrow: BTreeSet<u64> = daily_counts[d + 1].keys().copied().collect();
         if today.is_empty() {
             overlap_all.push(0.0);
             overlap_top20.push(0.0);

@@ -18,6 +18,12 @@
 //!   `getrandom`, `/dev/urandom` (all randomness must flow through the
 //!   seeded `rand` shim).
 //!
+//! A fourth rule, `wildcard-match`, guards the analyzer's exhaustiveness
+//! rather than determinism: a `_ =>` arm in a `match` that also names
+//! `ScheduledEvent::` variants or diagnostic-code `codes::` constants
+//! would let a newly added event variant or code silently bypass the
+//! rule that match implements, so such matches must stay exhaustive.
+//!
 //! Pre-existing uses are grandfathered in `crates/xtask/lint.allow`, one
 //! `<path> <rule>` pair per line. The lint fails on any *new* violation and
 //! on any *stale* allowlist entry, so the allowlist can only shrink.
@@ -122,6 +128,7 @@ fn lint() -> ExitCode {
             }
         };
         scan_file(rel, &source, &mut violations);
+        scan_wildcard_arms(rel, &effective_lines(&source), &mut violations);
     }
 
     let mut fresh: Vec<&Violation> = Vec::new();
@@ -149,9 +156,10 @@ fn lint() -> ExitCode {
         }
         eprintln!(
             "\nSimulated code must use BTreeMap/BTreeSet, SimTime, and the seeded \
-             rand shim. If a use is genuinely deterministic (order never observed, \
-             shim-internal), add '<path> <rule>' to crates/xtask/lint.allow with a \
-             justifying comment."
+             rand shim; matches over ScheduledEvent variants or diagnostic codes \
+             must stay exhaustive. If a use is genuinely deterministic (order never \
+             observed, shim-internal), add '<path> <rule>' to crates/xtask/lint.allow \
+             with a justifying comment."
         );
     }
     if !stale.is_empty() {
@@ -231,6 +239,75 @@ fn scan_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
                 excerpt,
             });
         }
+    }
+}
+
+/// Flags `_ =>` arms inside `match` blocks that also name `ScheduledEvent::`
+/// variants or diagnostic-code `codes::` constants in their arm patterns.
+/// Such matches implement analyzer rules; a wildcard arm would swallow any
+/// newly added variant instead of forcing the rule to take a position.
+/// Records at most one violation per file.
+fn scan_wildcard_arms(rel: &str, lines: &[(usize, String)], out: &mut Vec<Violation>) {
+    /// One open `match` block: the brace depth outside it, whether any arm
+    /// pattern names a guarded enum, and the first wildcard arm seen.
+    struct MatchCtx {
+        outer_depth: usize,
+        sensitive: bool,
+        wildcard: Option<(usize, String)>,
+    }
+
+    let mut depth = 0usize;
+    let mut stack: Vec<MatchCtx> = Vec::new();
+    let mut hit: Option<(usize, String)> = None;
+    for (lineno, text) in lines {
+        let trimmed = text.trim();
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+
+        if let Some(ctx) = stack.last_mut() {
+            // An arm line: everything before `=>` is (the tail of) its
+            // pattern — under rustfmt a multi-line pattern keeps its last
+            // alternative on the `=>` line, so this sees every arm. Text
+            // *after* `=>` is arm body and deliberately ignored (naming a
+            // code while constructing a diagnostic is not matching on one).
+            if let Some(pos) = text.find("=>") {
+                let pattern = &text[..pos];
+                if pattern.contains("ScheduledEvent::") || pattern.contains("codes::") {
+                    ctx.sensitive = true;
+                }
+                let pattern = pattern.trim();
+                if pattern == "_" || pattern.starts_with("_ if ") {
+                    ctx.wildcard.get_or_insert((*lineno, text.clone()));
+                }
+            }
+        }
+        if (trimmed.starts_with("match ") || trimmed.contains(" match ")) && opens > closes {
+            stack.push(MatchCtx {
+                outer_depth: depth,
+                sensitive: false,
+                wildcard: None,
+            });
+        }
+        depth = (depth + opens).saturating_sub(closes);
+        while let Some(ctx) = stack.last() {
+            if depth > ctx.outer_depth {
+                break;
+            }
+            let ctx = stack.pop().expect("peeked entry");
+            if ctx.sensitive {
+                if let Some((line, excerpt)) = ctx.wildcard {
+                    hit.get_or_insert((line, excerpt));
+                }
+            }
+        }
+    }
+    if let Some((line, excerpt)) = hit {
+        out.push(Violation {
+            path: rel.to_string(),
+            rule: "wildcard-match",
+            line,
+            excerpt,
+        });
     }
 }
 
@@ -330,4 +407,75 @@ fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, std::io::Error> {
         }
     }
     Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wildcard_hits(source: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        scan_wildcard_arms("test.rs", &effective_lines(source), &mut out);
+        out.iter()
+            .filter(|v| v.rule == "wildcard-match")
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn wildcard_arm_on_scheduled_event_is_flagged() {
+        let source = "fn f(e: &ScheduledEvent) -> u32 {\n\
+                      \x20   match e {\n\
+                      \x20       ScheduledEvent::Expand { .. } => 1,\n\
+                      \x20       _ => 0,\n\
+                      \x20   }\n\
+                      }\n";
+        assert_eq!(wildcard_hits(source), vec![4]);
+    }
+
+    #[test]
+    fn wildcard_arm_on_diagnostic_codes_is_flagged() {
+        let source = "fn f(code: &str) -> bool {\n\
+                      \x20   match code {\n\
+                      \x20       codes::EXPAND_BREAKS_PARITY => true,\n\
+                      \x20       _ if code.is_empty() => false,\n\
+                      \x20   }\n\
+                      }\n";
+        assert_eq!(wildcard_hits(source), vec![4]);
+    }
+
+    #[test]
+    fn unrelated_wildcards_and_exhaustive_matches_pass() {
+        // A wildcard over a non-guarded enum is fine; so is an exhaustive
+        // ScheduledEvent match; so is a code named only in an arm *body*.
+        let source = "fn f(e: &ScheduledEvent, n: u32) -> u32 {\n\
+                      \x20   match n {\n\
+                      \x20       0 => 1,\n\
+                      \x20       _ => 0,\n\
+                      \x20   };\n\
+                      \x20   match e {\n\
+                      \x20       ScheduledEvent::Expand { .. } => 1,\n\
+                      \x20       ScheduledEvent::DiskFailure { .. } => 2,\n\
+                      \x20   };\n\
+                      \x20   match n {\n\
+                      \x20       1 => codes::EXPAND_BREAKS_PARITY.len() as u32,\n\
+                      \x20       _ => 0,\n\
+                      \x20   }\n\
+                      }\n";
+        assert_eq!(wildcard_hits(source), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cfg_test_matches_are_exempt() {
+        let source = "#[cfg(test)]\n\
+                      mod tests {\n\
+                      \x20   fn f(e: &ScheduledEvent) -> u32 {\n\
+                      \x20       match e {\n\
+                      \x20           ScheduledEvent::Expand { .. } => 1,\n\
+                      \x20           _ => 0,\n\
+                      \x20       }\n\
+                      \x20   }\n\
+                      }\n";
+        assert_eq!(wildcard_hits(source), Vec::<usize>::new());
+    }
 }

@@ -21,8 +21,16 @@
 //! path, help). The exit status is non-zero when any error-severity
 //! finding exists — or, with `--deny` (the CI mode), when any finding
 //! exists at all.
+//!
+//! With `--explore[=scope]` the small-scope model checker runs instead:
+//! the scenario is projected down to a bounded geometry, every scheduler
+//! decision point is enumerated, and each branch is judged against the
+//! invariant oracle library. A violation prints its diagnostics plus the
+//! minimized decision path, writes a reproducer TOML next to the
+//! scenario, and exits non-zero. `scope` is `quick`, `default`, `wide`,
+//! or comma-separated overrides like `requests=32,events=3`.
 
-use craid::Scenario;
+use craid::{ExploreScope, Scenario};
 
 const DEFAULT_SCENARIO: &str = include_str!("scenarios/upgrade_drill.toml");
 
@@ -32,11 +40,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json_only = flags.iter().any(|f| f == "--json");
     let check_only = flags.iter().any(|f| f == "--check");
     let deny_warnings = flags.iter().any(|f| f == "--deny");
+    let explore_scope = flags
+        .iter()
+        .find_map(|f| match f.strip_prefix("--explore") {
+            Some("") => Some(ExploreScope::parse("default")),
+            Some(rest) => rest.strip_prefix('=').map(ExploreScope::parse),
+            None => None,
+        })
+        .transpose()
+        .map_err(|e| format!("bad --explore scope: {e}"))?;
     let text = match paths.first() {
         Some(path) => std::fs::read_to_string(path)?,
         None => DEFAULT_SCENARIO.to_string(),
     };
     let scenario = Scenario::from_toml(&text)?;
+    if let Some(scope) = explore_scope {
+        let exploration = scenario.explore(&scope);
+        print!("{}", exploration.analysis);
+        println!(
+            "scenario '{}': explored {} run(s) ({} errored, {} pruned{})",
+            scenario.name,
+            exploration.runs,
+            exploration.errored_runs,
+            exploration.pruned,
+            if exploration.truncated {
+                ", truncated"
+            } else {
+                ""
+            }
+        );
+        if let Some(counterexample) = &exploration.counterexample {
+            println!(
+                "counterexample ({}): path [{}]",
+                counterexample.codes().join(", "),
+                counterexample.path_string()
+            );
+            let reproducer = match paths.first() {
+                Some(path) => std::path::Path::new(path).with_extension("counterexample.toml"),
+                None => std::path::PathBuf::from("counterexample.toml"),
+            };
+            std::fs::write(&reproducer, counterexample.reproducer_toml()?)?;
+            println!("reproducer written to {}", reproducer.display());
+        }
+        std::process::exit(if exploration.is_clean() { 0 } else { 1 });
+    }
     if check_only {
         let analysis = scenario.analyze();
         print!("{analysis}");

@@ -3,10 +3,11 @@
 //! instant-expand equivalence of an unbounded rate, hot-first vs.
 //! sequential service recovery, and fail-during-upgrade determinism.
 
+use craid::analyze::oracle::{BlockConservation, ConservationLine, ExactlyOneLocation};
 use craid::observer::RequestOutcome;
 use craid::{
-    ArrayConfig, BackgroundPriority, BaselineArray, CraidArray, Observer, Scenario, ScheduledEvent,
-    StorageArray, StrategyKind,
+    ArrayConfig, BackgroundPriority, BaselineArray, CraidArray, InvariantOracle, Observer,
+    RunEvidence, Scenario, ScheduledEvent, StorageArray, StrategyKind,
 };
 use craid_diskmodel::{BlockRange, IoKind};
 use craid_simkit::SimTime;
@@ -21,6 +22,36 @@ fn drain(array: &mut dyn StorageArray, mut t: f64) -> f64 {
     }
     assert!(array.background_idle(), "background work must drain");
     t
+}
+
+/// Judges the array's live migration counters against the shared
+/// [`BlockConservation`] oracle — the same implementation the model
+/// checker runs — returning the violation message, if any.
+fn conservation_violation(
+    label: &'static str,
+    enqueued: u64,
+    stats: &craid::MigrationStats,
+) -> Option<String> {
+    let mut evidence = RunEvidence::default();
+    evidence.conservation.push(ConservationLine {
+        label,
+        enqueued,
+        migrated: stats.migrated_blocks,
+        superseded: stats.superseded_blocks,
+        pending: stats.pending_blocks,
+    });
+    BlockConservation.check(&evidence)
+}
+
+/// Judges one touched block against the shared [`ExactlyOneLocation`]
+/// oracle: pending (old slot) and cache-resident (new slot) must be
+/// mutually exclusive.
+fn colocation_violation(a: &CraidArray, block: u64) -> Option<String> {
+    let mut evidence = RunEvidence::default();
+    if a.migration_pending(block) && a.monitor().cached_slot(block).is_some() {
+        evidence.colocated.push(block);
+    }
+    ExactlyOneLocation.check(&evidence)
 }
 
 proptest! {
@@ -48,8 +79,8 @@ proptest! {
             a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
             let stats = a.migration_stats();
             prop_assert_eq!(
-                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
-                enqueued,
+                conservation_violation("baseline-restripe", enqueued, &stats),
+                None,
                 "every enqueued block is in exactly one bucket at every step"
             );
             if write {
@@ -59,7 +90,7 @@ proptest! {
         let t = drain(&mut a, t);
         let stats = a.migration_stats();
         prop_assert_eq!(stats.pending_blocks, 0);
-        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(conservation_violation("baseline-restripe", enqueued, &stats), None);
         prop_assert_eq!(stats.migrations_completed, 1);
         prop_assert!(stats.migration_secs > 0.0);
         // The array still serves the whole volume afterwards.
@@ -93,21 +124,15 @@ proptest! {
             let kind = if write { IoKind::Write } else { IoKind::Read };
             a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
             let stats = a.migration_stats();
-            prop_assert_eq!(
-                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
-                enqueued
-            );
+            prop_assert_eq!(conservation_violation("pc-migration", enqueued, &stats), None);
             // Exactly-one-location: pending (old slot) and resident (new
             // slot) are mutually exclusive, checked on the touched block.
-            prop_assert!(
-                !(a.migration_pending(block) && a.monitor().cached_slot(block).is_some()),
-                "block {} is both pending and resident", block
-            );
+            prop_assert_eq!(colocation_violation(&a, block), None);
         }
         drain(&mut a, t);
         let stats = a.migration_stats();
         prop_assert_eq!(stats.pending_blocks, 0);
-        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(conservation_violation("pc-migration", enqueued, &stats), None);
         prop_assert_eq!(a.pending_migration_blocks(), 0);
     }
 }

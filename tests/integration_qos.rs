@@ -4,11 +4,12 @@
 //! end-of-trace drain still terminates, and the deferred-expansion
 //! satellites (observer hook, wait-for-repair activation) behave.
 
+use craid::analyze::oracle::{BlockConservation, ConservationLine, ExactlyOneLocation};
 use craid::observer::RequestOutcome;
 use craid::qos::SloSpec;
 use craid::{
-    ActivationPolicy, ArrayConfig, CraidArray, Observer, QosStats, Scenario, StorageArray,
-    StrategyKind,
+    ActivationPolicy, ArrayConfig, CraidArray, InvariantOracle, Observer, QosStats, RunEvidence,
+    Scenario, StorageArray, StrategyKind,
 };
 use craid_diskmodel::{BlockRange, IoKind};
 use craid_simkit::SimTime;
@@ -167,6 +168,34 @@ fn throttled_runs_are_deterministic() {
     assert!(a.report.qos.enabled);
 }
 
+/// Judge one accounting snapshot with the model checker's conservation
+/// oracle instead of a hand-rolled sum, so the test and `--explore` agree
+/// on what "no block lost or double-counted" means.
+fn conservation_violation(
+    label: &'static str,
+    enqueued: u64,
+    stats: &craid::MigrationStats,
+) -> Option<String> {
+    let mut evidence = RunEvidence::default();
+    evidence.conservation.push(ConservationLine {
+        label,
+        enqueued,
+        migrated: stats.migrated_blocks,
+        superseded: stats.superseded_blocks,
+        pending: stats.pending_blocks,
+    });
+    BlockConservation.check(&evidence)
+}
+
+/// Judge a single block's placement with the exactly-one-location oracle.
+fn colocation_violation(a: &CraidArray, block: u64) -> Option<String> {
+    let mut evidence = RunEvidence::default();
+    if a.migration_pending(block) && a.monitor().cached_slot(block).is_some() {
+        evidence.colocated.push(block);
+    }
+    ExactlyOneLocation.check(&evidence)
+}
+
 proptest! {
     /// With throttling active and the throttle retargeted at arbitrary
     /// points, a mid-flight restripe still never loses or double-maps a
@@ -196,8 +225,8 @@ proptest! {
             a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
             let stats = a.migration_stats();
             prop_assert_eq!(
-                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
-                enqueued,
+                conservation_violation("baseline-restripe", enqueued, &stats),
+                None,
                 "every enqueued block is in exactly one bucket at every step"
             );
             if write {
@@ -216,7 +245,7 @@ proptest! {
         }
         let stats = a.migration_stats();
         prop_assert_eq!(stats.pending_blocks, 0);
-        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(conservation_violation("baseline-restripe", enqueued, &stats), None);
         prop_assert_eq!(stats.migrations_completed, 1);
     }
 
@@ -249,11 +278,12 @@ proptest! {
             a.submit(now, kind, BlockRange::new(block, 1)).unwrap();
             let stats = a.migration_stats();
             prop_assert_eq!(
-                stats.migrated_blocks + stats.superseded_blocks + stats.pending_blocks,
-                enqueued
+                conservation_violation("pc-migration", enqueued, &stats),
+                None
             );
-            prop_assert!(
-                !(a.migration_pending(block) && a.monitor().cached_slot(block).is_some()),
+            prop_assert_eq!(
+                colocation_violation(&a, block),
+                None,
                 "block {} is both pending and resident", block
             );
         }
@@ -267,7 +297,7 @@ proptest! {
         }
         let stats = a.migration_stats();
         prop_assert_eq!(stats.pending_blocks, 0);
-        prop_assert_eq!(stats.migrated_blocks + stats.superseded_blocks, enqueued);
+        prop_assert_eq!(conservation_violation("pc-migration", enqueued, &stats), None);
     }
 
     /// The engine never paces below the configured floor: whatever scales
