@@ -476,6 +476,11 @@ impl StorageArray for BaselineArray {
 
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
         let mut events = Vec::new();
+        self.pump_background_into(now, &mut events);
+        events
+    }
+
+    fn pump_background_into(&mut self, now: SimTime, events: &mut Vec<DeviceIoEvent>) {
         for batch in self.background.poll(now) {
             match batch {
                 Batch::Rebuild {
@@ -490,7 +495,7 @@ impl StorageArray for BaselineArray {
                         &peers,
                         &ranges,
                         &mut self.devices,
-                        &mut events,
+                        events,
                         &mut self.fault_stats,
                     );
                 }
@@ -530,7 +535,13 @@ impl StorageArray for BaselineArray {
         // "wait-for-repair"` the activation instead holds until the
         // rebuild completes.
         self.maybe_activate_deferred(now);
-        events
+    }
+
+    fn background_work_due(&mut self, now: SimTime) -> bool {
+        // Deferred expansions cannot unblock between pumps (the gating
+        // reshape or rebuild completes inside one, and an empty task
+        // reports "due now"), so the pacing clocks alone decide.
+        self.background.work_due(now)
     }
 
     fn background_idle(&self) -> bool {

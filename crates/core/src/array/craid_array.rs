@@ -16,7 +16,7 @@ use crate::error::CraidError;
 use crate::fault;
 use crate::monitor::{IoMonitor, MonitorStats};
 use crate::partition::{ArchiveLayout, CachePartition, Partition, PartitionIo};
-use crate::redirector::{self, ArchiveAccess};
+use crate::redirector::{self, ArchiveAccess, PlanScratch};
 use crate::report::{FaultStats, MigrationStats};
 use crate::restripe::RestripeState;
 
@@ -78,6 +78,9 @@ pub struct CraidArray {
     activations: Vec<super::ActivatedExpansion>,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
+    /// Reusable per-request planner buffers (cleared each plan, never
+    /// shrunk) — keeps the replay hot path allocation-free.
+    plan_scratch: PlanScratch,
 }
 
 impl CraidArray {
@@ -125,6 +128,7 @@ impl CraidArray {
             activations: Vec::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
+            plan_scratch: PlanScratch::default(),
         })
     }
 
@@ -714,6 +718,7 @@ impl StorageArray for CraidArray {
                     &mut access,
                     kind,
                     range,
+                    &mut self.plan_scratch,
                 ),
                 Some(fresh) => redirector::plan_request_blocks_via(
                     &mut self.monitor,
@@ -722,6 +727,7 @@ impl StorageArray for CraidArray {
                     kind,
                     fresh,
                     range.len(),
+                    &mut self.plan_scratch,
                 ),
             }
         };
@@ -854,6 +860,11 @@ impl StorageArray for CraidArray {
 
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent> {
         let mut events = Vec::new();
+        self.pump_background_into(now, &mut events);
+        events
+    }
+
+    fn pump_background_into(&mut self, now: SimTime, events: &mut Vec<DeviceIoEvent>) {
         for batch in self.background.poll(now) {
             match batch {
                 Batch::Rebuild {
@@ -868,7 +879,7 @@ impl StorageArray for CraidArray {
                         &peers,
                         &ranges,
                         &mut self.devices,
-                        &mut events,
+                        events,
                         &mut self.fault_stats,
                     );
                 }
@@ -929,7 +940,14 @@ impl StorageArray for CraidArray {
                 }
             }
         }
-        events
+    }
+
+    fn background_work_due(&mut self, now: SimTime) -> bool {
+        // Deferred expansions cannot unblock between pumps: the reshape or
+        // rebuild gating them completes *inside* a pump (and the empty task
+        // it leaves reports "due now"), so the engine's pacing clocks alone
+        // decide whether polling can do anything.
+        self.background.work_due(now)
     }
 
     fn background_idle(&self) -> bool {

@@ -173,6 +173,24 @@ pub trait StorageArray {
     /// own loops should do the same.
     fn pump_background(&mut self, now: SimTime) -> Vec<DeviceIoEvent>;
 
+    /// Pumps background work, appending the issued device events to `out`
+    /// (already cleared by the caller) instead of allocating a fresh vector
+    /// — the replay hot loop's variant of [`StorageArray::pump_background`].
+    fn pump_background_into(&mut self, now: SimTime, out: &mut Vec<DeviceIoEvent>) {
+        out.extend(self.pump_background(now));
+    }
+
+    /// True when a background pacing clock says the engine could issue or
+    /// retire work at `now` — the gate the replay loop's event-clocked
+    /// pumping uses to skip guaranteed-idle pumps. The conservative default
+    /// (`true`) keeps the classic once-per-request cadence; arrays that can
+    /// compute their next due instant exactly override this. A `true` that
+    /// turns out idle costs one no-op poll; returning `false` while work is
+    /// due would defer maintenance, so implementations must err early.
+    fn background_work_due(&mut self, _now: SimTime) -> bool {
+        true
+    }
+
     /// True when no background task (rebuild, migration or archive
     /// restripe) is live and no deferred expansion awaits activation.
     fn background_idle(&self) -> bool;

@@ -303,6 +303,25 @@ impl BackgroundTask {
         }
     }
 
+    /// The instant this task's pacing clock first demands another block
+    /// (`pace_target` reaches `issued + 1`), or "due immediately" when its
+    /// work has drained — an empty task retires on the next poll, and that
+    /// completion can unblock deferred expansions, so it must not wait for
+    /// a pace tick that will never come.
+    fn next_block_due(&self, throttle: Option<&Throttle>) -> SimTime {
+        if self.work.remaining() == 0 {
+            return SimTime::ZERO;
+        }
+        let pace_secs = (self.issued + 1) as f64 / self.rate_blocks_per_sec;
+        match throttle {
+            None => self.started + SimDuration::from_secs(pace_secs),
+            Some(t) => {
+                let deficit_secs = (pace_secs - self.paced_secs).max(0.0);
+                self.last_advance + SimDuration::from_secs(deficit_secs / t.scale)
+            }
+        }
+    }
+
     /// The simulated instant this task's pace alone would complete it:
     /// `started + total_work / rate`, or — throttled — the instant the
     /// scaled clock reaches the remaining work at the current effective
@@ -380,6 +399,11 @@ pub struct BackgroundEngine {
     /// The QoS throttle, when a controller is attached. `None` keeps the
     /// original absolute pacing — bit-for-bit the pre-QoS behaviour.
     throttle: Option<Throttle>,
+    /// Memoized [`BackgroundEngine::next_due`]: outer `None` = stale
+    /// (recompute on the next query), inner `None` = idle engine, never
+    /// due. Every state change that can move a pacing clock (push, forfeit,
+    /// poll, throttle retarget) clears it.
+    next_due_cache: Option<Option<SimTime>>,
 }
 
 impl BackgroundEngine {
@@ -430,6 +454,7 @@ impl BackgroundEngine {
             "a throttle is already attached to this engine"
         );
         self.throttle = Some(Throttle { scale: 1.0, floor });
+        self.next_due_cache = None;
     }
 
     /// Retargets the attached throttle at `now`: every live task's pacing
@@ -449,6 +474,7 @@ impl BackgroundEngine {
             floor: throttle.floor,
         });
         self.throttle = Some(Throttle { scale, ..throttle });
+        self.next_due_cache = None;
     }
 
     /// The attached throttle's current scale, or `None` when unthrottled.
@@ -506,6 +532,35 @@ impl BackgroundEngine {
             .iter()
             .map(|t| t.pace_eta(self.throttle.as_ref()))
             .min()
+    }
+
+    /// The earliest instant at which a poll could do anything — issue a
+    /// task's next paced block or retire a drained task — or `None` when
+    /// the engine is idle. Memoized until the next state change.
+    fn next_due(&mut self) -> Option<SimTime> {
+        if let Some(due) = self.next_due_cache {
+            return due;
+        }
+        let due = self
+            .queue
+            .iter()
+            .map(|t| t.next_block_due(self.throttle.as_ref()))
+            .min();
+        self.next_due_cache = Some(due);
+        due
+    }
+
+    /// True when a poll at `now` could issue or retire work — the gate for
+    /// event-clocked pumping. Deliberately eager by a ~1 µs guard: the due
+    /// instant is computed in f64 and may round a hair past the exact
+    /// simulated instant the integer pace target crosses, and an early poll
+    /// is a harmless zero-issue no-op while a late one would defer
+    /// maintenance out of its due request's measurement window.
+    pub fn work_due(&mut self, now: SimTime) -> bool {
+        match self.next_due() {
+            None => false,
+            Some(at) => at <= now + SimDuration::from_micros(1.0),
+        }
     }
 
     /// Enqueues a rebuild of `disk` (ranges in `segments` order, fed by
@@ -617,6 +672,7 @@ impl BackgroundEngine {
             paced_secs: 0.0,
             last_advance: now,
         });
+        self.next_due_cache = None;
         id
     }
 
@@ -631,6 +687,7 @@ impl BackgroundEngine {
         if let Some(task) = self.queue.iter_mut().find(|t| t.id == id) {
             if let Work::Stream { remaining } = &mut task.work {
                 *remaining = remaining.saturating_sub(count);
+                self.next_due_cache = None;
             }
         }
     }
@@ -645,6 +702,8 @@ impl BackgroundEngine {
         if self.queue.is_empty() {
             return Vec::new();
         }
+        // Clocks and issue counters are about to move.
+        self.next_due_cache = None;
         // With a throttle attached, bring the scaled pacing clocks up to
         // `now` first (unthrottled pacing reads absolute time and needs no
         // advance).
@@ -898,6 +957,7 @@ pub(crate) fn merge_blocks_to_ranges(blocks: &[u64]) -> Vec<BlockRange> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn rebuild_blocks(batch: &Batch) -> u64 {
         match batch {
@@ -1363,5 +1423,156 @@ mod tests {
     #[should_panic(expected = "floor must be in (0, 1]")]
     fn invalid_throttle_floor_is_rejected() {
         BackgroundEngine::new().attach_throttle(0.0);
+    }
+
+    #[test]
+    fn work_due_gates_exactly_on_pacing_clock() {
+        let mut engine = BackgroundEngine::new();
+        assert!(
+            !engine.work_due(SimTime::from_secs(100.0)),
+            "an idle engine is never due"
+        );
+        engine.push_rebuild(
+            SimTime::ZERO,
+            0,
+            vec![1],
+            vec![BlockRange::new(0, 100)],
+            10.0,
+        );
+        // First block due at t = 0.1 s.
+        assert!(!engine.work_due(SimTime::from_secs(0.05)));
+        assert!(engine.work_due(SimTime::from_secs(0.1)));
+        assert!(engine.work_due(SimTime::from_secs(5.0)));
+        let issued: u64 = engine
+            .poll(SimTime::from_secs(0.2))
+            .iter()
+            .map(rebuild_blocks)
+            .sum();
+        assert_eq!(issued, 2);
+        assert!(
+            !engine.work_due(SimTime::from_secs(0.25)),
+            "at pace right after the poll"
+        );
+        assert!(engine.work_due(SimTime::from_secs(0.3)));
+        // A fully forfeited stream task must retire on the next poll: due
+        // immediately, not at a pace tick that will never come.
+        let mut engine = BackgroundEngine::new();
+        let id = engine.push_restripe(SimTime::from_secs(7.0), 50, 10.0);
+        engine.forfeit(id, 50);
+        assert!(engine.work_due(SimTime::from_secs(7.0)));
+        assert!(engine.poll(SimTime::from_secs(7.0)).is_empty());
+        assert_eq!(engine.take_completed().len(), 1);
+        assert!(!engine.work_due(SimTime::from_secs(8.0)));
+    }
+
+    proptest! {
+        /// Event-clocked pumping is exactly per-request pumping with the
+        /// guaranteed-idle polls deleted: engine A is polled at every
+        /// instant, engine B only when `work_due` says a poll could do
+        /// anything, and the two issue identical batch streams and retire
+        /// identical tasks at identical instants.
+        #[test]
+        fn prop_event_clocked_polling_matches_per_request(
+            sizes in (50u64..3_000, 50u64..3_000, 50u64..3_000),
+            ops in proptest::collection::vec((1u64..4_000, 0u8..8, 0u64..64, any::<bool>()), 1..150),
+        ) {
+            let (rb, mg, rs) = sizes;
+            let build = |engine: &mut BackgroundEngine| {
+                engine.push_rebuild(SimTime::ZERO, 0, vec![1, 2], vec![BlockRange::new(0, rb)], 37.0);
+                engine.push_migration(SimTime::ZERO, (0..mg).collect(), 23.0);
+                engine.push_restripe(SimTime::ZERO, rs, 11.0)
+            };
+            let mut per_request = BackgroundEngine::new();
+            let mut event_clocked = BackgroundEngine::new();
+            let stream_a = build(&mut per_request);
+            let stream_b = build(&mut event_clocked);
+            let mut t_ms = 0u64;
+            for &(dt_ms, op, amount, _) in &ops {
+                t_ms += dt_ms;
+                let now = SimTime::from_millis(t_ms as f64);
+                if op == 7 {
+                    per_request.forfeit(stream_a, amount);
+                    event_clocked.forfeit(stream_b, amount);
+                    continue;
+                }
+                let due = event_clocked.work_due(now);
+                let batches_a = per_request.poll(now);
+                let done_a = per_request.take_completed();
+                if due {
+                    let batches_b = event_clocked.poll(now);
+                    let done_b = event_clocked.take_completed();
+                    prop_assert_eq!(format!("{batches_a:?}"), format!("{batches_b:?}"));
+                    prop_assert_eq!(format!("{done_a:?}"), format!("{done_b:?}"));
+                } else {
+                    prop_assert!(
+                        batches_a.is_empty(),
+                        "a skipped poll would have issued {:?}",
+                        batches_a
+                    );
+                    prop_assert!(
+                        done_a.is_empty(),
+                        "a skipped poll would have retired {:?}",
+                        done_a
+                    );
+                }
+            }
+            prop_assert_eq!(per_request.is_idle(), event_clocked.is_idle());
+        }
+
+        /// With a QoS throttle retargeting mid-flight the scaled clocks may
+        /// accumulate rounding dust, but pacing still conserves work: both
+        /// cadences drain every task and issue the same total blocks.
+        #[test]
+        fn prop_event_clocked_throttled_conserves_blocks(
+            ops in proptest::collection::vec((1u64..4_000, 0u8..4, 1u64..100, any::<bool>()), 1..100),
+        ) {
+            let total = |batches: &[Batch]| -> u64 {
+                batches
+                    .iter()
+                    .map(|b| match b {
+                        Batch::Rebuild { ranges, .. } => ranges.iter().map(|r| r.len()).sum(),
+                        Batch::Migration { blocks, .. } => blocks.len() as u64,
+                        Batch::Restripe { budget, .. } => *budget,
+                    })
+                    .sum()
+            };
+            let build = |engine: &mut BackgroundEngine| {
+                engine.attach_throttle(0.1);
+                engine.push_rebuild(SimTime::ZERO, 0, vec![1], vec![BlockRange::new(0, 800)], 41.0);
+                engine.push_migration(SimTime::ZERO, (0..600).collect(), 17.0);
+            };
+            let mut per_request = BackgroundEngine::new();
+            let mut event_clocked = BackgroundEngine::new();
+            build(&mut per_request);
+            build(&mut event_clocked);
+            let mut issued_a = 0u64;
+            let mut issued_b = 0u64;
+            let mut t_ms = 0u64;
+            for &(dt_ms, op, scale_pct, _) in &ops {
+                t_ms += dt_ms;
+                let now = SimTime::from_millis(t_ms as f64);
+                if op == 3 {
+                    per_request.set_throttle(now, scale_pct as f64 / 100.0);
+                    event_clocked.set_throttle(now, scale_pct as f64 / 100.0);
+                    continue;
+                }
+                issued_a += total(&per_request.poll(now));
+                if event_clocked.work_due(now) {
+                    issued_b += total(&event_clocked.poll(now));
+                }
+            }
+            // Drain both at the same far-future instants.
+            let mut t = t_ms as f64 + 1_000.0;
+            while !(per_request.is_idle() && event_clocked.is_idle()) {
+                let now = SimTime::from_millis(t);
+                issued_a += total(&per_request.poll(now));
+                if event_clocked.work_due(now) {
+                    issued_b += total(&event_clocked.poll(now));
+                }
+                t += 1_000.0;
+            }
+            prop_assert_eq!(issued_a, 1_400);
+            prop_assert_eq!(issued_b, 1_400);
+        }
     }
 }

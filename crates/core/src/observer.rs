@@ -14,9 +14,12 @@
 
 use craid_diskmodel::IoKind;
 use craid_metrics::{
-    ConcurrencyTracker, LoadBalanceTracker, Quantiles, SequentialityTracker, StreamingSummary,
+    concurrency::ConcurrencySummary, ConcurrencyTracker, LoadBalanceTracker, Quantiles,
+    SequentialityTracker, ShardEvent, ShardRouter, StreamingSummary,
 };
 use craid_trace::{Trace, TraceRecord};
+
+use crate::devices::DeviceIoEvent;
 
 use crate::array::{ExpansionReport, RequestReport};
 use crate::config::ArrayConfig;
@@ -226,27 +229,115 @@ pub struct MetricsCollector {
     write_summary: StreamingSummary,
     read_quantiles: Quantiles,
     write_quantiles: Quantiles,
-    load: LoadBalanceTracker,
-    seq: SequentialityTracker,
-    conc: ConcurrencyTracker,
+    device_metrics: DeviceMetrics,
     requests: u64,
     /// Once closed (the last trace record was served), trailing events no
     /// longer contribute device traffic to the measurement window.
     closed: bool,
 }
 
+/// Where device-level events (the per-second load / sequentiality /
+/// concurrency pipeline) are processed: inline on the replay thread, or
+/// routed to per-parity-group shard workers whose observations merge back
+/// bit-for-bit.
+enum DeviceMetrics {
+    Inline {
+        load: LoadBalanceTracker,
+        seq: SequentialityTracker,
+        conc: ConcurrencyTracker,
+    },
+    Sharded(ShardRouter),
+}
+
+impl DeviceMetrics {
+    fn record(&mut self, ev: &DeviceIoEvent) {
+        match self {
+            DeviceMetrics::Inline { load, seq, conc } => {
+                load.record(ev.submitted, ev.device, ev.bytes());
+                seq.record(ev.submitted, ev.device, ev.start_block, ev.blocks);
+                conc.record(ev.submitted, ev.device, ev.queue_depth);
+            }
+            DeviceMetrics::Sharded(router) => router.record(ShardEvent {
+                at: ev.submitted,
+                device: ev.device,
+                start_block: ev.start_block,
+                blocks: ev.blocks,
+                queue_depth: ev.queue_depth,
+                bytes: ev.bytes(),
+            }),
+        }
+    }
+
+    /// Folds the backend into the sequential trackers' outputs:
+    /// `(sequential_fraction, seq samples, overall cv, cv samples, ioq,
+    /// cdev)`.
+    fn finish(
+        self,
+    ) -> (
+        f64,
+        Quantiles,
+        f64,
+        Quantiles,
+        ConcurrencySummary,
+        ConcurrencySummary,
+    ) {
+        match self {
+            DeviceMetrics::Inline { load, seq, conc } => {
+                let fraction = seq.overall_sequential_fraction();
+                let seq_samples = seq.finish();
+                let overall_cv = load.overall_cv();
+                let cv_samples = load.finish();
+                let (ioq, cdev) = conc.finish();
+                (fraction, seq_samples, overall_cv, cv_samples, ioq, cdev)
+            }
+            DeviceMetrics::Sharded(router) => {
+                let mut merged = router.finish();
+                let fraction = merged.overall_sequential_fraction();
+                let overall_cv = merged.overall_cv();
+                let ioq = ConcurrencySummary::from_quantiles(&mut merged.queue_depths);
+                let cdev = ConcurrencySummary::from_quantiles(&mut merged.concurrent_devices);
+                (
+                    fraction,
+                    merged.seq_samples,
+                    overall_cv,
+                    merged.cv_samples,
+                    ioq,
+                    cdev,
+                )
+            }
+        }
+    }
+}
+
 impl MetricsCollector {
     /// Creates a collector for an array that will grow to `device_slots`
     /// devices over the run (initial devices plus every scheduled addition).
     pub fn new(device_slots: usize) -> Self {
+        Self::with_backend(DeviceMetrics::Inline {
+            load: LoadBalanceTracker::new(device_slots),
+            seq: SequentialityTracker::new(),
+            conc: ConcurrencyTracker::new(),
+        })
+    }
+
+    /// Creates a collector whose device-event pipeline is sharded across
+    /// `threads` worker threads, one shard per `parity_group`-sized device
+    /// group. Reports are bit-identical to the inline collector's.
+    pub fn new_sharded(device_slots: usize, parity_group: usize, threads: usize) -> Self {
+        Self::with_backend(DeviceMetrics::Sharded(ShardRouter::new(
+            device_slots,
+            parity_group,
+            threads,
+        )))
+    }
+
+    fn with_backend(device_metrics: DeviceMetrics) -> Self {
         MetricsCollector {
             read_summary: StreamingSummary::new(),
             write_summary: StreamingSummary::new(),
             read_quantiles: Quantiles::new(),
             write_quantiles: Quantiles::new(),
-            load: LoadBalanceTracker::new(device_slots),
-            seq: SequentialityTracker::new(),
-            conc: ConcurrencyTracker::new(),
+            device_metrics,
             requests: 0,
             closed: false,
         }
@@ -262,10 +353,7 @@ impl MetricsCollector {
     fn record_device_events(&mut self, reports: &[RequestReport]) {
         for report in reports {
             for ev in &report.events {
-                self.load.record(ev.submitted, ev.device, ev.bytes());
-                self.seq
-                    .record(ev.submitted, ev.device, ev.start_block, ev.blocks);
-                self.conc.record(ev.submitted, ev.device, ev.queue_depth);
+                self.device_metrics.record(ev);
             }
         }
     }
@@ -279,11 +367,8 @@ impl MetricsCollector {
         craid: Option<CraidStats>,
         device_bytes: Vec<u64>,
     ) -> SimulationReport {
-        let sequential_fraction = self.seq.overall_sequential_fraction();
-        let mut seq_samples = self.seq.finish();
-        let overall_cv = self.load.overall_cv();
-        let mut cv_samples = self.load.finish();
-        let (ioq, cdev) = self.conc.finish();
+        let (sequential_fraction, mut seq_samples, overall_cv, mut cv_samples, ioq, cdev) =
+            self.device_metrics.finish();
 
         SimulationReport {
             strategy: strategy.to_string(),
@@ -335,10 +420,7 @@ impl Observer for MetricsCollector {
         }
         if let Some(report) = expansion {
             for ev in &report.events {
-                self.load.record(ev.submitted, ev.device, ev.bytes());
-                self.seq
-                    .record(ev.submitted, ev.device, ev.start_block, ev.blocks);
-                self.conc.record(ev.submitted, ev.device, ev.queue_depth);
+                self.device_metrics.record(ev);
             }
         }
     }

@@ -69,6 +69,29 @@ impl ArchiveAccess<'_> {
     }
 }
 
+/// Reusable per-block triage buffers for the planner. The replay hot loop
+/// plans one request per trace record; owning these vectors across calls
+/// (cleared, never shrunk) keeps the per-request path free of heap
+/// allocations once the high-water marks are reached.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    hit_slots: Vec<u64>,
+    admitted_slots: Vec<u64>,
+    admitted_pa_blocks: Vec<u64>,
+    writeback_pa_blocks: Vec<u64>,
+    writeback_slots: Vec<u64>,
+}
+
+impl PlanScratch {
+    fn clear(&mut self) {
+        self.hit_slots.clear();
+        self.admitted_slots.clear();
+        self.admitted_pa_blocks.clear();
+        self.writeback_pa_blocks.clear();
+        self.writeback_slots.clear();
+    }
+}
+
 /// The physical plan for one client request.
 #[derive(Debug, Clone, Default)]
 pub struct RequestPlan {
@@ -106,19 +129,22 @@ pub fn plan_request(
         kind,
         range.blocks(),
         range.len(),
+        &mut PlanScratch::default(),
     )
 }
 
 /// [`plan_request`] against an [`ArchiveAccess`] — the arrays use this
-/// while a paced archive restripe is in flight.
+/// while a paced archive restripe is in flight — with caller-owned triage
+/// scratch so the hot loop allocates nothing per request.
 pub(crate) fn plan_request_via(
     monitor: &mut IoMonitor,
     pc: &mut CachePartition,
     pa: &mut ArchiveAccess<'_>,
     kind: IoKind,
     range: BlockRange,
+    scratch: &mut PlanScratch,
 ) -> RequestPlan {
-    plan_request_iter(monitor, pc, pa, kind, range.blocks(), range.len())
+    plan_request_iter(monitor, pc, pa, kind, range.blocks(), range.len(), scratch)
 }
 
 /// [`plan_request`] over an explicit block list: the arrays use this while
@@ -141,10 +167,12 @@ pub fn plan_request_blocks(
         kind,
         blocks.iter().copied(),
         request_blocks,
+        &mut PlanScratch::default(),
     )
 }
 
-/// [`plan_request_blocks`] against an [`ArchiveAccess`].
+/// [`plan_request_blocks`] against an [`ArchiveAccess`], with caller-owned
+/// triage scratch.
 pub(crate) fn plan_request_blocks_via(
     monitor: &mut IoMonitor,
     pc: &mut CachePartition,
@@ -152,6 +180,7 @@ pub(crate) fn plan_request_blocks_via(
     kind: IoKind,
     blocks: &[u64],
     request_blocks: u64,
+    scratch: &mut PlanScratch,
 ) -> RequestPlan {
     plan_request_iter(
         monitor,
@@ -160,9 +189,11 @@ pub(crate) fn plan_request_blocks_via(
         kind,
         blocks.iter().copied(),
         request_blocks,
+        scratch,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan_request_iter(
     monitor: &mut IoMonitor,
     pc: &mut CachePartition,
@@ -170,31 +201,27 @@ fn plan_request_iter(
     kind: IoKind,
     blocks: impl Iterator<Item = u64>,
     request_blocks: u64,
+    scratch: &mut PlanScratch,
 ) -> RequestPlan {
     let mut plan = RequestPlan::default();
-
-    let mut hit_slots = Vec::new();
-    let mut admitted_slots = Vec::new();
-    let mut admitted_pa_blocks = Vec::new();
-    let mut writeback_pa_blocks = Vec::new();
-    let mut writeback_slots = Vec::new();
+    scratch.clear();
 
     for pa_block in blocks {
         let (decision, evictions) = monitor.access(pa_block, kind, request_blocks, pc);
         if decision.is_hit() {
             plan.cache_hit_blocks += 1;
-            hit_slots.push(decision.slot());
+            scratch.hit_slots.push(decision.slot());
         } else {
             plan.admitted_blocks += 1;
-            admitted_slots.push(decision.slot());
-            admitted_pa_blocks.push(pa_block);
+            scratch.admitted_slots.push(decision.slot());
+            scratch.admitted_pa_blocks.push(pa_block);
         }
         for task in evictions {
             plan.evictions += 1;
             if task.dirty {
                 plan.dirty_writebacks += 1;
-                writeback_slots.push(task.pc_slot);
-                writeback_pa_blocks.push(task.pa_block);
+                scratch.writeback_slots.push(task.pc_slot);
+                scratch.writeback_pa_blocks.push(task.pa_block);
             }
         }
     }
@@ -205,19 +232,23 @@ fn plan_request_iter(
             // their pre-reshape location while an archive restripe has not
             // reached them).
             plan.foreground
-                .extend(pc.plan_blocks(IoKind::Read, &hit_slots));
-            plan.foreground.extend(pa.plan_reads(&admitted_pa_blocks));
+                .extend(pc.plan_blocks(IoKind::Read, &scratch.hit_slots));
+            plan.foreground
+                .extend(pa.plan_reads(&scratch.admitted_pa_blocks));
             // Copying the admitted blocks into their new PC slots happens in
             // the background (B.1 in the paper's control-flow figure).
             plan.background
-                .extend(pc.plan_blocks(IoKind::Write, &admitted_slots));
+                .extend(pc.plan_blocks(IoKind::Write, &scratch.admitted_slots));
         }
         IoKind::Write => {
-            // Writes are always absorbed by the cache partition.
-            let mut all_slots = hit_slots;
-            all_slots.extend(&admitted_slots);
+            // Writes are always absorbed by the cache partition. Hit and
+            // admitted slots merge in request order (hits first, matching
+            // the historical plan order bit-for-bit).
+            let admitted = std::mem::take(&mut scratch.admitted_slots);
+            scratch.hit_slots.extend(&admitted);
+            scratch.admitted_slots = admitted;
             plan.foreground
-                .extend(pc.plan_blocks(IoKind::Write, &all_slots));
+                .extend(pc.plan_blocks(IoKind::Write, &scratch.hit_slots));
         }
     }
 
@@ -226,8 +257,9 @@ fn plan_request_iter(
     // I/Os" of §5.1. Archive writes land at the reshaped home and
     // supersede any pending restripe move of the same block.
     plan.background
-        .extend(pc.plan_blocks(IoKind::Read, &writeback_slots));
-    plan.background.extend(pa.plan_writes(&writeback_pa_blocks));
+        .extend(pc.plan_blocks(IoKind::Read, &scratch.writeback_slots));
+    plan.background
+        .extend(pa.plan_writes(&scratch.writeback_pa_blocks));
 
     plan
 }

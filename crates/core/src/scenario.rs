@@ -718,6 +718,50 @@ impl Scenario {
         trace: &Trace,
         extra: &mut dyn Observer,
     ) -> Result<ScenarioOutcome, CraidError> {
+        self.run_on_sharded(trace, extra, 1)
+    }
+
+    /// Runs the scenario with its device-metrics pipeline sharded across
+    /// `threads` worker threads ([`Simulation::try_run_events_sharded`]).
+    /// The outcome — including every floating-point metric — is
+    /// bit-identical to the single-threaded run; `threads <= 1` stays on
+    /// the inline path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the resolved configuration or an event
+    /// is invalid.
+    pub fn run_sharded(&self, threads: usize) -> Result<ScenarioOutcome, CraidError> {
+        self.run_sharded_observed(threads, &mut NullObserver)
+    }
+
+    /// [`Scenario::run_sharded`] with an extra observer attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the resolved configuration or an event
+    /// is invalid.
+    pub fn run_sharded_observed(
+        &self,
+        threads: usize,
+        extra: &mut dyn Observer,
+    ) -> Result<ScenarioOutcome, CraidError> {
+        self.validate()?; // before trace generation, which asserts on its inputs
+        self.run_on_sharded(&self.trace(), extra, threads)
+    }
+
+    /// [`Scenario::run_on`] with a sharded device-metrics pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the resolved configuration or an event
+    /// is invalid.
+    pub fn run_on_sharded(
+        &self,
+        trace: &Trace,
+        extra: &mut dyn Observer,
+        threads: usize,
+    ) -> Result<ScenarioOutcome, CraidError> {
         // The validation funnel: every execution path ends here. The extra
         // `validate` calls in `run_observed` and `Campaign::run` exist only
         // to guard trace *generation*, which asserts on its inputs.
@@ -728,8 +772,12 @@ impl Scenario {
             first: &mut declared,
             second: extra,
         };
-        let (report, expansions, applied_events) =
-            Simulation::new(config).try_run_events(trace, &self.events, &mut observers)?;
+        let (report, expansions, applied_events) = Simulation::new(config).try_run_events_sharded(
+            trace,
+            &self.events,
+            &mut observers,
+            threads,
+        )?;
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             strategy: self.strategy,
@@ -1195,20 +1243,39 @@ impl Campaign {
                 .expect("every scenario's trace was pre-generated")
         };
 
+        // Work-stealing dispatch: workers claim the next unstarted scenario
+        // from a shared atomic counter, so one long-running configuration
+        // (a paced restripe, a large trace) no longer parks the rest of its
+        // static chunk behind it while other workers sit idle. Results
+        // travel back tagged with their input index, keeping the outcome
+        // order deterministic regardless of which worker finished when.
         let mut results: Vec<Option<Result<ScenarioOutcome, CraidError>>> =
             self.scenarios.iter().map(|_| None).collect();
-        let chunk = self.scenarios.len().div_ceil(threads).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (sender, receiver) = std::sync::mpsc::channel();
         std::thread::scope(|scope| {
-            for (slots, jobs) in results.chunks_mut(chunk).zip(self.scenarios.chunks(chunk)) {
+            for _ in 0..threads {
+                let sender = sender.clone();
+                let next = &next;
                 let trace_for = &trace_for;
-                scope.spawn(move || {
-                    for (slot, scenario) in slots.iter_mut().zip(jobs) {
-                        *slot = Some(match scenario.validate() {
-                            Ok(()) => scenario.run_on(trace_for(scenario), &mut NullObserver),
-                            Err(e) => Err(e),
-                        });
+                let scenarios = &self.scenarios;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(index) else {
+                        break;
+                    };
+                    let result = match scenario.validate() {
+                        Ok(()) => scenario.run_on(trace_for(scenario), &mut NullObserver),
+                        Err(e) => Err(e),
+                    };
+                    if sender.send((index, result)).is_err() {
+                        break;
                     }
                 });
+            }
+            drop(sender);
+            for (index, result) in receiver {
+                results[index] = Some(result);
             }
         });
         results

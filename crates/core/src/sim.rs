@@ -75,14 +75,20 @@ impl DatasetMapper {
     /// Maps one dataset-relative range onto one or more volume ranges
     /// (usually one; more when the range straddles a scatter extent).
     pub fn map(&self, range: BlockRange) -> Vec<BlockRange> {
+        let mut out = Vec::with_capacity(range.len().div_ceil(MAP_EXTENT_BLOCKS) as usize + 1);
+        self.map_into(range, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`DatasetMapper::map`] for the replay hot
+    /// loop: clears `out` and fills it with the mapped sub-ranges.
+    pub fn map_into(&self, range: BlockRange, out: &mut Vec<BlockRange>) {
         assert!(
             range.end() <= self.dataset_blocks,
             "request {range} outside the dataset of {} blocks",
             self.dataset_blocks
         );
-        // Emit every split straight into one output vector — this runs once
-        // per client request, so no per-chunk intermediates.
-        let mut out = Vec::with_capacity(range.len().div_ceil(MAP_EXTENT_BLOCKS) as usize + 1);
+        out.clear();
         for chunk in range.chunks(MAP_EXTENT_BLOCKS) {
             // Split chunks that straddle an extent boundary.
             let first_extent = chunk.start() / MAP_EXTENT_BLOCKS;
@@ -97,7 +103,6 @@ impl DatasetMapper {
                 out.push(self.map_within_extent(BlockRange::new(split, chunk.end() - split)));
             }
         }
-        out
     }
 
     fn map_within_extent(&self, range: BlockRange) -> BlockRange {
@@ -208,6 +213,30 @@ impl Simulation {
         events: &[ScheduledEvent],
         observer: &mut dyn Observer,
     ) -> Result<(SimulationReport, Vec<ExpansionReport>, Vec<AppliedEvent>), CraidError> {
+        self.try_run_events_sharded(trace, events, observer, 1)
+    }
+
+    /// Like [`Simulation::try_run_events`], but with the device-event
+    /// metrics pipeline sharded across `threads` worker threads (one shard
+    /// per parity group of devices, merged deterministically at the end).
+    ///
+    /// The report is **bit-identical** to the single-threaded one for any
+    /// `threads`: devices are partitioned across shards, so every per-device
+    /// accumulation happens on one worker in replay order, and the merge
+    /// reassembles exactly the per-second aggregates the inline trackers
+    /// compute. `threads <= 1` runs the inline pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the configuration or an event is
+    /// invalid.
+    pub fn try_run_events_sharded(
+        &self,
+        trace: &Trace,
+        events: &[ScheduledEvent],
+        observer: &mut dyn Observer,
+        threads: usize,
+    ) -> Result<(SimulationReport, Vec<ExpansionReport>, Vec<AppliedEvent>), CraidError> {
         let composed = compose_phase_swaps(trace, events);
         let trace = composed.as_ref().unwrap_or(trace);
         let mut config = self.config.clone();
@@ -237,7 +266,12 @@ impl Simulation {
                 | ScheduledEvent::DiskRepair { .. } => 0,
             })
             .sum();
-        let mut metrics = MetricsCollector::new(array.device_count() + total_added);
+        let device_slots = array.device_count() + total_added;
+        let mut metrics = if threads > 1 {
+            MetricsCollector::new_sharded(device_slots, config.parity_group.max(1), threads)
+        } else {
+            MetricsCollector::new(device_slots)
+        };
         observer.on_start(&config, trace);
 
         let mut expansion_reports = Vec::new();
@@ -250,6 +284,22 @@ impl Simulation {
         // background pump. Without a `[qos]` spec no controller exists and
         // the engine's static pacing is untouched.
         let mut qos = config.qos.clone().map(crate::qos::QosController::new);
+
+        // Event-clocked pumping: outside the model checker the engine is
+        // polled only when a pacing clock says work can actually be due
+        // (`background_work_due`), turning the once-per-request pump into
+        // O(completions). Under `--explore` the per-request cadence is kept
+        // so the explored decision tree is unchanged.
+        let event_clocked = !crate::choice::active();
+        // Request-path scratch, reused across records: the mapped sub-range
+        // list, the outcome's report list, and the background event buffer
+        // (reclaimed from the outcome after the observer hooks ran).
+        let mut ranges: Vec<BlockRange> = Vec::new();
+        let mut background: Vec<crate::devices::DeviceIoEvent> = Vec::new();
+        let mut outcome = RequestOutcome {
+            worst_ms: 0.0,
+            reports: Vec::new(),
+        };
 
         for record in trace {
             end_time = end_time.max(record.time);
@@ -280,9 +330,9 @@ impl Simulation {
             // as a real engine thread would against an async controller.
             let pump_first = qos.is_some()
                 && crate::choice::choose(crate::choice::DecisionPoint::ThrottlePumpOrder, 2) == 1;
-            let mut background = Vec::new();
-            if pump_first {
-                background = array.pump_background(record.time);
+            background.clear();
+            if pump_first && (!event_clocked || array.background_work_due(record.time)) {
+                array.pump_background_into(record.time, &mut background);
             }
             if let Some(controller) = qos.as_mut() {
                 if let Some(retarget) = controller.evaluate(record.time) {
@@ -297,8 +347,8 @@ impl Simulation {
             // client I/O: rebuild and migration batches occupy devices (the
             // client does not wait on them) and count into the measurement
             // window like any other traffic.
-            if !pump_first {
-                background = array.pump_background(record.time);
+            if !pump_first && (!event_clocked || array.background_work_due(record.time)) {
+                array.pump_background_into(record.time, &mut background);
             }
             if let Some(controller) = qos.as_mut() {
                 controller.note_maintenance(&background);
@@ -307,19 +357,17 @@ impl Simulation {
                 observer.on_deferred_activation(activation.at, activation.added_disks);
             }
 
-            let ranges = mapper.map(BlockRange::new(record.offset, record.length));
-            let mut outcome = RequestOutcome {
-                worst_ms: 0.0,
-                reports: Vec::with_capacity(ranges.len() + 1),
-            };
+            mapper.map_into(BlockRange::new(record.offset, record.length), &mut ranges);
+            outcome.worst_ms = 0.0;
+            outcome.reports.clear();
             let has_background_report = !background.is_empty();
             if has_background_report {
                 outcome.reports.push(RequestReport {
-                    events: background,
+                    events: std::mem::take(&mut background),
                     ..RequestReport::default()
                 });
             }
-            for range in ranges {
+            for &range in &ranges {
                 let report = array.submit(record.time, record.kind, range)?;
                 outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
                 outcome.reports.push(report);
@@ -338,6 +386,9 @@ impl Simulation {
             }
             metrics.on_request(record, &outcome);
             observer.on_request(record, &outcome);
+            if has_background_report {
+                background = std::mem::take(&mut outcome.reports[0].events);
+            }
         }
 
         // Events scheduled after the last request still execute, outside

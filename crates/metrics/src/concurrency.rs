@@ -26,6 +26,19 @@ pub struct ConcurrencySummary {
     pub max: f64,
 }
 
+impl ConcurrencySummary {
+    /// Builds the summary from a raw sample set (zeros when empty) — the
+    /// same folding [`ConcurrencyTracker::finish`] applies, exposed so the
+    /// sharded merge can reproduce it exactly.
+    pub fn from_quantiles(q: &mut Quantiles) -> Self {
+        ConcurrencySummary {
+            mean: q.mean().unwrap_or(0.0),
+            p99: q.quantile(0.99).unwrap_or(0.0),
+            max: q.max().unwrap_or(0.0),
+        }
+    }
+}
+
 /// Tracks queue-depth samples and per-second concurrently-active device
 /// counts. Feed events in non-decreasing time order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -94,11 +107,7 @@ impl ConcurrencyTracker {
 }
 
 fn summarize(q: &mut Quantiles) -> ConcurrencySummary {
-    ConcurrencySummary {
-        mean: q.mean().unwrap_or(0.0),
-        p99: q.quantile(0.99).unwrap_or(0.0),
-        max: q.max().unwrap_or(0.0),
-    }
+    ConcurrencySummary::from_quantiles(q)
 }
 
 #[cfg(test)]

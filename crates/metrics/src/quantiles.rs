@@ -90,10 +90,16 @@ impl Quantiles {
     }
 
     /// Arithmetic mean of the samples, or `None` if empty.
-    pub fn mean(&self) -> Option<f64> {
+    ///
+    /// The sum runs over the *sorted* samples so the result depends only on
+    /// the sample multiset, never on insertion order — a prerequisite for
+    /// the sharded replay merge, which must reproduce single-threaded
+    /// reports bit-for-bit whatever order shards contribute samples in.
+    pub fn mean(&mut self) -> Option<f64> {
         if self.samples.is_empty() {
             None
         } else {
+            self.ensure_sorted();
             Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
         }
     }
@@ -141,6 +147,12 @@ impl Quantiles {
                 (self.samples[rank], frac)
             })
             .collect()
+    }
+
+    /// The samples in ascending order.
+    pub fn sorted_samples(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.samples
     }
 
     /// Merges another collector's samples into this one.

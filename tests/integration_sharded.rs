@@ -1,0 +1,69 @@
+//! Sharded-replay determinism: for every shipped drill scenario, the
+//! report produced with the device-metrics pipeline sharded across 2, 4
+//! and 8 worker threads must be **byte-identical** to the single-threaded
+//! report — floating-point metrics included. This is the contract that
+//! lets the throughput benchmark and `Campaign` sweeps use threads freely
+//! without perturbing any pinned number.
+
+use craid::{NullObserver, Scenario};
+
+/// Every scenario TOML shipped under `examples/scenarios/`.
+fn shipped_drills() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios");
+    let mut drills: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable scenario dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+            (name, text)
+        })
+        .collect();
+    drills.sort();
+    assert!(
+        drills.len() >= 4,
+        "expected the shipped drill set, found {} TOML file(s) in {}",
+        drills.len(),
+        dir.display()
+    );
+    drills
+}
+
+#[test]
+fn sharded_replay_is_byte_identical_on_every_shipped_drill() {
+    for (name, text) in shipped_drills() {
+        let scenario = Scenario::from_toml(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+        let trace = scenario.trace();
+        let reference = scenario
+            .run_on(&trace, &mut NullObserver)
+            .unwrap_or_else(|e| panic!("running {name} single-threaded: {e}"))
+            .report
+            .to_json();
+        for threads in [2usize, 4, 8] {
+            let sharded = scenario
+                .run_on_sharded(&trace, &mut NullObserver, threads)
+                .unwrap_or_else(|e| panic!("running {name} at {threads} threads: {e}"))
+                .report
+                .to_json();
+            assert_eq!(
+                sharded, reference,
+                "{name}: report at {threads} threads diverges from the single-threaded report"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_sharded_matches_run_end_to_end() {
+    // The public convenience wrappers (fresh trace each call) agree too.
+    let (_, text) = shipped_drills()
+        .into_iter()
+        .find(|(name, _)| name == "online_upgrade_drill")
+        .expect("online_upgrade_drill ships");
+    let scenario = Scenario::from_toml(&text).unwrap();
+    let single = scenario.run().unwrap().report.to_json();
+    let sharded = scenario.run_sharded(3).unwrap().report.to_json();
+    assert_eq!(sharded, single);
+}
