@@ -15,7 +15,7 @@
 //! penalising blocks of large requests has no useful meaning at the block
 //! level of a RAID controller.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::policy::{AccessMeta, AccessOutcome, Evicted, ReplacementPolicy};
 
@@ -58,7 +58,9 @@ struct Entry {
 struct KeyedPolicy {
     formula: KeyFormula,
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    /// Resident entries in block order — a BTree map so `clear` and
+    /// `resident_blocks` walk blocks deterministically.
+    entries: BTreeMap<u64, Entry>,
     /// (key, block) ordered ascending; the smallest key is the next victim.
     order: BTreeSet<(OrdF64, u64)>,
     /// Running age factor `L`.
@@ -73,7 +75,7 @@ impl KeyedPolicy {
         KeyedPolicy {
             formula,
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeSet::new(),
             age: 0.0,
             cost: 1.0,

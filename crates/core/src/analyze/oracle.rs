@@ -386,6 +386,143 @@ mod tests {
         assert!(diagnostics.iter().all(|d| d.is_error()));
     }
 
+    // Direct per-oracle coverage (E401–E406): every oracle is exercised in
+    // both directions against hand-built evidence, independently of the
+    // model checker that normally assembles it.
+
+    #[test]
+    fn exactly_one_location_fires_per_colocated_block() {
+        assert!(ExactlyOneLocation.check(&RunEvidence::default()).is_none());
+        let mut e = RunEvidence::default();
+        e.colocated.push(7);
+        e.colocated.push(9);
+        let msg = ExactlyOneLocation.check(&e).expect("colocated block");
+        assert!(msg.contains("block 7"), "first offender is named: {msg}");
+        assert!(msg.contains("2 offending"), "total is reported: {msg}");
+        assert_eq!(ExactlyOneLocation.code(), codes::EXACTLY_ONE_LOCATION);
+    }
+
+    #[test]
+    fn block_conservation_judges_the_ledger_exactly() {
+        let line = |migrated, superseded, pending| ConservationLine {
+            label: "pc-migration",
+            enqueued: 10,
+            migrated,
+            superseded,
+            pending,
+        };
+        // Balanced: clean, whatever the split.
+        for balanced in [line(10, 0, 0), line(0, 10, 0), line(0, 0, 10), line(4, 3, 3)] {
+            let mut e = RunEvidence::default();
+            e.conservation.push(balanced);
+            assert!(BlockConservation.check(&e).is_none(), "{balanced:?}");
+        }
+        // A lost block and a double-counted block both fire.
+        for broken in [line(9, 0, 0), line(10, 1, 0)] {
+            let mut e = RunEvidence::default();
+            e.conservation.push(broken);
+            let msg = BlockConservation.check(&e).expect("imbalanced ledger");
+            assert!(msg.contains("pc-migration"), "label is named: {msg}");
+        }
+        assert_eq!(BlockConservation.code(), codes::BLOCK_CONSERVATION);
+    }
+
+    #[test]
+    fn fair_share_budget_rejects_each_violation_kind() {
+        let poll = |cap, lanes: Vec<PollLane>| {
+            let total: u64 = lanes.iter().map(|l| l.want).sum();
+            let mut e = RunEvidence::default();
+            e.polls.push((cap, total, lanes));
+            e
+        };
+        let lane = |want, granted| PollLane {
+            kind: TaskKind::Rebuild,
+            want,
+            granted,
+        };
+        // An exact work-conserving split is clean.
+        assert!(FairShareBudget
+            .check(&poll(8, vec![lane(5, 5), lane(3, 3)]))
+            .is_none());
+        // Over-grant: a lane got more than it asked for.
+        let msg = FairShareBudget
+            .check(&poll(8, vec![lane(2, 4)]))
+            .expect("over-grant");
+        assert!(msg.contains("granted 4"), "{msg}");
+        // Starvation: a hungry lane got nothing while others progressed.
+        let msg = FairShareBudget
+            .check(&poll(8, vec![lane(4, 4), lane(4, 0)]))
+            .expect("starved lane");
+        assert!(msg.contains("granted nothing"), "{msg}");
+        // Not work-conserving: budget left on the table.
+        let msg = FairShareBudget
+            .check(&poll(8, vec![lane(6, 3)]))
+            .expect("left budget");
+        assert!(msg.contains("left on the table"), "{msg}");
+        // Cap escape beyond the one-block floor.
+        let msg = FairShareBudget
+            .check(&poll(2, vec![lane(9, 9)]))
+            .expect("cap escape");
+        assert!(msg.contains("against a cap"), "{msg}");
+        assert_eq!(FairShareBudget.code(), codes::FAIR_SHARE_BUDGET);
+    }
+
+    #[test]
+    fn generation_monotonic_requires_exact_generation_match() {
+        let mut e = RunEvidence::default();
+        e.applies.push((5, 3, 3));
+        assert!(GenerationMonotonic.check(&e).is_none());
+        // Both directions of mismatch fire: an old task consuming a newer
+        // entry and a new task consuming an older one.
+        for (entry, task) in [(2u64, 1u64), (1, 2)] {
+            let mut e = RunEvidence::default();
+            e.applies.push((5, entry, task));
+            let msg = GenerationMonotonic.check(&e).expect("generation mismatch");
+            assert!(msg.contains(&format!("generation {entry}")), "{msg}");
+        }
+        assert_eq!(GenerationMonotonic.code(), codes::GENERATION_MONOTONIC);
+    }
+
+    #[test]
+    fn drain_terminates_checks_bound_abort_and_idleness() {
+        // Exactly at the bound, settled, idle: clean.
+        let mut e = RunEvidence::default();
+        e.drain = Some((DRAIN_PUMP_BOUND, false));
+        e.idle_at_end = Some(true);
+        assert!(DrainTerminates.check(&e).is_none());
+        // One pump over the bound fires even without the abort flag.
+        e.drain = Some((DRAIN_PUMP_BOUND + 1, false));
+        assert!(DrainTerminates.check(&e).is_some());
+        // An aborted drain fires regardless of the count.
+        e.drain = Some((3, true));
+        assert!(DrainTerminates.check(&e).is_some());
+        // A non-idle end fires even when no drain evidence was recorded.
+        let mut e = RunEvidence::default();
+        e.idle_at_end = Some(false);
+        let msg = DrainTerminates.check(&e).expect("not idle");
+        assert!(msg.contains("not idle"), "{msg}");
+        assert_eq!(DrainTerminates.code(), codes::DRAIN_TERMINATES);
+    }
+
+    #[test]
+    fn throttle_clamped_accepts_the_closed_interval_only() {
+        let check = |scale: f64, floor: f64| {
+            let mut e = RunEvidence::default();
+            e.throttles.push((scale, floor));
+            ThrottleClamped.check(&e)
+        };
+        // Both endpoints of [floor, 1.0] are legal retargets.
+        assert!(check(0.2, 0.2).is_none());
+        assert!(check(1.0, 0.2).is_none());
+        assert!(check(0.6, 0.2).is_none());
+        // Below the floor, above 1.0, and non-finite all escape the clamp.
+        assert!(check(0.1, 0.2).is_some());
+        assert!(check(1.1, 0.2).is_some());
+        assert!(check(f64::NAN, 0.2).is_some());
+        assert!(check(f64::INFINITY, 0.2).is_some());
+        assert_eq!(ThrottleClamped.code(), codes::THROTTLE_CLAMP);
+    }
+
     #[test]
     fn fair_share_accepts_the_floor_overshoot() {
         // cap 1, two hungry lanes: the one-block floor grants 2 > cap,

@@ -1,7 +1,5 @@
 //! The baseline arrays: ideal RAID-5 and aggregated RAID-5+.
 
-use std::collections::VecDeque;
-
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
 use craid_raid::Layout;
 use craid_simkit::{SimDuration, SimTime};
@@ -41,15 +39,12 @@ pub struct BaselineArray {
     /// queues in `deferred` until it drains, like serialized mdadm
     /// reshapes.
     restripe: Option<RestripeState>,
-    /// Expansions accepted while a restripe was in flight, by disk count
-    /// added; each activates (commits its layout and starts its own
-    /// restripe) when the previous restripe drains — and, under
+    /// Expansions accepted while a restripe was in flight; each activates
+    /// (commits its layout and starts its own restripe) when the previous
+    /// restripe drains — and, under
     /// [`ActivationPolicy::WaitForRepair`](crate::config::ActivationPolicy),
     /// only once the array is healthy again.
-    deferred: VecDeque<usize>,
-    /// Deferred expansions that activated since the driver last drained
-    /// them ([`StorageArray::take_activations`]).
-    activations: Vec<super::ActivatedExpansion>,
+    activation: super::activation::ActivationQueue,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
 }
@@ -80,8 +75,7 @@ impl BaselineArray {
             devices,
             volume,
             restripe: None,
-            deferred: VecDeque::new(),
-            activations: Vec::new(),
+            activation: super::activation::ActivationQueue::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
         })
@@ -93,21 +87,18 @@ impl BaselineArray {
     /// a new restripe, which re-blocks the rest of the queue (one reshape
     /// at a time, like serialized mdadm grows).
     fn maybe_activate_deferred(&mut self, now: SimTime) {
-        while let Some(&added) = self.deferred.front() {
-            if self.restripe.is_some() {
+        loop {
+            // Committing an activation starts a new restripe, which
+            // re-blocks the rest of the queue — so the gate is re-evaluated
+            // every iteration.
+            let blocked = self.restripe.is_some()
+                || (self.config.activation == crate::config::ActivationPolicy::WaitForRepair
+                    && self.devices.degraded_disk().is_some());
+            let Some(added) = self.activation.pop_eligible(blocked) else {
                 break;
-            }
-            if self.config.activation == crate::config::ActivationPolicy::WaitForRepair
-                && self.devices.degraded_disk().is_some()
-            {
-                break;
-            }
-            self.deferred.pop_front();
+            };
             self.commit_expansion(now, added);
-            self.activations.push(super::ActivatedExpansion {
-                at: now,
-                added_disks: added,
-            });
+            self.activation.record(now, added);
         }
     }
 
@@ -226,7 +217,7 @@ impl BaselineArray {
     /// Expansions accepted but not yet activated (queued behind an
     /// in-flight restripe).
     pub fn deferred_expansions(&self) -> usize {
-        self.deferred.len()
+        self.activation.len()
     }
 
     /// Performs a validated expansion: commits the new geometry and, for a
@@ -408,7 +399,7 @@ impl StorageArray for BaselineArray {
         }
         // Validate the geometry against the *projected* disk count so a
         // deferred expansion can never fail at activation time.
-        let projected = self.disks + self.deferred.iter().sum::<usize>() + added_disks;
+        let projected = self.disks + self.activation.pending_disks() + added_disks;
         match self.config.strategy {
             StrategyKind::Raid5 => {
                 // An ideal RAID-5 stays ideal only by restriping.
@@ -433,7 +424,7 @@ impl StorageArray for BaselineArray {
             // moving layout): the expansion *queues* instead of being
             // refused, and activates when the in-flight restripe drains —
             // the serialized-reshape behaviour of mdadm-style growers.
-            self.deferred.push_back(added_disks);
+            self.activation.defer(added_disks);
             return Ok(ExpansionReport {
                 added_disks,
                 deferred: true,
@@ -549,10 +540,10 @@ impl StorageArray for BaselineArray {
         // disk (no rebuild task exists) counts as idle: nothing can make
         // progress until a `disk-repair` event arrives, and the
         // end-of-trace drain must not spin on it.
-        let deferred_blocked = self.config.activation
-            == crate::config::ActivationPolicy::WaitForRepair
-            && self.devices.degraded_disk().is_some();
-        self.background.is_idle() && (self.deferred.is_empty() || deferred_blocked)
+        self.background.is_idle()
+            && self
+                .activation
+                .idle_under(self.config.activation, self.devices.degraded_disk().is_some())
     }
 
     fn set_background_throttle(&mut self, now: SimTime, scale: f64) {
@@ -560,7 +551,7 @@ impl StorageArray for BaselineArray {
     }
 
     fn take_activations(&mut self) -> Vec<super::ActivatedExpansion> {
-        std::mem::take(&mut self.activations)
+        self.activation.take_activations()
     }
 
     fn background_drain_eta(&self) -> Option<SimTime> {

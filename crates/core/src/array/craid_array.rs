@@ -1,6 +1,6 @@
 //! The CRAID array: cache partition + archive partition + control path.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use craid_diskmodel::{BlockRange, DeviceLoadStats, IoKind};
 use craid_raid::{IoPurpose, Layout, Raid5Layout, Raid5PlusLayout};
@@ -72,10 +72,7 @@ pub struct CraidArray {
     /// reshapes, while the aggregated `+` variants pipeline freely) — and,
     /// under [`ActivationPolicy::WaitForRepair`](crate::config::ActivationPolicy),
     /// only once the array is healthy again.
-    deferred: VecDeque<usize>,
-    /// Deferred expansions that activated since the driver last drained
-    /// them ([`StorageArray::take_activations`]).
-    activations: Vec<super::ActivatedExpansion>,
+    activation: super::activation::ActivationQueue,
     fault_stats: FaultStats,
     migration_stats: MigrationStats,
     /// Reusable per-request planner buffers (cleared each plan, never
@@ -124,8 +121,7 @@ impl CraidArray {
             migration: MigrationMap::new(),
             old_pcs: BTreeMap::new(),
             archive_restripe: None,
-            deferred: VecDeque::new(),
-            activations: Vec::new(),
+            activation: super::activation::ActivationQueue::new(),
             fault_stats: FaultStats::default(),
             migration_stats: MigrationStats::default(),
             plan_scratch: PlanScratch::default(),
@@ -139,28 +135,18 @@ impl CraidArray {
     /// rest of the queue (one reshape at a time, like serialized mdadm
     /// grows).
     fn maybe_activate_deferred(&mut self, now: SimTime) {
-        while let Some(&added) = self.deferred.front() {
-            if self.archive_restripe.is_some() {
+        loop {
+            // Committing an activation may start a new restripe, which
+            // re-blocks the rest of the queue — so the gate is re-evaluated
+            // every iteration.
+            let blocked = self.archive_restripe.is_some()
+                || (self.config.activation == crate::config::ActivationPolicy::WaitForRepair
+                    && self.devices.degraded_disk().is_some());
+            let Some(added) = self.activation.pop_eligible(blocked) else {
                 break;
-            }
-            if self.config.activation == crate::config::ActivationPolicy::WaitForRepair
-                && self.devices.degraded_disk().is_some()
-            {
-                break;
-            }
-            // Eligible. It normally activates on this very pump; the model
-            // checker may hold it for one more (branch 1) — the window a
-            // real engine thread would leave between noticing the drain and
-            // committing the queued expansion.
-            if crate::choice::choose(crate::choice::DecisionPoint::ActivationTiming, 2) == 1 {
-                break;
-            }
-            self.deferred.pop_front();
+            };
             self.commit_expansion(now, added);
-            self.activations.push(super::ActivatedExpansion {
-                at: now,
-                added_disks: added,
-            });
+            self.activation.record(now, added);
         }
     }
 
@@ -503,7 +489,7 @@ impl CraidArray {
     /// Expansions accepted but not yet activated (queued behind an
     /// in-flight archive restripe).
     pub fn deferred_expansions(&self) -> usize {
-        self.deferred.len()
+        self.activation.len()
     }
 
     /// Performs a validated expansion: commits the new geometry, enqueues
@@ -802,7 +788,7 @@ impl StorageArray for CraidArray {
         }
         // Validate the geometry against the *projected* disk count so a
         // deferred expansion can never fail at activation time.
-        let projected = self.disks + self.deferred.iter().sum::<usize>() + added_disks;
+        let projected = self.disks + self.activation.pending_disks() + added_disks;
         if self.config.strategy.archive_is_aggregated() {
             if added_disks < 2 {
                 return Err(CraidError::InvalidExpansion(
@@ -820,7 +806,7 @@ impl StorageArray for CraidArray {
             // moving layout): the expansion queues and activates when the
             // in-flight restripe drains. PC-only upgrades (the aggregated
             // `+` variants) never enter this branch and pipeline freely.
-            self.deferred.push_back(added_disks);
+            self.activation.defer(added_disks);
             return Ok(ExpansionReport {
                 added_disks,
                 deferred: true,
@@ -955,10 +941,10 @@ impl StorageArray for CraidArray {
         // disk (no repair scheduled, so no rebuild task exists) counts as
         // idle: nothing can make progress until a `disk-repair` event
         // arrives, and the end-of-trace drain must not spin on it.
-        let deferred_blocked = self.config.activation
-            == crate::config::ActivationPolicy::WaitForRepair
-            && self.devices.degraded_disk().is_some();
-        self.background.is_idle() && (self.deferred.is_empty() || deferred_blocked)
+        self.background.is_idle()
+            && self
+                .activation
+                .idle_under(self.config.activation, self.devices.degraded_disk().is_some())
     }
 
     fn set_background_throttle(&mut self, now: SimTime, scale: f64) {
@@ -966,7 +952,7 @@ impl StorageArray for CraidArray {
     }
 
     fn take_activations(&mut self) -> Vec<super::ActivatedExpansion> {
-        std::mem::take(&mut self.activations)
+        self.activation.take_activations()
     }
 
     fn background_drain_eta(&self) -> Option<SimTime> {

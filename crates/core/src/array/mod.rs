@@ -1,5 +1,6 @@
 //! Simulated storage arrays for the six allocation policies of the paper.
 
+mod activation;
 mod baseline;
 mod craid_array;
 

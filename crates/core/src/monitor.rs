@@ -132,10 +132,10 @@ pub struct IoMonitor {
     stats: MonitorStats,
     /// Per-block access counts — the heat signal the background engine's
     /// `HotFirst` priority orders rebuilds and migrations by. Survives
-    /// invalidations (it is access history, not residency). A hash map:
-    /// consumers never need key order (ranking sorts with a deterministic
-    /// tie-break), and the per-access update is on every request's path.
-    heat: std::collections::HashMap<u64, u64>,
+    /// invalidations (it is access history, not residency). A BTree map so
+    /// iteration (`hottest_blocks`) walks keys in a deterministic order
+    /// before the heat-ranked sort applies its own tie-break.
+    heat: std::collections::BTreeMap<u64, u64>,
 }
 
 impl IoMonitor {
@@ -152,7 +152,7 @@ impl IoMonitor {
             policy_kind,
             mapping: MappingCache::new(),
             stats: MonitorStats::default(),
-            heat: std::collections::HashMap::new(),
+            heat: std::collections::BTreeMap::new(),
         }
     }
 

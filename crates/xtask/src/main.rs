@@ -24,6 +24,13 @@
 //! would let a newly added event variant or code silently bypass the
 //! rule that match implements, so such matches must stay exhaustive.
 //!
+//! A fifth rule, `float-eq`, flags `==`/`!=` comparisons against a float
+//! literal in non-test source: floating-point equality is never a sound
+//! determinism pin (one rounding change flips it silently), so exact
+//! comparisons must go through `f64::to_bits`. The scan is lexical — it
+//! recognises literal operands (`x == 0.0`, `1.5 != y`), not inferred
+//! float types, which covers the pins the rule exists to stop.
+//!
 //! Pre-existing uses are grandfathered in `crates/xtask/lint.allow`, one
 //! `<path> <rule>` pair per line. The lint fails on any *new* violation and
 //! on any *stale* allowlist entry, so the allowlist can only shrink.
@@ -85,17 +92,20 @@ impl fmt::Display for Violation {
     }
 }
 
+mod mutate;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("mutate") => mutate::run(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown subcommand '{other}'");
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|mutate>");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|mutate>");
             ExitCode::FAILURE
         }
     }
@@ -128,7 +138,9 @@ fn lint() -> ExitCode {
             }
         };
         scan_file(rel, &source, &mut violations);
-        scan_wildcard_arms(rel, &effective_lines(&source), &mut violations);
+        let lines = effective_lines(&source);
+        scan_wildcard_arms(rel, &lines, &mut violations);
+        scan_float_eq(rel, &lines, &mut violations);
     }
 
     let mut fresh: Vec<&Violation> = Vec::new();
@@ -157,9 +169,10 @@ fn lint() -> ExitCode {
         eprintln!(
             "\nSimulated code must use BTreeMap/BTreeSet, SimTime, and the seeded \
              rand shim; matches over ScheduledEvent variants or diagnostic codes \
-             must stay exhaustive. If a use is genuinely deterministic (order never \
-             observed, shim-internal), add '<path> <rule>' to crates/xtask/lint.allow \
-             with a justifying comment."
+             must stay exhaustive; exact float pins must compare via to_bits. If a \
+             use is genuinely deterministic (order never observed, shim-internal, \
+             a zero-guard rather than a pin), add '<path> <rule>' to \
+             crates/xtask/lint.allow with a justifying comment."
         );
     }
     if !stale.is_empty() {
@@ -309,6 +322,129 @@ fn scan_wildcard_arms(rel: &str, lines: &[(usize, String)], out: &mut Vec<Violat
             excerpt,
         });
     }
+}
+
+/// Flags `==`/`!=` comparisons whose immediate operand is a float literal.
+/// Exact-equality pins on floats silently flip under any rounding change;
+/// determinism pins must compare `f64::to_bits` instead. Lexical by design:
+/// it sees literal operands, not inferred types. Records at most one
+/// violation per file.
+fn scan_float_eq(rel: &str, lines: &[(usize, String)], out: &mut Vec<Violation>) {
+    for (lineno, text) in lines {
+        if line_has_float_eq(text) {
+            out.push(Violation {
+                path: rel.to_string(),
+                rule: "float-eq",
+                line: *lineno,
+                excerpt: text.clone(),
+            });
+            return;
+        }
+    }
+}
+
+/// True when `text` contains an `==` or `!=` whose left or right operand
+/// token is a float literal. String literals are skipped; `==` preceded by
+/// another operator char (`<=`, `>=`, `+=`, ...) is not a comparison.
+fn line_has_float_eq(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => {
+                i += 2;
+                continue;
+            }
+            b'"' => in_str = !in_str,
+            b'=' | b'!' if !in_str && bytes[i + 1] == b'=' => {
+                let is_comparison = bytes[i] == b'!'
+                    || i == 0
+                    || !matches!(
+                        bytes[i - 1],
+                        b'<' | b'>'
+                            | b'!'
+                            | b'='
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    );
+                if is_comparison
+                    && (is_float_literal(operand_before(text, i))
+                        || is_float_literal(operand_after(text, i + 2)))
+                {
+                    return true;
+                }
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The operand token ending just before byte `idx`: trailing spaces skipped,
+/// then the longest run of identifier/number chars (`[A-Za-z0-9_.]`).
+fn operand_before(text: &str, idx: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut end = idx;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0
+        && (bytes[start - 1].is_ascii_alphanumeric() || matches!(bytes[start - 1], b'_' | b'.'))
+    {
+        start -= 1;
+    }
+    &text[start..end]
+}
+
+/// The operand token starting at or after byte `idx`: leading spaces and an
+/// optional unary minus skipped, then the longest identifier/number run.
+fn operand_after(text: &str, idx: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut start = idx;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    if start < bytes.len() && bytes[start] == b'-' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len()
+        && (bytes[end].is_ascii_alphanumeric() || matches!(bytes[end], b'_' | b'.'))
+    {
+        end += 1;
+    }
+    &text[start..end]
+}
+
+/// True for tokens that lex as float literals: they start with a digit (so
+/// `a.0` tuple access never qualifies) and carry a `.`, a decimal exponent,
+/// or an `f32`/`f64` suffix. Hex/octal/binary literals are exempt.
+fn is_float_literal(token: &str) -> bool {
+    let token = token.trim_start_matches('-');
+    let mut chars = token.chars();
+    if !chars.next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if token.starts_with("0x") || token.starts_with("0b") || token.starts_with("0o") {
+        return false;
+    }
+    let digits = token.trim_end_matches("f64").trim_end_matches("f32");
+    digits.contains('.')
+        || digits.bytes().zip(digits.bytes().skip(1)).any(|(a, b)| {
+            matches!(a, b'e' | b'E') && (b.is_ascii_digit() || b == b'-' || b == b'+')
+        })
+        || digits.len() < token.len()
 }
 
 /// The lines of `source` that the lint actually inspects: comments stripped,
@@ -463,6 +599,69 @@ mod tests {
                       \x20   }\n\
                       }\n";
         assert_eq!(wildcard_hits(source), Vec::<usize>::new());
+    }
+
+    fn float_eq_hits(source: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        scan_float_eq("test.rs", &effective_lines(source), &mut out);
+        out.iter()
+            .filter(|v| v.rule == "float-eq")
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn float_literal_comparisons_are_flagged() {
+        assert_eq!(
+            float_eq_hits("fn f(x: f64) -> bool {\n    x == 0.0\n}\n"),
+            vec![2]
+        );
+        assert_eq!(
+            float_eq_hits("fn f(y: f64) -> bool {\n    1.5 != y\n}\n"),
+            vec![2]
+        );
+        assert_eq!(
+            float_eq_hits("fn f(x: f64) -> bool {\n    x == -2.25\n}\n"),
+            vec![2]
+        );
+        assert_eq!(
+            float_eq_hits("fn f(x: f64) -> bool {\n    x == 1e9\n}\n"),
+            vec![2]
+        );
+        assert_eq!(
+            float_eq_hits("fn f(x: f32) -> bool {\n    x != 1f32\n}\n"),
+            vec![2]
+        );
+        // One violation per file: only the first line is reported.
+        assert_eq!(
+            float_eq_hits("fn f(x: f64) -> bool {\n    x == 0.0 || x == 1.0\n}\nfn g(x: f64) -> bool {\n    x == 2.0\n}\n"),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn non_float_comparisons_pass() {
+        // Integers, tuple-field access, to_bits pins, compound assignment,
+        // floats inside strings: none of these are float-equality pins.
+        let source = "fn f(n: u64, a: (f64,), b: (f64,), x: f64, mut acc: f64) -> bool {\n\
+                      \x20   let hex = n == 0x10;\n\
+                      \x20   let tup = a.0.to_bits() == b.0.to_bits();\n\
+                      \x20   acc += 1.0;\n\
+                      \x20   let s = \"x == 0.0\";\n\
+                      \x20   n == 0 && hex && tup && !s.is_empty() && n <= 1\n\
+                      }\n";
+        assert_eq!(float_eq_hits(source), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cfg_test_float_comparisons_are_exempt() {
+        let source = "#[cfg(test)]\n\
+                      mod tests {\n\
+                      \x20   fn f(x: f64) -> bool {\n\
+                      \x20       x == 0.5\n\
+                      \x20   }\n\
+                      }\n";
+        assert_eq!(float_eq_hits(source), Vec::<usize>::new());
     }
 
     #[test]
