@@ -38,10 +38,17 @@
 //! exits non-zero if its top-level `events_per_sec` falls more than
 //! `--max-regress` percent (default 30) below the baseline file's — the
 //! CI perf-smoke gate.
+//!
+//! Each run also executes under the replay loop's per-stage profiler
+//! (`craid_obs::profile`); the highest-thread run's breakdown — mapping,
+//! redirect, pump, metrics fold — lands in the report's `stage_profile`
+//! array. The existing top-level fields are untouched, so older baseline
+//! files keep gating.
 
 use std::time::Instant;
 
 use craid::{NullObserver, Scenario, StrategyKind};
+use craid_obs::profile::{self, StageSample};
 use craid_trace::WorkloadId;
 use serde::{Serialize, Value};
 
@@ -72,6 +79,9 @@ struct BenchReport {
     peak_rss_bytes: u64,
     threads: usize,
     runs: Vec<RunStat>,
+    /// Per-stage wall-clock breakdown of the highest-thread run's replay
+    /// loop (mapping, redirect, pump, metrics fold).
+    stage_profile: Vec<StageSample>,
 }
 
 fn main() {
@@ -138,13 +148,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let trace = scenario.trace();
 
     let mut runs: Vec<RunStat> = Vec::with_capacity(threads.len());
+    let mut stage_profiles: Vec<Vec<StageSample>> = Vec::with_capacity(threads.len());
     let mut reference_report: Option<String> = None;
     for &t in &threads {
+        profile::enable();
         let started = Instant::now();
         let outcome = scenario
             .run_on_sharded(&trace, &mut NullObserver, t)
             .map_err(|e| format!("replay failed at {t} thread(s): {e}"))?;
         let wall_secs = started.elapsed().as_secs_f64();
+        stage_profiles.push(profile::take());
 
         // The sharded pipeline must not be able to publish a fast number
         // for a different answer: every thread count must reproduce the
@@ -179,10 +192,28 @@ fn run(args: Vec<String>) -> Result<(), String> {
         runs.push(stat);
     }
 
-    let headline = *runs
+    let headline_at = runs
         .iter()
-        .max_by_key(|r| r.threads)
+        .enumerate()
+        .max_by_key(|(_, r)| r.threads)
+        .map(|(i, _)| i)
         .expect("at least one thread count runs");
+    let headline = runs[headline_at];
+    let stage_profile = stage_profiles.swap_remove(headline_at);
+    let replay_secs: f64 = stage_profile.iter().map(|s| s.secs).sum();
+    for sample in &stage_profile {
+        eprintln!(
+            "stage {:<12} {:>8.3}s ({:>4.1}% of instrumented replay time, {} hits)",
+            sample.stage,
+            sample.secs,
+            if replay_secs > 0.0 {
+                100.0 * sample.secs / replay_secs
+            } else {
+                0.0
+            },
+            sample.hits,
+        );
+    }
     let report = BenchReport {
         benchmark: "replay_throughput".to_string(),
         scenario: scenario.name.clone(),
@@ -192,6 +223,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         peak_rss_bytes: headline.peak_rss_bytes,
         threads: headline.threads,
         runs,
+        stage_profile,
     };
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| format!("serializing bench report: {e}"))?;

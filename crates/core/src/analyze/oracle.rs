@@ -486,9 +486,11 @@ mod tests {
     #[test]
     fn drain_terminates_checks_bound_abort_and_idleness() {
         // Exactly at the bound, settled, idle: clean.
-        let mut e = RunEvidence::default();
-        e.drain = Some((DRAIN_PUMP_BOUND, false));
-        e.idle_at_end = Some(true);
+        let mut e = RunEvidence {
+            drain: Some((DRAIN_PUMP_BOUND, false)),
+            idle_at_end: Some(true),
+            ..RunEvidence::default()
+        };
         assert!(DrainTerminates.check(&e).is_none());
         // One pump over the bound fires even without the abort flag.
         e.drain = Some((DRAIN_PUMP_BOUND + 1, false));
@@ -497,8 +499,10 @@ mod tests {
         e.drain = Some((3, true));
         assert!(DrainTerminates.check(&e).is_some());
         // A non-idle end fires even when no drain evidence was recorded.
-        let mut e = RunEvidence::default();
-        e.idle_at_end = Some(false);
+        let e = RunEvidence {
+            idle_at_end: Some(false),
+            ..RunEvidence::default()
+        };
         let msg = DrainTerminates.check(&e).expect("not idle");
         assert!(msg.contains("not idle"), "{msg}");
         assert_eq!(DrainTerminates.code(), codes::DRAIN_TERMINATES);

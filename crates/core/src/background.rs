@@ -137,6 +137,17 @@ pub enum TaskKind {
     ArchiveRestripe,
 }
 
+impl TaskKind {
+    /// The stable name trace spans and logs use.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Rebuild => "rebuild",
+            TaskKind::ExpansionMigration => "expansion-migration",
+            TaskKind::ArchiveRestripe => "archive-restripe",
+        }
+    }
+}
+
 /// Identifies one task pushed onto a [`BackgroundEngine`] (ids are unique
 /// per engine, in push order). Batches and completions carry the id so the
 /// owning array can route work to per-task state — e.g. the cache-partition
@@ -812,6 +823,18 @@ impl BackgroundEngine {
             if task.work.remaining() == 0 {
                 // Drained (or empty from the start, or forfeited away):
                 // retire the task and record its service window.
+                craid_obs::emit(|_| {
+                    craid_obs::TraceEvent::span(
+                        craid_obs::SpanCategory::Background,
+                        task.kind.name(),
+                        task.started,
+                        now.saturating_since(task.started),
+                    )
+                    .arg("id", task.id)
+                    .arg("disk", task.disk as u64)
+                    .arg("blocks_issued", task.issued)
+                });
+                craid_obs::counter_add("background.completions", 1);
                 self.completed.push(CompletedTask {
                     id: task.id,
                     kind: task.kind,

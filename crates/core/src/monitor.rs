@@ -227,6 +227,14 @@ impl IoMonitor {
                     .allocate()
                     .expect("policy capacity equals cache-partition capacity");
                 self.mapping.insert(pa_block, slot, kind.is_write());
+                // The tracer's ambient clock was set by the replay loop for
+                // this request; with no tracer installed this builds nothing.
+                craid_obs::emit(|now| {
+                    craid_obs::TraceEvent::instant(craid_obs::SpanCategory::Cache, "admit", now)
+                        .arg("block", pa_block)
+                        .arg("write", kind.is_write())
+                });
+                craid_obs::counter_add("cache.admissions", 1);
                 (BlockDecision::Admitted { slot }, Vec::new())
             }
             AccessOutcome::InsertedWithEviction(evicted) => {
@@ -245,6 +253,18 @@ impl IoMonitor {
                 }
                 let slot = pc.allocate().expect("the eviction just freed a slot");
                 self.mapping.insert(pa_block, slot, kind.is_write());
+                craid_obs::emit(|now| {
+                    craid_obs::TraceEvent::instant(craid_obs::SpanCategory::Cache, "admit", now)
+                        .arg("block", pa_block)
+                        .arg("write", kind.is_write())
+                });
+                craid_obs::emit(|now| {
+                    craid_obs::TraceEvent::instant(craid_obs::SpanCategory::Cache, "evict", now)
+                        .arg("block", evicted.block)
+                        .arg("dirty", dirty)
+                });
+                craid_obs::counter_add("cache.admissions", 1);
+                craid_obs::counter_add("cache.evictions", 1);
                 (
                     BlockDecision::Admitted { slot },
                     vec![EvictionTask {

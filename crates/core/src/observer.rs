@@ -72,6 +72,13 @@ pub trait Observer {
     /// wait-for-repair policy — the one that completed the rebuild).
     fn on_deferred_activation(&mut self, _at: craid_simkit::SimTime, _added_disks: usize) {}
 
+    /// Called for each request-lifecycle trace span the replay loop emits
+    /// during a *traced* run (a tracer installed via
+    /// [`craid_obs::with_tracer`] — see `Scenario::run_traced`). Never
+    /// called on an untraced run, so implementations cannot perturb the
+    /// tracing-off path.
+    fn on_span(&mut self, _event: &craid_obs::TraceEvent) {}
+
     /// Called once with the finished report.
     fn on_finish(&mut self, _report: &SimulationReport) {}
 }
@@ -138,6 +145,12 @@ impl Observer for MultiObserver {
     fn on_deferred_activation(&mut self, at: craid_simkit::SimTime, added_disks: usize) {
         for o in &mut self.observers {
             o.on_deferred_activation(at, added_disks);
+        }
+    }
+
+    fn on_span(&mut self, event: &craid_obs::TraceEvent) {
+        for o in &mut self.observers {
+            o.on_span(event);
         }
     }
 
@@ -394,6 +407,7 @@ impl MetricsCollector {
             cdev,
             craid,
             device_bytes,
+            obs: None,
         }
     }
 }
@@ -451,6 +465,7 @@ mod tests {
         events: u64,
         throttles: u64,
         activations: u64,
+        spans: u64,
         finished: bool,
     }
 
@@ -468,6 +483,9 @@ mod tests {
         }
         fn on_deferred_activation(&mut self, _at: craid_simkit::SimTime, _added: usize) {
             self.0.borrow_mut().activations += 1;
+        }
+        fn on_span(&mut self, _event: &craid_obs::TraceEvent) {
+            self.0.borrow_mut().spans += 1;
         }
         fn on_finish(&mut self, _r: &SimulationReport) {
             self.0.borrow_mut().finished = true;
@@ -493,12 +511,18 @@ mod tests {
         multi.on_event(&event, None);
         multi.on_throttle(SimTime::from_secs(1.0), 0.5);
         multi.on_deferred_activation(SimTime::from_secs(2.0), 4);
+        multi.on_span(&craid_obs::TraceEvent::instant(
+            craid_obs::SpanCategory::Request,
+            "read",
+            SimTime::ZERO,
+        ));
         multi.on_finish(&SimulationReport::default());
 
         for c in [a, b] {
             let c = c.borrow();
             assert_eq!((c.requests, c.events), (1, 1));
             assert_eq!((c.throttles, c.activations), (1, 1));
+            assert_eq!(c.spans, 1);
             assert!(c.finished);
         }
     }

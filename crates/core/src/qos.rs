@@ -430,6 +430,13 @@ impl QosController {
             }
             self.last_timeline_scale = self.scale;
         }
+        craid_obs::emit(|_| {
+            craid_obs::TraceEvent::instant(craid_obs::SpanCategory::Throttle, "retarget", now)
+                .arg("scale", self.scale)
+                .arg("notable", notable)
+        });
+        craid_obs::counter_add("qos.retargets", 1);
+        craid_obs::gauge_set("qos.scale", self.scale);
         Some(Retarget {
             scale: self.scale,
             notable,

@@ -789,6 +789,44 @@ impl Scenario {
         })
     }
 
+    /// Runs the scenario with a [`craid_obs::Tracer`] installed, returning
+    /// the outcome together with the captured trace. `capacity` bounds the
+    /// tracer's ring buffer (events beyond it are counted as dropped, never
+    /// reallocated); `threads` shards the device-metrics pipeline as in
+    /// [`Scenario::run_sharded`]. The outcome's report carries an
+    /// [`craid_obs::ObsSnapshot`] in its `obs` field; everything else is
+    /// bit-identical to an untraced run because tracing only *records* —
+    /// it never feeds back into simulated behaviour.
+    ///
+    /// ```no_run
+    /// use craid::ScenarioBuilder;
+    ///
+    /// let scenario = ScenarioBuilder::new().name("traced").build();
+    /// let (outcome, trace) = scenario.run_traced(1 << 16, 1).unwrap();
+    /// std::fs::write("trace.json", trace.to_chrome_json()).unwrap();
+    /// assert!(outcome.report.obs.is_some());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraidError`] if the resolved configuration or an event
+    /// is invalid.
+    pub fn run_traced(
+        &self,
+        capacity: usize,
+        threads: usize,
+    ) -> Result<(ScenarioOutcome, craid_obs::Trace), CraidError> {
+        self.validate()?; // before trace generation, which asserts on its inputs
+        let trace = self.trace();
+        let (outcome, mut obs_trace) =
+            craid_obs::with_tracer(craid_obs::Tracer::with_capacity(capacity), || {
+                self.run_on_sharded(&trace, &mut NullObserver, threads)
+            });
+        let mut outcome = outcome?;
+        outcome.report.obs = Some(obs_trace.snapshot());
+        Ok((outcome, obs_trace))
+    }
+
     /// Instantiates the declared [`ObserverSpec`]s.
     pub fn build_observers(&self) -> MultiObserver {
         let mut multi = MultiObserver::new();
@@ -840,6 +878,11 @@ impl Observer for PairObserver<'_> {
     fn on_deferred_activation(&mut self, at: SimTime, added_disks: usize) {
         self.first.on_deferred_activation(at, added_disks);
         self.second.on_deferred_activation(at, added_disks);
+    }
+
+    fn on_span(&mut self, event: &craid_obs::TraceEvent) {
+        self.first.on_span(event);
+        self.second.on_span(event);
     }
 
     fn on_finish(&mut self, report: &SimulationReport) {
@@ -1299,6 +1342,66 @@ mod tests {
             .small_test()
             .pc_fraction(0.2)
             .build()
+    }
+
+    /// Records which hooks fired, for the PairObserver forwarding tests.
+    #[derive(Default)]
+    struct Counting {
+        throttles: u64,
+        activations: u64,
+        spans: u64,
+    }
+
+    impl Observer for Counting {
+        fn on_throttle(&mut self, _now: SimTime, _scale: f64) {
+            self.throttles += 1;
+        }
+
+        fn on_deferred_activation(&mut self, _at: SimTime, _added_disks: usize) {
+            self.activations += 1;
+        }
+
+        fn on_span(&mut self, _event: &craid_obs::TraceEvent) {
+            self.spans += 1;
+        }
+    }
+
+    #[test]
+    fn pair_observer_forwards_every_hook_to_both_sides() {
+        let mut a = Counting::default();
+        let mut b = Counting::default();
+        {
+            let mut pair = PairObserver {
+                first: &mut a,
+                second: &mut b,
+            };
+            pair.on_throttle(SimTime::from_secs(1.0), 0.5);
+            pair.on_deferred_activation(SimTime::from_secs(2.0), 4);
+            pair.on_span(&craid_obs::TraceEvent::instant(
+                craid_obs::SpanCategory::Request,
+                "read",
+                SimTime::ZERO,
+            ));
+        }
+        for side in [&a, &b] {
+            assert_eq!(side.throttles, 1);
+            assert_eq!(side.activations, 1);
+            assert_eq!(side.spans, 1);
+        }
+    }
+
+    #[test]
+    fn run_traced_attaches_snapshot_and_captures_request_spans() {
+        let (outcome, trace) = tiny().run_traced(1 << 16, 1).unwrap();
+        let obs = outcome.report.obs.as_ref().expect("traced run sets obs");
+        let requests = outcome.report.requests;
+        assert_eq!(obs.metrics.counters.get("requests"), Some(&requests));
+        assert_eq!(obs.spans.get("request"), Some(&requests));
+        assert_eq!(obs.recorded, trace.events.len() as u64);
+        assert_eq!(obs.dropped, 0);
+        // The same scenario untraced leaves the field unset.
+        let untraced = tiny().run().unwrap();
+        assert!(untraced.report.obs.is_none());
     }
 
     #[test]

@@ -303,6 +303,10 @@ impl Simulation {
 
         for record in trace {
             end_time = end_time.max(record.time);
+            // Advance the tracer's ambient clock (a no-op on untraced
+            // runs): subsystems without a time parameter — the I/O monitor's
+            // cache instants — stamp their events with this.
+            craid_obs::set_now(record.time);
             // Apply every event whose time has come.
             while let Some(event) = pending.peek() {
                 if event.at() > record.time {
@@ -332,6 +336,7 @@ impl Simulation {
                 && crate::choice::choose(crate::choice::DecisionPoint::ThrottlePumpOrder, 2) == 1;
             background.clear();
             if pump_first && (!event_clocked || array.background_work_due(record.time)) {
+                let _stage = craid_obs::profile::timer(craid_obs::profile::Stage::Pump);
                 array.pump_background_into(record.time, &mut background);
             }
             if let Some(controller) = qos.as_mut() {
@@ -348,16 +353,29 @@ impl Simulation {
             // client does not wait on them) and count into the measurement
             // window like any other traffic.
             if !pump_first && (!event_clocked || array.background_work_due(record.time)) {
+                let _stage = craid_obs::profile::timer(craid_obs::profile::Stage::Pump);
                 array.pump_background_into(record.time, &mut background);
             }
             if let Some(controller) = qos.as_mut() {
                 controller.note_maintenance(&background);
             }
             for activation in array.take_activations() {
+                craid_obs::emit(|_| {
+                    craid_obs::TraceEvent::instant(
+                        craid_obs::SpanCategory::Activation,
+                        "deferred-activation",
+                        activation.at,
+                    )
+                    .arg("added_disks", activation.added_disks as u64)
+                });
+                craid_obs::counter_add("activations", 1);
                 observer.on_deferred_activation(activation.at, activation.added_disks);
             }
 
-            mapper.map_into(BlockRange::new(record.offset, record.length), &mut ranges);
+            {
+                let _stage = craid_obs::profile::timer(craid_obs::profile::Stage::Mapping);
+                mapper.map_into(BlockRange::new(record.offset, record.length), &mut ranges);
+            }
             outcome.worst_ms = 0.0;
             outcome.reports.clear();
             let has_background_report = !background.is_empty();
@@ -367,25 +385,51 @@ impl Simulation {
                     ..RequestReport::default()
                 });
             }
-            for &range in &ranges {
-                let report = array.submit(record.time, record.kind, range)?;
-                outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
-                outcome.reports.push(report);
+            {
+                let _stage = craid_obs::profile::timer(craid_obs::profile::Stage::Redirect);
+                for &range in &ranges {
+                    let report = array.submit(record.time, record.kind, range)?;
+                    outcome.worst_ms = outcome.worst_ms.max(report.response.as_millis());
+                    outcome.reports.push(report);
+                }
             }
-            if let Some(controller) = qos.as_mut() {
-                // The first report carries the pump's maintenance batch
-                // (when one was issued); the controller must only see the
-                // *client* I/O, or it would throttle against the queue
-                // depths of the very maintenance it paces.
-                let client_from = usize::from(has_background_report);
-                controller.observe(
+            if craid_obs::active() {
+                // The request-lifecycle span: built once, shown to the
+                // observer, then moved into the ring. Untraced runs skip
+                // this block entirely (one thread-local flag test).
+                let span = craid_obs::TraceEvent::span(
+                    craid_obs::SpanCategory::Request,
+                    match record.kind {
+                        IoKind::Read => "read",
+                        IoKind::Write => "write",
+                    },
                     record.time,
-                    outcome.worst_ms,
-                    &outcome.reports[client_from..],
-                );
+                    craid_simkit::SimDuration::from_millis(outcome.worst_ms),
+                )
+                .arg("blocks", record.length)
+                .arg("cache_hit_blocks", outcome.cache_hit_blocks());
+                observer.on_span(&span);
+                craid_obs::emit(move |_| span);
+                craid_obs::counter_add("requests", 1);
+                craid_obs::histogram_record("request.worst_ms", outcome.worst_ms);
             }
-            metrics.on_request(record, &outcome);
-            observer.on_request(record, &outcome);
+            {
+                let _stage = craid_obs::profile::timer(craid_obs::profile::Stage::MetricsFold);
+                if let Some(controller) = qos.as_mut() {
+                    // The first report carries the pump's maintenance batch
+                    // (when one was issued); the controller must only see the
+                    // *client* I/O, or it would throttle against the queue
+                    // depths of the very maintenance it paces.
+                    let client_from = usize::from(has_background_report);
+                    controller.observe(
+                        record.time,
+                        outcome.worst_ms,
+                        &outcome.reports[client_from..],
+                    );
+                }
+                metrics.on_request(record, &outcome);
+                observer.on_request(record, &outcome);
+            }
             if has_background_report {
                 background = std::mem::take(&mut outcome.reports[0].events);
             }
@@ -445,6 +489,15 @@ impl Simulation {
             }
             let events = array.pump_background(drain_at);
             for activation in array.take_activations() {
+                craid_obs::emit(|_| {
+                    craid_obs::TraceEvent::instant(
+                        craid_obs::SpanCategory::Activation,
+                        "deferred-activation",
+                        activation.at,
+                    )
+                    .arg("added_disks", activation.added_disks as u64)
+                });
+                craid_obs::counter_add("activations", 1);
                 observer.on_deferred_activation(activation.at, activation.added_disks);
             }
             if events.is_empty() && !array.background_idle() {

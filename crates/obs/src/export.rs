@@ -1,0 +1,262 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! and compact JSONL.
+//!
+//! Both formats are rendered through the workspace serde shim's
+//! shortest-round-trip float printing, so a trace exports to identical
+//! bytes on every run of the same scenario.
+
+use serde::Value;
+
+use crate::tracer::{ArgValue, SpanCategory, Trace, TraceEvent};
+
+/// The serialized trace formats `scenario_file --trace-format` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON, loadable in Perfetto and `chrome://tracing`.
+    #[default]
+    Chrome,
+    /// One compact JSON object per line.
+    Jsonl,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            other => Err(format!(
+                "unknown trace format '{other}' (expected chrome or jsonl)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Chrome => "chrome",
+            TraceFormat::Jsonl => "jsonl",
+        })
+    }
+}
+
+fn arg_value(value: &ArgValue) -> Value {
+    match *value {
+        ArgValue::U64(v) => Value::UInt(v),
+        ArgValue::F64(v) => Value::Float(v),
+        ArgValue::Str(v) => Value::Str(v.to_string()),
+        ArgValue::Bool(v) => Value::Bool(v),
+    }
+}
+
+fn args_map(event: &TraceEvent) -> Value {
+    Value::Map(
+        event
+            .args
+            .iter()
+            .map(|(k, v)| (k.to_string(), arg_value(v)))
+            .collect(),
+    )
+}
+
+/// One Chrome trace-event object. Complete spans use phase `"X"`
+/// (`ts` + `dur` in microseconds); instants use phase `"i"` with
+/// thread scope. Each category renders as its own track (`tid`).
+fn chrome_event(event: &TraceEvent) -> Value {
+    let mut entries = vec![
+        ("name".to_string(), Value::Str(event.name.to_string())),
+        (
+            "cat".to_string(),
+            Value::Str(event.category.name().to_string()),
+        ),
+    ];
+    match event.dur {
+        Some(dur) => {
+            entries.push(("ph".to_string(), Value::Str("X".to_string())));
+            entries.push(("ts".to_string(), Value::Float(event.at.as_micros())));
+            entries.push(("dur".to_string(), Value::Float(dur.as_micros())));
+        }
+        None => {
+            entries.push(("ph".to_string(), Value::Str("i".to_string())));
+            entries.push(("ts".to_string(), Value::Float(event.at.as_micros())));
+            entries.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+    }
+    entries.push(("pid".to_string(), Value::UInt(1)));
+    entries.push((
+        "tid".to_string(),
+        Value::UInt(track_id(event.category) as u64),
+    ));
+    entries.push(("args".to_string(), args_map(event)));
+    Value::Map(entries)
+}
+
+/// The per-category track id (1-based, in [`SpanCategory::ALL`] order).
+fn track_id(category: SpanCategory) -> usize {
+    1 + SpanCategory::ALL
+        .iter()
+        .position(|&c| c == category)
+        .expect("every category is listed in ALL")
+}
+
+/// Thread-name metadata so Perfetto labels each track with its category.
+fn track_metadata() -> Vec<Value> {
+    SpanCategory::ALL
+        .iter()
+        .map(|&category| {
+            Value::Map(vec![
+                ("name".to_string(), Value::Str("thread_name".to_string())),
+                ("ph".to_string(), Value::Str("M".to_string())),
+                ("pid".to_string(), Value::UInt(1)),
+                ("tid".to_string(), Value::UInt(track_id(category) as u64)),
+                (
+                    "args".to_string(),
+                    Value::Map(vec![(
+                        "name".to_string(),
+                        Value::Str(category.name().to_string()),
+                    )]),
+                ),
+            ])
+        })
+        .collect()
+}
+
+impl Trace {
+    /// Renders the trace as Chrome trace-event JSON: a `traceEvents` array
+    /// of `"X"` (complete span) and `"i"` (instant) events plus one
+    /// `thread_name` metadata record per category, timestamps in simulated
+    /// microseconds. Loadable in Perfetto and `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = track_metadata();
+        events.extend(self.events.iter().map(chrome_event));
+        let root = Value::Map(vec![
+            ("traceEvents".to_string(), Value::Seq(events)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+            ("droppedEvents".to_string(), Value::UInt(self.dropped)),
+        ]);
+        serde_json::to_string_pretty(&root).expect("value-model serialization cannot fail")
+    }
+
+    /// Renders the trace as compact JSONL: one event object per line with
+    /// nanosecond-precision virtual timestamps (`at_ns`, span `dur_ns`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let mut entries = vec![
+                ("at_ns".to_string(), Value::UInt(event.at.as_nanos())),
+                (
+                    "cat".to_string(),
+                    Value::Str(event.category.name().to_string()),
+                ),
+                ("name".to_string(), Value::Str(event.name.to_string())),
+            ];
+            if let Some(dur) = event.dur {
+                entries.push(("dur_ns".to_string(), Value::UInt(dur.as_nanos())));
+            }
+            if !event.args.is_empty() {
+                entries.push(("args".to_string(), args_map(event)));
+            }
+            let line = serde_json::to_string(&Value::Map(entries))
+                .expect("value-model serialization cannot fail");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the trace in `format` — [`Trace::to_chrome_json`] or
+    /// [`Trace::to_jsonl`].
+    pub fn export(&self, format: TraceFormat) -> String {
+        match format {
+            TraceFormat::Chrome => self.to_chrome_json(),
+            TraceFormat::Jsonl => self.to_jsonl(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use craid_simkit::{SimDuration, SimTime};
+    use serde::Value;
+
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn sample_trace() -> Trace {
+        let mut tracer = Tracer::new();
+        tracer.record(
+            TraceEvent::span(
+                SpanCategory::Request,
+                "read",
+                SimTime::from_millis(1.0),
+                SimDuration::from_millis(2.5),
+            )
+            .arg("blocks", 8u64)
+            .arg("hit", true),
+        );
+        tracer.record(
+            TraceEvent::instant(SpanCategory::Throttle, "backoff", SimTime::from_millis(3.0))
+                .arg("scale", 0.5),
+        );
+        tracer.finish()
+    }
+
+    #[test]
+    fn format_parses_and_rejects() {
+        assert_eq!(
+            "chrome".parse::<TraceFormat>().unwrap(),
+            TraceFormat::Chrome
+        );
+        assert_eq!("JSONL".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert!("svg".parse::<TraceFormat>().is_err());
+    }
+
+    #[test]
+    fn chrome_export_parses_and_carries_both_phases() {
+        let json = sample_trace().to_chrome_json();
+        let value = serde_json::parse_value(&json).unwrap();
+        let events = value
+            .get("traceEvents")
+            .and_then(Value::as_seq)
+            .expect("traceEvents array");
+        // 5 thread-name metadata records + the 2 events.
+        assert_eq!(events.len(), SpanCategory::ALL.len() + 2);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "M").count(), 5);
+        assert!(phases.contains(&"X"), "complete span present");
+        assert!(phases.contains(&"i"), "instant present");
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("ts"), Some(&Value::Float(1_000.0)));
+        assert_eq!(span.get("dur"), Some(&Value::Float(2_500.0)));
+        assert_eq!(span.get("cat").and_then(Value::as_str), Some("request"));
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic() {
+        assert_eq!(
+            sample_trace().to_chrome_json(),
+            sample_trace().to_chrome_json()
+        );
+    }
+
+    #[test]
+    fn jsonl_export_is_one_parseable_object_per_line() {
+        let jsonl = sample_trace().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = serde_json::parse_value(lines[0]).unwrap();
+        assert_eq!(first.get("at_ns"), Some(&Value::Int(1_000_000)));
+        assert_eq!(first.get("dur_ns"), Some(&Value::Int(2_500_000)));
+        let second = serde_json::parse_value(lines[1]).unwrap();
+        assert_eq!(second.get("cat").and_then(Value::as_str), Some("throttle"));
+        assert!(second.get("dur_ns").is_none(), "instants carry no duration");
+    }
+}

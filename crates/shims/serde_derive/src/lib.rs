@@ -9,15 +9,29 @@
 //!
 //! Representation matches real serde's defaults: structs become maps,
 //! newtype structs are transparent, enums are externally tagged.
+//!
+//! One field attribute is honoured, with real serde's syntax:
+//! `#[serde(skip_serializing_if = "path")]` omits the field from the
+//! serialized map when `path(&value)` is true (deserialization of a missing
+//! field already falls back through `serde::field`'s missing-value path).
+//! All other `#[serde(...)]` attributes are rejected rather than silently
+//! ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its name plus the optional `skip_serializing_if` guard.
+#[derive(Debug)]
+struct FieldDef {
+    name: String,
+    skip_if: Option<String>,
+}
 
 #[derive(Debug)]
 enum Fields {
     /// `struct S;` or a unit enum variant.
     Unit,
     /// Named fields, in declaration order.
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     /// Tuple fields (count).
     Tuple(usize),
 }
@@ -41,7 +55,7 @@ struct Input {
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse(input) {
         Ok(item) => emit_serialize(&item)
@@ -52,7 +66,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse(input) {
         Ok(item) => emit_deserialize(&item)
@@ -131,13 +145,14 @@ fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name: Type, ...` bodies, returning field names in order.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `name: Type, ...` bodies, returning field definitions in order
+/// (field name plus any `#[serde(skip_serializing_if = "path")]` guard).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldDef>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attributes_and_visibility(&tokens, &mut i);
+        let skip_if = take_field_attributes(&tokens, &mut i)?;
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -149,9 +164,76 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(FieldDef { name, skip_if });
     }
     Ok(fields)
+}
+
+/// Advances past a field's attributes and visibility like
+/// [`skip_attributes_and_visibility`], but inspects `#[serde(...)]`
+/// attributes on the way: returns the `skip_serializing_if` path when one is
+/// present, and rejects any other serde attribute (this shim must not
+/// silently ignore behaviour the real crate would honour).
+fn take_field_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<Option<String>, String> {
+    let mut skip_if = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(path) = parse_serde_attribute(g.stream())? {
+                        skip_if = Some(path);
+                    }
+                }
+                *i += 2; // `#` then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    Ok(skip_if)
+}
+
+/// Inspects one attribute body (the tokens inside `#[...]`). For
+/// `serde(skip_serializing_if = "path")` returns the path; for any other
+/// `serde(...)` form errors; for non-serde attributes returns `None`.
+fn parse_serde_attribute(stream: TokenStream) -> Result<Option<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return Err("malformed #[serde] attribute (expected #[serde(...)])".to_string());
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2), inner.len()) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+            3,
+        ) if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"');
+            if path.is_empty() || path.len() == raw.len() {
+                return Err(format!(
+                    "skip_serializing_if needs a quoted path, got {raw}"
+                ));
+            }
+            Ok(Some(path.to_string()))
+        }
+        _ => Err(format!(
+            "unsupported #[serde(...)] attribute (only `skip_serializing_if = \"path\"` \
+             is implemented by the shim derive): serde({})",
+            g.stream()
+        )),
+    }
 }
 
 /// Skips a type expression up to (and including) the next top-level comma.
@@ -243,13 +325,7 @@ fn emit_serialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
         Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
-        Shape::Struct(Fields::Named(fields)) => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f}))"))
-                .collect();
-            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
-        }
+        Shape::Struct(Fields::Named(fields)) => named_map_body(fields, "self."),
         Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
         Shape::Struct(Fields::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
@@ -267,6 +343,42 @@ fn emit_serialize(input: &Input) -> String {
          impl ::serde::Serialize for {name} {{\n\
              fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
          }}"
+    )
+}
+
+/// The serialize expression for a named-field map: a plain `vec![...]` when
+/// no field carries a skip guard, a conditional-push block otherwise (so a
+/// skipped field leaves no `null` behind — the byte-identity contract for
+/// optional report sections). `access` prefixes each field (`self.` for
+/// structs, empty for enum-variant bindings).
+fn named_map_body(fields: &[FieldDef], access: &str) -> String {
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                let n = &f.name;
+                format!("({n:?}.to_string(), ::serde::Serialize::serialize(&{access}{n}))")
+            })
+            .collect();
+        return format!("::serde::Value::Map(vec![{}])", entries.join(", "));
+    }
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let push = format!(
+                "entries.push(({n:?}.to_string(), ::serde::Serialize::serialize(&{access}{n})));"
+            );
+            match &f.skip_if {
+                None => push,
+                Some(path) => format!("if !{path}(&{access}{n}) {{ {push} }}"),
+            }
+        })
+        .collect();
+    format!(
+        "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new(); {} \
+         ::serde::Value::Map(entries) }}",
+        pushes.join(" ")
     )
 }
 
@@ -294,15 +406,19 @@ fn serialize_arm(name: &str, variant: &Variant) -> String {
             )
         }
         Fields::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::serialize({f}))"))
+                .map(|f| {
+                    let n = &f.name;
+                    format!("({n:?}.to_string(), ::serde::Serialize::serialize({n}))")
+                })
                 .collect();
             format!(
                 "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![({v:?}.to_string(), \
-                 ::serde::Value::Map(vec![{}]))]),",
-                entries.join(", ")
+                 ::serde::Value::Map(vec![{entries}]))]),",
+                binds = binds.join(", "),
+                entries = entries.join(", ")
             )
         }
     }
@@ -315,7 +431,10 @@ fn emit_deserialize(input: &Input) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(value, {f:?})?"))
+                .map(|f| {
+                    let n = &f.name;
+                    format!("{n}: ::serde::field(value, {n:?})?")
+                })
                 .collect();
             format!(
                 "if value.as_map().is_none() {{\n\
@@ -388,7 +507,10 @@ fn emit_enum_deserialize(name: &str, variants: &[Variant]) -> String {
                 Fields::Named(fields) => {
                     let inits: Vec<String> = fields
                         .iter()
-                        .map(|f| format!("{f}: ::serde::field(inner, {f:?})?"))
+                        .map(|f| {
+                            let n = &f.name;
+                            format!("{n}: ::serde::field(inner, {n:?})?")
+                        })
                         .collect();
                     format!("return Ok({name}::{tag} {{ {} }})", inits.join(", "))
                 }

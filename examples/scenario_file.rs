@@ -16,6 +16,14 @@
 //! online-upgrade drill twice and diffs the two reports to pin scheduler
 //! determinism.
 //!
+//! With `--trace-out=PATH` the run executes under a deterministic tracer
+//! and the captured virtual-time trace is written to `PATH` —
+//! `--trace-format=chrome` (default; Perfetto / `chrome://tracing`
+//! loadable) or `--trace-format=jsonl`. The report (plain or `--json`)
+//! then carries an `obs` snapshot reconciling span counts against the
+//! metrics registry. Tracing is record-only: the simulated results are
+//! bit-identical to an untraced run.
+//!
 //! With `--check` nothing runs at all: the static analyser is applied to
 //! the scenario and every diagnostic is printed (stable code, field
 //! path, help). The exit status is non-zero when any error-severity
@@ -30,9 +38,27 @@
 //! scenario, and exits non-zero. `scope` is `quick`, `default`, `wide`,
 //! or comma-separated overrides like `requests=32,events=3`.
 
-use craid::{ExploreScope, Scenario};
+use craid::{ExploreScope, Scenario, ScenarioOutcome};
 
 const DEFAULT_SCENARIO: &str = include_str!("scenarios/upgrade_drill.toml");
+
+/// Runs the scenario, installing a tracer and writing the exported trace
+/// to `trace_out` when one was requested. Prints nothing either way, so
+/// the `--json` output stays byte-diffable.
+fn run_maybe_traced(
+    scenario: &Scenario,
+    trace_out: Option<&str>,
+    format: craid_obs::TraceFormat,
+) -> Result<ScenarioOutcome, Box<dyn std::error::Error>> {
+    match trace_out {
+        Some(path) => {
+            let (outcome, trace) = scenario.run_traced(craid_obs::DEFAULT_CAPACITY, 1)?;
+            std::fs::write(path, trace.export(format))?;
+            Ok(outcome)
+        }
+        None => Ok(scenario.run()?),
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (paths, flags): (Vec<String>, Vec<String>) =
@@ -49,6 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .transpose()
         .map_err(|e| format!("bad --explore scope: {e}"))?;
+    let trace_out = flags
+        .iter()
+        .find_map(|f| f.strip_prefix("--trace-out=").map(str::to_string));
+    let trace_format: craid_obs::TraceFormat = flags
+        .iter()
+        .find_map(|f| f.strip_prefix("--trace-format="))
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --trace-format: {e}"))?
+        .unwrap_or_default();
     let text = match paths.first() {
         Some(path) => std::fs::read_to_string(path)?,
         None => DEFAULT_SCENARIO.to_string(),
@@ -97,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(if failed { 1 } else { 0 });
     }
     if json_only {
-        let outcome = scenario.run()?;
+        let outcome = run_maybe_traced(&scenario, trace_out.as_deref(), trace_format)?;
         println!("{}", outcome.report.to_json());
         return Ok(());
     }
@@ -114,7 +150,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  t = {:>8.1}s  {}", event.at().as_secs(), event.describe());
     }
 
-    let outcome = scenario.run()?;
+    let outcome = run_maybe_traced(&scenario, trace_out.as_deref(), trace_format)?;
     let report = &outcome.report;
     println!();
     println!("applied {} events:", outcome.applied_events.len());
@@ -192,6 +228,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "end-of-trace drain: background work ran {:.1}s past the last request",
             report.background_drain_secs
+        );
+    }
+    if let (Some(path), Some(obs)) = (trace_out.as_deref(), report.obs.as_ref()) {
+        println!(
+            "trace: {} events recorded ({} dropped) to {} ({trace_format})",
+            obs.recorded, obs.dropped, path
         );
     }
     println!();
